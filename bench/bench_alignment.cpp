@@ -1,0 +1,123 @@
+// C4 — STBA alignment rates and the 99% sign-off threshold.
+//
+// Paper: "The rate calculated at each port level is the number of cycles
+// RTL and BCA signal ports are aligned over the total number of clock
+// cycles. The targeted value, in order to consider the BCA model signed
+// off, is 99%."
+//
+// Series printed:
+//   * per-port alignment of the clean BCA model (must be 100% everywhere);
+//   * per-port alignment under each injected fault, with the first
+//     divergence localised — the report a verification engineer would use
+//     to debug the model.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "regress/runner.h"
+#include "stba/analyzer.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+
+stbus::NodeConfig cfg4() {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+  return cfg;
+}
+
+void report(const char* label, const bca::Faults& faults,
+            verif::TestSpec spec) {
+  regress::RunPlan plan;
+  plan.cfg = cfg4();
+  plan.tests = {std::move(spec)};
+  plan.seeds = {19};
+  plan.n_transactions = 100;
+  plan.faults = faults;
+  plan.max_cycles = 60000;
+  const auto res = regress::Regression::run(plan);
+  std::printf("--- %s ---\n", label);
+  for (const auto& a : res.alignments) {
+    for (const auto& p : a.report.ports) {
+      std::printf("  %-10s %8.3f%%", p.port.c_str(), 100.0 * p.rate());
+      if (p.diverged()) {
+        std::printf("   first divergence @ cycle %llu on %s",
+                    static_cast<unsigned long long>(p.first_divergence),
+                    p.diverged_signals.front().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("  => min %.3f%%, %s (threshold 99%%)\n\n",
+                100.0 * a.report.min_rate(),
+                a.report.signed_off() ? "SIGNED OFF" : "NOT signed off");
+  }
+}
+
+void print_tables() {
+  std::printf("== C4: bus-accurate comparison (STBA) ==\n\n");
+  report("clean BCA model, random test", {}, verif::t02_random_all_opcodes());
+
+  bca::Faults lock;
+  lock.grant_during_lock = true;
+  report("fault: grant_during_lock, chunked test", lock,
+         verif::t05_chunked_traffic());
+
+  bca::Faults swap;
+  swap.response_src_swap = true;
+  report("fault: response_src_swap, out-of-order test", swap,
+         verif::t03_out_of_order());
+
+  bca::Faults prio;
+  prio.priority_register_ignored = true;
+  report("fault: priority_register_ignored, programmable-priority test",
+         prio, verif::t08_programmable_priority());
+}
+
+void BM_StbaCompare(benchmark::State& state) {
+  // Produce a pair of dumps once, then time the analyzer itself.
+  std::ostringstream rtl_os, bca_os;
+  for (int m = 0; m < 2; ++m) {
+    verif::TestbenchOptions opts;
+    opts.model = m == 0 ? verif::ModelKind::kRtl : verif::ModelKind::kBca;
+    opts.seed = 19;
+    opts.vcd_stream = m == 0 ? &rtl_os : &bca_os;
+    verif::TestSpec spec = verif::t02_random_all_opcodes();
+    spec.n_transactions = static_cast<int>(state.range(0));
+    verif::Testbench tb(cfg4(), spec, opts);
+    tb.run();
+  }
+  std::istringstream a(rtl_os.str()), b(bca_os.str());
+  const vcd::Trace ta = vcd::Trace::parse(a);
+  const vcd::Trace tb2 = vcd::Trace::parse(b);
+  std::vector<std::string> ports;
+  for (int i = 0; i < 3; ++i) {
+    ports.push_back("tb.init" + std::to_string(i));
+  }
+  for (int t = 0; t < 2; ++t) {
+    ports.push_back("tb.targ" + std::to_string(t));
+  }
+  for (auto _ : state) {
+    const auto rep = stba::Analyzer::compare(ta, tb2, ports);
+    benchmark::DoNotOptimize(rep.ports.size());
+  }
+  state.counters["cycles"] = static_cast<double>(ta.max_time() + 1);
+}
+
+BENCHMARK(BM_StbaCompare)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,191 @@
+// C3 — "The verification environment permitted to find five bugs on BCA
+// models, not found using the old environment of the past flow."
+//
+// For each of the five injected BCA bugs this bench runs:
+//   * the OLD flow: the model owner's directed write-then-read harness,
+//     no protocol checkers, no scoreboard, no coverage, no STBA — only a
+//     data self-check on read-back values (the paper: "a very basic model
+//     of harnesses ... a lot of checks were done visually");
+//   * the NEW flow: the common environment (random tests + checkers +
+//     scoreboard + coverage) with the STBA alignment comparison;
+// and prints which layer detects the bug. Expected: 0/5 in the old flow,
+// 5/5 in the new one — with the LRU bug visible to STBA only.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "regress/runner.h"
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+
+stbus::NodeConfig bug_cfg() {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+  return cfg;
+}
+
+// LRU-sensitive chunked contention (see tests/test_faults.cpp).
+verif::TestSpec lru_stress() {
+  verif::TestSpec s = verif::t05_chunked_traffic();
+  s.name = "lru_stress";
+  s.profile = [](const stbus::NodeConfig&, int) {
+    verif::InitiatorProfile p;
+    p.windows = {stbus::AddressRange{0, 0x1000, 0}};
+    p.chunk_permille = 700;
+    p.max_chunk_packets = 3;
+    p.idle_permille = 0;
+    p.opcode_weights.assign(stbus::kNumOpcodes, 0);
+    p.opcode_weights[static_cast<std::size_t>(stbus::Opcode::kLd4)] = 1;
+    p.opcode_weights[static_cast<std::size_t>(stbus::Opcode::kSt8)] = 1;
+    return p;
+  };
+  return s;
+}
+
+struct Bug {
+  const char* name;
+  bca::Faults faults;
+  verif::TestSpec trigger;  // the CATG test that exercises it
+};
+
+std::vector<Bug> paper_bugs() {
+  std::vector<Bug> bugs;
+  {
+    Bug b{"lru_stale_on_chunk", {}, lru_stress()};
+    b.faults.lru_stale_on_chunk = true;
+    bugs.push_back(std::move(b));
+  }
+  {
+    Bug b{"grant_during_lock", {}, verif::t05_chunked_traffic()};
+    b.faults.grant_during_lock = true;
+    bugs.push_back(std::move(b));
+  }
+  {
+    Bug b{"byte_enable_dropped", {}, verif::t02_random_all_opcodes()};
+    b.faults.byte_enable_dropped = true;
+    bugs.push_back(std::move(b));
+  }
+  {
+    Bug b{"response_src_swap", {}, verif::t03_out_of_order()};
+    b.faults.response_src_swap = true;
+    bugs.push_back(std::move(b));
+  }
+  {
+    // The size-converter endianness bug is exercised at the bridge level in
+    // the test suite; at the node level the closest trigger is the
+    // contention-corruption path, so here we use the opcode-corruption
+    // fault, which models the same "data mangled inside the BCA model"
+    // class through the node.
+    Bug b{"opcode_corrupt_on_busy", {}, verif::t07_target_contention()};
+    b.faults.opcode_corrupt_on_busy = true;
+    bugs.push_back(std::move(b));
+  }
+  return bugs;
+}
+
+// Old flow: directed write/read harness on the BCA model alone, data
+// self-check only (read-back must equal what was written).
+bool old_flow_detects(const bca::Faults& faults) {
+  verif::TestbenchOptions opts;
+  opts.model = verif::ModelKind::kBca;
+  opts.faults = faults;
+  opts.seed = 13;
+  opts.enable_checkers = false;
+  opts.enable_scoreboard = false;
+  opts.enable_coverage = false;
+  opts.keep_history = true;
+  verif::Testbench tb(bug_cfg(), verif::old_flow_write_read(), opts);
+  const auto r = tb.run();
+  if (!r.completed) return true;  // a hang would be noticed
+  // Visual-style self-check: each read returns the value written before.
+  for (int i = 0; i < bug_cfg().n_initiators; ++i) {
+    const auto& hist = tb.initiator(i).history();
+    const std::size_t pairs = hist.size() / 2;
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const auto& st = hist[k];
+      const auto& ld = hist[pairs + k];
+      if (st.request.add != ld.request.add) continue;
+      if (ld.rdata != st.request.wdata) return true;
+    }
+  }
+  return false;
+}
+
+struct Detection {
+  bool old_flow = false;
+  bool checks = false;     // protocol checkers / scoreboard on the BCA run
+  bool coverage = false;   // coverage digest mismatch between views
+  bool alignment = false;  // STBA rate below 99%
+  bool any_new() const { return checks || coverage || alignment; }
+};
+
+Detection new_flow_detects(const Bug& bug) {
+  regress::RunPlan plan;
+  plan.cfg = bug_cfg();
+  plan.tests = {bug.trigger};
+  plan.seeds = {13};
+  plan.n_transactions = 100;
+  plan.faults = bug.faults;
+  plan.max_cycles = 60000;
+  const auto res = regress::Regression::run(plan);
+  Detection d;
+  d.checks = !res.bca_passed;
+  d.coverage = !res.coverage_match;
+  d.alignment = res.min_alignment < 0.99;
+  return d;
+}
+
+void print_table() {
+  std::printf(
+      "== C3: five BCA bugs, old flow vs common verification flow ==\n\n");
+  std::printf("%-24s | %-8s | %-10s %-9s %-9s | %s\n", "injected BCA bug",
+              "old flow", "checks", "coverage", "STBA<99%", "new flow");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  int old_found = 0, new_found = 0;
+  for (const auto& bug : paper_bugs()) {
+    Detection d = new_flow_detects(bug);
+    d.old_flow = old_flow_detects(bug.faults);
+    old_found += d.old_flow ? 1 : 0;
+    new_found += d.any_new() ? 1 : 0;
+    std::printf("%-24s | %-8s | %-10s %-9s %-9s | %s\n", bug.name,
+                d.old_flow ? "FOUND" : "missed",
+                d.checks ? "FOUND" : "-", d.coverage ? "FOUND" : "-",
+                d.alignment ? "FOUND" : "-",
+                d.any_new() ? "FOUND" : "missed");
+  }
+  std::printf("%s\n", std::string(86, '-').c_str());
+  std::printf("old flow: %d/5 found   common flow: %d/5 found "
+              "(paper: 5 bugs found that the old flow missed)\n\n",
+              old_found, new_found);
+}
+
+void BM_NewFlowBugHunt(benchmark::State& state) {
+  const auto bugs = paper_bugs();
+  for (auto _ : state) {
+    const Detection d = new_flow_detects(bugs[1]);  // grant_during_lock
+    benchmark::DoNotOptimize(d.any_new());
+  }
+  state.SetLabel("dual-view regression + STBA on one injected bug");
+}
+
+BENCHMARK(BM_NewFlowBugHunt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// C5/F3 — simulation speed of the two model views.
+//
+// Paper claims reproduced here:
+//   * "The fast simulation of BCA models permits to fast find the optimized
+//     configuration" — the BCA view simulates markedly faster than the RTL
+//     view on the same traffic;
+//   * "since VHDL simulator is used, the advantage of having fast SystemC
+//     simulator is lost" (Fig. 3) — plugging the BCA model through the
+//     wrapper layer erases that advantage.
+//
+// Reported counters: cycles/s (rate) and kernel process evaluations per
+// cycle (the work metric that explains the rate).
+#include <benchmark/benchmark.h>
+
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+
+stbus::NodeConfig make_cfg(int n_init, int n_targ, int bus_bytes) {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = n_init;
+  cfg.n_targets = n_targ;
+  cfg.bus_bytes = bus_bytes;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+  return cfg;
+}
+
+void run_model(benchmark::State& state, verif::ModelKind model,
+               bool memoize = true) {
+  const int n_init = static_cast<int>(state.range(0));
+  const int n_targ = static_cast<int>(state.range(1));
+  const int bus = static_cast<int>(state.range(2));
+
+  std::uint64_t cycles = 0;
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    verif::TestSpec spec = verif::t07_target_contention();
+    spec.profile = [](const stbus::NodeConfig& cfg, int) {
+      verif::InitiatorProfile p;
+      p.windows = {cfg.address_map.front()};
+      p.windows.front().size = 0x1000;
+      p.idle_permille = 0;
+      p.max_size_bytes = 8;
+      return p;
+    };
+    spec.n_transactions = 200;
+    verif::TestbenchOptions opts;
+    opts.model = model;
+    opts.seed = 3;
+    // The paper compares *model* simulation speed; checkers/scoreboard/
+    // coverage cost the same on every view, so they are left out here.
+    opts.enable_checkers = false;
+    opts.enable_scoreboard = false;
+    opts.enable_coverage = false;
+    opts.enable_monitors = false;
+    opts.enable_reference_model = false;
+    opts.bca_memoization = memoize;
+    verif::Testbench tb(make_cfg(n_init, n_targ, bus), spec, opts);
+    state.ResumeTiming();
+
+    const verif::RunResult r = tb.run();
+    benchmark::DoNotOptimize(r.cycles);
+    cycles += r.cycles;
+    evals += r.evaluations;
+    if (!r.completed) state.SkipWithError("run failed");
+  }
+  state.counters["cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["evals_per_cycle"] =
+      cycles > 0 ? static_cast<double>(evals) / static_cast<double>(cycles)
+                 : 0.0;
+}
+
+void BM_Rtl(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kRtl);
+}
+void BM_Bca(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kBca);
+}
+void BM_BcaWrapped(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kBcaWrapped);
+}
+// Ablation: the BCA view with its sensitivity-list memoization disabled —
+// quantifies how much of the BCA advantage that single design choice buys.
+void BM_BcaNoMemo(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kBca, /*memoize=*/false);
+}
+
+void shapes(benchmark::internal::Benchmark* b) {
+  b->Args({2, 2, 4})->Args({4, 4, 4})->Args({8, 4, 4})->Args({4, 4, 16});
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Bca)->Apply(shapes);
+BENCHMARK(BM_BcaNoMemo)->Apply(shapes);
+BENCHMARK(BM_Rtl)->Apply(shapes);
+BENCHMARK(BM_BcaWrapped)->Apply(shapes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "== C5/F3: simulation speed, BCA vs RTL vs BCA-behind-wrappers ==\n"
+      "Expected shape (paper): BCA fastest; RTL slower; wrapped BCA loses\n"
+      "the BCA advantage (compare cycles_per_s).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

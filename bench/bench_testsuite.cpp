@@ -1,0 +1,96 @@
+// C1 — the twelve generic node test cases.
+//
+// Paper: "Twelve test cases have been developed to cover the tests of all
+// main features of the node such as out of order traffic or latency based
+// arbitration... They can be reused for all configurations of the Node."
+//
+// Prints the suite table — per test and per view: result, cycles simulated,
+// functional coverage — and checks the cross-view invariants (identical
+// cycles, identical coverage digests). The timed benchmark runs one full
+// suite pass on each view.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+
+stbus::NodeConfig suite_cfg() {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+  return cfg;
+}
+
+verif::RunResult run_one(const verif::TestSpec& spec, verif::ModelKind model,
+                         int n_tx) {
+  verif::TestSpec s = spec;
+  s.n_transactions = n_tx;
+  verif::TestbenchOptions opts;
+  opts.model = model;
+  opts.seed = 47;
+  opts.max_cycles = 200000;
+  verif::Testbench tb(suite_cfg(), s, opts);
+  return tb.run();
+}
+
+void print_table() {
+  std::printf("== C1: the 12 generic node test cases, both views ==\n\n");
+  std::printf("%-26s | %-5s %7s %6s | %-5s %7s %6s | %s\n", "test", "RTL",
+              "cycles", "cov", "BCA", "cycles", "cov", "views match");
+  int pass = 0, match = 0;
+  const auto suite = verif::catg_test_suite();
+  for (const auto& spec : suite) {
+    const auto rtl = run_one(spec, verif::ModelKind::kRtl, 60);
+    const auto bca = run_one(spec, verif::ModelKind::kBca, 60);
+    const bool ok = rtl.passed() && bca.passed();
+    const bool same = rtl.cycles == bca.cycles &&
+                      rtl.coverage_digest == bca.coverage_digest;
+    pass += ok ? 1 : 0;
+    match += same ? 1 : 0;
+    std::printf("%-26s | %-5s %7llu %5.1f%% | %-5s %7llu %5.1f%% | %s\n",
+                spec.name.c_str(), rtl.passed() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(rtl.cycles),
+                rtl.coverage_percent, bca.passed() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(bca.cycles),
+                bca.coverage_percent, same ? "yes" : "NO");
+  }
+  std::printf("\n%d/%zu tests pass on both views; %d/%zu run cycle- and\n"
+              "coverage-identical across views.\n\n",
+              pass, suite.size(), match, suite.size());
+}
+
+void BM_FullSuite(benchmark::State& state) {
+  const auto model = static_cast<verif::ModelKind>(state.range(0));
+  const auto suite = verif::catg_test_suite();
+  for (auto _ : state) {
+    std::uint64_t cycles = 0;
+    for (const auto& spec : suite) {
+      cycles += run_one(spec, model, 30).cycles;
+    }
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.SetLabel(verif::to_string(model));
+}
+
+BENCHMARK(BM_FullSuite)
+    ->Arg(static_cast<int>(verif::ModelKind::kRtl))
+    ->Arg(static_cast<int>(verif::ModelKind::kBca))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Paper Fig. 4/5: the complete common verification flow, end to end.
+//
+//   1. run the same test suite with the same seeds on the RTL view and the
+//      BCA view, dumping a VCD per run;
+//   2. verify both views (checkers, scoreboard, functional coverage);
+//   3. if both pass with identical coverage, call STBA to compare the
+//      waveforms port by port (sign-off needs >= 99% everywhere);
+//   4. repeat with a buggy BCA model to show what a misalignment report
+//      looks like — including the first-divergence localisation.
+#include <cstdio>
+
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace {
+
+void print_alignment(const crve::regress::RegressionResult& res) {
+  for (const auto& a : res.alignments) {
+    std::printf("  %s seed %llu:\n", a.test.c_str(),
+                static_cast<unsigned long long>(a.seed));
+    for (const auto& p : a.report.ports) {
+      std::printf("    %-10s %7llu/%7llu cycles aligned (%.3f%%)",
+                  p.port.c_str(),
+                  static_cast<unsigned long long>(p.aligned_cycles),
+                  static_cast<unsigned long long>(p.total_cycles),
+                  100.0 * p.rate());
+      if (p.diverged()) {
+        std::printf("  first divergence @%llu on %s",
+                    static_cast<unsigned long long>(p.first_divergence),
+                    p.diverged_signals.front().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace crve;
+
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+
+  regress::RunPlan plan;
+  plan.cfg = cfg;
+  plan.tests = {verif::t02_random_all_opcodes(), verif::t05_chunked_traffic()};
+  plan.seeds = {1, 2};
+  plan.n_transactions = 60;
+  plan.out_dir = "dual_view_artifacts";  // VCDs + reports land here
+
+  std::printf("=== clean BCA model ===\n");
+  const auto clean = regress::Regression::run(plan);
+  std::printf("%s", clean.summary().c_str());
+  print_alignment(clean);
+
+  std::printf("\n=== BCA model with the lock-handling bug injected ===\n");
+  plan.faults.grant_during_lock = true;
+  plan.out_dir.clear();  // in-memory this time
+  const auto buggy = regress::Regression::run(plan);
+  std::printf("%s", buggy.summary().c_str());
+  print_alignment(buggy);
+
+  std::printf(
+      "\nArtifacts for the clean run (VCDs, verification reports, alignment\n"
+      "reports) were written to ./dual_view_artifacts/.\n");
+  return clean.signed_off && !buggy.signed_off ? 0 : 1;
+}

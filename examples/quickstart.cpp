@@ -1,0 +1,51 @@
+// Quickstart: the common verification environment in ~40 lines.
+//
+// Builds an STBus node (Type2, 3 initiators x 2 targets, LRU arbitration),
+// wraps it in the full CATG-style environment — random initiators, memory
+// targets, monitors, protocol checkers, scoreboard, functional coverage —
+// and runs the same random test against BOTH views of the design. The only
+// thing that changes between the two runs is one enum.
+#include <cstdio>
+
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+int main() {
+  using namespace crve;
+
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;  // 32-bit data ports
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+
+  const verif::TestSpec test = verif::t02_random_all_opcodes();
+
+  for (auto model : {verif::ModelKind::kRtl, verif::ModelKind::kBca}) {
+    verif::TestbenchOptions opts;
+    opts.model = model;
+    opts.seed = 42;
+
+    verif::Testbench tb(cfg, test, opts);
+    const verif::RunResult r = tb.run();
+
+    std::printf("%-12s %s: %s in %llu cycles\n",
+                verif::to_string(model).c_str(), test.name.c_str(),
+                r.passed() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  checker violations : %llu\n",
+                static_cast<unsigned long long>(r.checker_violations));
+    std::printf("  scoreboard errors  : %llu\n",
+                static_cast<unsigned long long>(r.scoreboard_errors));
+    std::printf("  functional coverage: %.1f%% (digest %016llx)\n",
+                r.coverage_percent,
+                static_cast<unsigned long long>(r.coverage_digest));
+  }
+
+  std::printf(
+      "\nSame tests, same seeds, same environment on both views — the\n"
+      "coverage digests above must be identical (paper, Section 4).\n");
+  return 0;
+}

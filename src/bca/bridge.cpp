@@ -1,0 +1,111 @@
+#include "bca/bridge.h"
+
+#include <algorithm>
+
+#include "stbus/packet.h"
+
+namespace crve::bca {
+
+using stbus::ProtocolType;
+using stbus::Request;
+using stbus::RspOpcode;
+
+Bridge::Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
+               ProtocolType up_type, stbus::PortPins& downstream,
+               ProtocolType dn_type, Faults faults)
+    : name_(std::move(name)),
+      up_(upstream),
+      dn_(downstream),
+      up_type_(up_type),
+      dn_type_(dn_type),
+      faults_(faults) {
+  ctx.add_clocked(name_ + ".tick", [this] { tick(); });
+  ctx.add_comb(name_ + ".drive", [this] { drive(); });
+}
+
+void Bridge::drive() {
+  up_.gnt.write(phase_ == 0);
+  if (phase_ == 1 && !outbound_.empty()) {
+    dn_.drive_request(outbound_.front());
+  } else {
+    dn_.idle_request();
+  }
+  dn_.r_gnt.write(phase_ == 2);
+  if (phase_ == 3 && !returning_.empty()) {
+    up_.drive_response(returning_.front());
+  } else {
+    up_.idle_response();
+  }
+}
+
+void Bridge::tick() {
+  switch (phase_) {
+    case 0: {
+      if (!(up_.req.read() && up_.gnt.read())) return;
+      absorbed_.push_back(up_.sample_request());
+      if (!absorbed_.back().eop) return;
+      const auto& head = absorbed_.front();
+      Request req{head.opc, head.add, {}, head.src, head.tid,
+                  absorbed_.back().lck};
+      if (stbus::is_store(req.opc) || stbus::is_atomic(req.opc)) {
+        req.wdata = stbus::extract_request_data(req.opc, req.add, absorbed_,
+                                                up_.bus_bytes);
+      }
+      auto cells = stbus::build_request(req, dn_.bus_bytes, dn_type_);
+      cells.back().lck = req.lck;
+      outbound_.assign(cells.begin(), cells.end());
+      expect_rsp_ = stbus::response_cells(req.opc, dn_.bus_bytes, dn_type_);
+      phase_ = 1;
+      return;
+    }
+    case 1: {
+      if (!(dn_.req.read() && dn_.gnt.read())) return;
+      outbound_.pop_front();
+      if (outbound_.empty()) {
+        collected_.clear();
+        phase_ = 2;
+      }
+      return;
+    }
+    case 2: {
+      if (!(dn_.r_req.read() && dn_.r_gnt.read())) return;
+      collected_.push_back(dn_.sample_response());
+      if (static_cast<int>(collected_.size()) < expect_rsp_) return;
+      const auto& head = absorbed_.front();
+      RspOpcode status = RspOpcode::kOk;
+      for (const auto& c : collected_) {
+        if (c.opc != RspOpcode::kOk) status = RspOpcode::kError;
+      }
+      std::vector<std::uint8_t> rdata;
+      if (stbus::is_load(head.opc) || stbus::is_atomic(head.opc)) {
+        auto ordered = collected_;
+        if (faults_.size_conv_endianness && ordered.size() > 1 &&
+            dn_.bus_bytes < up_.bus_bytes) {
+          // Bug: sub-word groups reassembled in reverse order.
+          std::reverse(ordered.begin(), ordered.end());
+        }
+        rdata = stbus::extract_response_data(head.opc, head.add, ordered,
+                                             dn_.bus_bytes);
+      }
+      auto cells =
+          stbus::build_response(head.opc, head.add, rdata, status,
+                                up_.bus_bytes, up_type_, head.src, head.tid);
+      returning_.assign(cells.begin(), cells.end());
+      phase_ = 3;
+      return;
+    }
+    case 3: {
+      if (!(up_.r_req.read() && up_.r_gnt.read())) return;
+      returning_.pop_front();
+      if (returning_.empty()) {
+        absorbed_.clear();
+        phase_ = 0;
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace crve::bca

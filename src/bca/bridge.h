@@ -1,0 +1,52 @@
+// BCA view of the size/type converter bridge.
+//
+// Independent implementation of the same store-and-forward transaction
+// contract as rtl::Bridge (one transaction end-to-end at a time; see
+// rtl/bridge.h for the phase contract). Organized around a single phase
+// counter and cell queues rather than the RTL view's explicit FSM. Carries
+// the paper's fifth injected bug: with Faults::size_conv_endianness the
+// sub-word groups of a load response are reassembled in reverse order when
+// the downstream port is narrower than the upstream one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bca/faults.h"
+#include "sim/context.h"
+#include "stbus/config.h"
+#include "stbus/pins.h"
+
+namespace crve::bca {
+
+class Bridge {
+ public:
+  Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
+         stbus::ProtocolType up_type, stbus::PortPins& downstream,
+         stbus::ProtocolType dn_type, Faults faults = {});
+
+ private:
+  // 0 = absorbing request, 1 = replaying request, 2 = absorbing response,
+  // 3 = replaying response.
+  int phase_ = 0;
+
+  void drive();
+  void tick();
+
+  std::string name_;
+  stbus::PortPins& up_;
+  stbus::PortPins& dn_;
+  stbus::ProtocolType up_type_;
+  stbus::ProtocolType dn_type_;
+  Faults faults_;
+
+  std::vector<stbus::RequestCell> absorbed_;
+  std::deque<stbus::RequestCell> outbound_;
+  std::vector<stbus::ResponseCell> collected_;
+  std::deque<stbus::ResponseCell> returning_;
+  int expect_rsp_ = 0;
+};
+
+}  // namespace crve::bca

@@ -1,0 +1,49 @@
+// Injectable BCA model bugs.
+//
+// The paper reports that the common environment found five bugs in the BCA
+// models that the old owner-written write-then-read harness missed. This
+// catalogue reproduces that experiment: each switch re-creates one bug
+// class in the BCA view only, and the tests/benches assert which layer of
+// the environment (protocol checker, scoreboard, coverage, or only the STBA
+// alignment comparison) catches it.
+#pragma once
+
+namespace crve::bca {
+
+struct Faults {
+  // --- the paper's "five bugs on BCA models" -----------------------------
+  // 1. LRU recency not refreshed for grants that open/continue/close a held
+  //    allocation (multi-cell packets and lck chunks), skewing arbitration
+  //    order after such traffic. Functionally silent: every packet is still
+  //    delivered intact, so only the bus-accurate comparison can see it.
+  bool lru_stale_on_chunk = false;
+  // 2. Arbiter re-arbitrates mid-chunk instead of honouring the allocation
+  //    (`lck`), interleaving packets from different initiators.
+  bool grant_during_lock = false;
+  // 3. Store byte enables forced to all-ones at the target port, corrupting
+  //    neighbouring bytes on sub-bus stores.
+  bool byte_enable_dropped = false;
+  // 4. When two targets offer responses to distinct initiators in the same
+  //    cycle, the response cells are delivered to each other's ports.
+  bool response_src_swap = false;
+  // 5. The BCA size converter assembles sub-words in reversed order
+  //    (endianness confusion across the width boundary).
+  bool size_conv_endianness = false;
+
+  // --- extra faults used by the test suite -------------------------------
+  // Forwarded opcode corrupted when the target register was draining.
+  bool opcode_corrupt_on_busy = false;
+  // Internal error generator terminates error packets one cell early.
+  bool eop_one_cell_early = false;
+  // Programming-port priority writes acknowledged but never applied.
+  bool priority_register_ignored = false;
+
+  bool any() const {
+    return lru_stale_on_chunk || grant_during_lock || byte_enable_dropped ||
+           response_src_swap || size_conv_endianness ||
+           opcode_corrupt_on_busy || eop_one_cell_early ||
+           priority_register_ignored;
+  }
+};
+
+}  // namespace crve::bca

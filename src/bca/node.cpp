@@ -1,0 +1,467 @@
+#include "bca/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stbus/packet.h"
+
+namespace crve::bca {
+
+using stbus::Opcode;
+using stbus::PortPins;
+using stbus::RequestCell;
+using stbus::ResponseCell;
+using stbus::RspOpcode;
+
+// ---------------------------------------------------------------------------
+// ArbState
+// ---------------------------------------------------------------------------
+
+ArbState::ArbState(const stbus::NodeConfig& cfg)
+    : policy_(cfg.arb),
+      n_(cfg.n_initiators),
+      prio_(cfg.priorities),
+      waited_(static_cast<std::size_t>(cfg.n_initiators), 0),
+      deadline_(cfg.latency_deadline),
+      tokens_(cfg.bandwidth_quota),
+      quota_(cfg.bandwidth_quota),
+      window_(cfg.bandwidth_window) {
+  for (int i = 0; i < n_; ++i) lru_order_.push_back(i);
+}
+
+int ArbState::choose(std::uint32_t eligible) const {
+  if (eligible == 0) return -1;
+  std::vector<int> cand;
+  for (int i = 0; i < n_; ++i) {
+    if ((eligible >> i) & 1u) cand.push_back(i);
+  }
+  auto rr_distance = [this](int i) { return (i - next_ptr_ + n_) % n_; };
+  switch (policy_) {
+    case stbus::ArbPolicy::kFixedPriority:
+    case stbus::ArbPolicy::kProgrammable: {
+      std::stable_sort(cand.begin(), cand.end(), [this](int a, int b) {
+        return prio_[static_cast<std::size_t>(a)] >
+               prio_[static_cast<std::size_t>(b)];
+      });
+      return cand.front();
+    }
+    case stbus::ArbPolicy::kRoundRobin: {
+      return *std::min_element(cand.begin(), cand.end(),
+                               [&](int a, int b) {
+                                 return rr_distance(a) < rr_distance(b);
+                               });
+    }
+    case stbus::ArbPolicy::kLru: {
+      for (int i : lru_order_) {
+        if ((eligible >> i) & 1u) return i;
+      }
+      return -1;
+    }
+    case stbus::ArbPolicy::kLatencyBased: {
+      int best = cand.front();
+      long best_u = static_cast<long>(waited_[static_cast<std::size_t>(best)]) -
+                    deadline_[static_cast<std::size_t>(best)];
+      for (int i : cand) {
+        const long u = static_cast<long>(waited_[static_cast<std::size_t>(i)]) -
+                       deadline_[static_cast<std::size_t>(i)];
+        if (u > best_u) {
+          best = i;
+          best_u = u;
+        }
+      }
+      return best;
+    }
+    case stbus::ArbPolicy::kBandwidthLimited: {
+      std::vector<int> pool;
+      for (int i : cand) {
+        if (quota_[static_cast<std::size_t>(i)] == 0 ||
+            tokens_[static_cast<std::size_t>(i)] > 0) {
+          pool.push_back(i);
+        }
+      }
+      if (pool.empty()) pool = cand;  // work-conserving fallback
+      return *std::min_element(pool.begin(), pool.end(),
+                               [&](int a, int b) {
+                                 return rr_distance(a) < rr_distance(b);
+                               });
+    }
+  }
+  return -1;
+}
+
+void ArbState::update(std::uint64_t next_cycle, int granted,
+                      std::uint32_t requesting, bool holds_allocation,
+                      const Faults& faults) {
+  for (int i = 0; i < n_; ++i) {
+    auto& w = waited_[static_cast<std::size_t>(i)];
+    if (((requesting >> i) & 1u) && i != granted) {
+      ++w;
+    } else {
+      w = 0;
+    }
+  }
+  if (granted >= 0) {
+    const bool skip_lru = faults.lru_stale_on_chunk && holds_allocation;
+    if (!skip_lru) {
+      lru_order_.remove(granted);
+      lru_order_.push_back(granted);
+    }
+    next_ptr_ = (granted + 1) % n_;
+    auto& t = tokens_[static_cast<std::size_t>(granted)];
+    if (quota_[static_cast<std::size_t>(granted)] > 0 && t > 0) --t;
+  }
+  if (window_ > 0 && next_cycle % static_cast<std::uint64_t>(window_) == 0) {
+    tokens_ = quota_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
+           std::vector<PortPins*> initiator_ports,
+           std::vector<PortPins*> target_ports, PortPins* prog_port,
+           Faults faults, bool memoize)
+    : ctx_(ctx),
+      cfg_(std::move(cfg)),
+      iports_(std::move(initiator_ports)),
+      tports_(std::move(target_ports)),
+      prog_(prog_port),
+      faults_(faults),
+      memoize_(memoize) {
+  cfg_.validate_and_normalize();
+  if (static_cast<int>(iports_.size()) != cfg_.n_initiators ||
+      static_cast<int>(tports_.size()) != cfg_.n_targets) {
+    throw std::invalid_argument("bca::Node: port count mismatch");
+  }
+  if (cfg_.programming_port && prog_ == nullptr) {
+    throw std::invalid_argument("bca::Node: programming port pins missing");
+  }
+  const int nres = cfg_.num_resources();
+  arb_.assign(static_cast<std::size_t>(nres), ArbState(cfg_));
+  allocation_.assign(static_cast<std::size_t>(nres), -1);
+  to_target_.resize(static_cast<std::size_t>(cfg_.n_targets));
+  to_initiator_.resize(static_cast<std::size_t>(cfg_.n_initiators));
+  rsp_allocation_.assign(static_cast<std::size_t>(cfg_.n_initiators), -1);
+  rsp_next_.assign(static_cast<std::size_t>(cfg_.n_initiators), 0);
+  err_pending_.resize(static_cast<std::size_t>(cfg_.n_initiators));
+
+  ctx.add_clocked(cfg_.name + ".tick", [this] { tick(); });
+  ctx.add_comb(cfg_.name + ".drive", [this] { drive_pins(); });
+}
+
+bool Node::target_slot_free(int target) const {
+  return to_target_[static_cast<std::size_t>(target)].empty() ||
+         tports_[static_cast<std::size_t>(target)]->gnt.read();
+}
+
+bool Node::initiator_slot_free(int initiator) const {
+  return to_initiator_[static_cast<std::size_t>(initiator)].empty() ||
+         iports_[static_cast<std::size_t>(initiator)]->r_gnt.read();
+}
+
+Node::Outcome Node::evaluate() const {
+  const int nres = cfg_.num_resources();
+  const int T = cfg_.n_targets;
+  Outcome out;
+  out.req_winner.assign(static_cast<std::size_t>(nres), -1);
+  out.req_mask.assign(static_cast<std::size_t>(nres), 0);
+  out.rsp_pick.assign(static_cast<std::size_t>(cfg_.n_initiators), -1);
+
+  // Request side.
+  std::vector<std::uint32_t> ready(static_cast<std::size_t>(nres), 0);
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    const PortPins& p = *iports_[static_cast<std::size_t>(i)];
+    if (!p.req.read()) continue;
+    const int t = cfg_.route(static_cast<std::uint32_t>(p.add.read()));
+    if (t < 0) {
+      out.grants |= 1u << i;
+      out.error_sinks |= 1u << i;
+      continue;
+    }
+    const int r = cfg_.resource_of_target(t);
+    out.req_mask[static_cast<std::size_t>(r)] |= 1u << i;
+    if (target_slot_free(t)) ready[static_cast<std::size_t>(r)] |= 1u << i;
+  }
+  for (int r = 0; r < nres; ++r) {
+    const int holder =
+        faults_.grant_during_lock ? -1 : allocation_[static_cast<std::size_t>(r)];
+    int w;
+    if (holder >= 0) {
+      w = ((ready[static_cast<std::size_t>(r)] >> holder) & 1u) ? holder : -1;
+    } else {
+      w = arb_[static_cast<std::size_t>(r)].choose(
+          ready[static_cast<std::size_t>(r)]);
+    }
+    out.req_winner[static_cast<std::size_t>(r)] = w;
+    if (w >= 0) out.grants |= 1u << w;
+  }
+
+  // Response side.
+  std::vector<int> offer_to(static_cast<std::size_t>(T), -1);
+  for (int t = 0; t < T; ++t) {
+    const PortPins& p = *tports_[static_cast<std::size_t>(t)];
+    if (p.r_req.read()) {
+      const int i = static_cast<int>(p.r_src.read());
+      if (i >= 0 && i < cfg_.n_initiators) {
+        offer_to[static_cast<std::size_t>(t)] = i;
+      }
+    }
+  }
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    if (!initiator_slot_free(i)) continue;
+    auto offering = [&](int s) {
+      if (s < T) return offer_to[static_cast<std::size_t>(s)] == i;
+      return !err_pending_[static_cast<std::size_t>(i)].empty();
+    };
+    const int holder = rsp_allocation_[static_cast<std::size_t>(i)];
+    if (holder >= 0) {
+      if (offering(holder)) out.rsp_pick[static_cast<std::size_t>(i)] = holder;
+      continue;
+    }
+    for (int k = 0; k <= T; ++k) {
+      const int s = (rsp_next_[static_cast<std::size_t>(i)] + k) % (T + 1);
+      if (offering(s)) {
+        out.rsp_pick[static_cast<std::size_t>(i)] = s;
+        break;
+      }
+    }
+  }
+  if (cfg_.arch == stbus::Architecture::kSharedBus) {
+    int keep = -1;
+    for (int k = 0; k < cfg_.n_initiators; ++k) {
+      const int i = (rsp_shared_next_ + k) % cfg_.n_initiators;
+      if (out.rsp_pick[static_cast<std::size_t>(i)] != -1) {
+        keep = i;
+        break;
+      }
+    }
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      if (i != keep) out.rsp_pick[static_cast<std::size_t>(i)] = -1;
+    }
+  }
+  return out;
+}
+
+std::uint64_t Node::input_stamp() const {
+  std::uint64_t m = 0;
+  auto acc = [&m](const sim::SignalBase& s) { m = std::max(m, s.stamp()); };
+  for (const PortPins* p : iports_) {
+    acc(p->req);
+    acc(p->opc);
+    acc(p->add);
+    acc(p->data);
+    acc(p->be);
+    acc(p->eop);
+    acc(p->lck);
+    acc(p->src);
+    acc(p->tid);
+    acc(p->r_gnt);
+  }
+  for (const PortPins* p : tports_) {
+    acc(p->gnt);
+    acc(p->r_req);
+    acc(p->r_opc);
+    acc(p->r_data);
+    acc(p->r_eop);
+    acc(p->r_src);
+    acc(p->r_tid);
+  }
+  if (prog_ != nullptr) {
+    acc(prog_->req);
+    acc(prog_->opc);
+    acc(prog_->add);
+    acc(prog_->data);
+  }
+  return m;
+}
+
+void Node::drive_pins() {
+  // Sensitivity-list shortcut: outputs depend only on (cycle-local internal
+  // state, input pins). The kernel re-runs every combinational process each
+  // delta; a transaction-level model re-evaluates only when something it is
+  // sensitive to actually changed. Driven output values persist on skips.
+  if (memoize_) {
+    const std::uint64_t stamp = input_stamp();
+    if (ctx_.cycle() == eval_cycle_ && stamp == eval_stamp_) return;
+    eval_cycle_ = ctx_.cycle();
+    eval_stamp_ = stamp;
+  }
+
+  const Outcome out = evaluate();
+  const int T = cfg_.n_targets;
+
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    iports_[static_cast<std::size_t>(i)]->gnt.write((out.grants >> i) & 1u);
+  }
+  for (int t = 0; t < T; ++t) {
+    PortPins& p = *tports_[static_cast<std::size_t>(t)];
+    const auto& q = to_target_[static_cast<std::size_t>(t)];
+    if (!q.empty()) {
+      p.drive_request(q.front());
+    } else {
+      p.idle_request();
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    const PortPins& p = *tports_[static_cast<std::size_t>(t)];
+    bool g = false;
+    if (p.r_req.read()) {
+      const int i = static_cast<int>(p.r_src.read());
+      if (i >= 0 && i < cfg_.n_initiators) {
+        g = out.rsp_pick[static_cast<std::size_t>(i)] == t;
+      }
+    }
+    tports_[static_cast<std::size_t>(t)]->r_gnt.write(g);
+  }
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    PortPins& p = *iports_[static_cast<std::size_t>(i)];
+    const auto& q = to_initiator_[static_cast<std::size_t>(i)];
+    if (!q.empty()) {
+      p.drive_response(q.front());
+    } else {
+      p.idle_response();
+    }
+  }
+  if (prog_ != nullptr) {
+    prog_->gnt.write(prog_ack_);
+    prog_->r_req.write(prog_ack_);
+    prog_->r_eop.write(prog_ack_);
+    prog_->r_opc.write(static_cast<std::uint64_t>(
+        prog_bad_ ? RspOpcode::kError : RspOpcode::kOk));
+    prog_->r_data.write(
+        crve::Bits(prog_->bus_bytes * 8, prog_load_ ? prog_value_ : 0));
+  }
+}
+
+void Node::tick() {
+  const Outcome out = evaluate();
+  const int T = cfg_.n_targets;
+  const int nres = cfg_.num_resources();
+  ++ticks_;
+
+  // Response slots: retire delivered cells, then land the picked cells.
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    auto& q = to_initiator_[static_cast<std::size_t>(i)];
+    if (!q.empty() && iports_[static_cast<std::size_t>(i)]->r_gnt.read()) {
+      q.pop_front();
+    }
+  }
+  std::vector<std::pair<int, ResponseCell>> landings;  // (initiator, cell)
+  bool delivered_any = false;
+  int first_served = -1;
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    const int s = out.rsp_pick[static_cast<std::size_t>(i)];
+    if (s < 0) continue;
+    delivered_any = true;
+    if (first_served < 0) first_served = i;
+    ResponseCell cell;
+    if (s < T) {
+      cell = tports_[static_cast<std::size_t>(s)]->sample_response();
+    } else {
+      auto& q = err_pending_[static_cast<std::size_t>(i)];
+      PendingError& e = q.front();
+      cell.opc = RspOpcode::kError;
+      cell.data = crve::Bits(cfg_.bus_bytes * 8);
+      cell.src = static_cast<std::uint8_t>(i);
+      cell.tid = e.tid;
+      cell.eop = e.cells_left == 1 ||
+                 (faults_.eop_one_cell_early && e.cells_left == 2);
+      if (cell.eop) {
+        q.pop_front();
+      } else {
+        --e.cells_left;
+      }
+    }
+    rsp_allocation_[static_cast<std::size_t>(i)] = cell.eop ? -1 : s;
+    if (cell.eop) {
+      rsp_next_[static_cast<std::size_t>(i)] = (s + 1) % (T + 1);
+    }
+    landings.emplace_back(i, std::move(cell));
+  }
+  if (faults_.response_src_swap && landings.size() == 2) {
+    std::swap(landings[0].second, landings[1].second);
+  }
+  for (auto& [i, cell] : landings) {
+    to_initiator_[static_cast<std::size_t>(i)].push_back(std::move(cell));
+  }
+  if (cfg_.arch == stbus::Architecture::kSharedBus && delivered_any) {
+    rsp_shared_next_ = (first_served + 1) % cfg_.n_initiators;
+  }
+
+  // Request slots: retire consumed cells, then land granted cells.
+  std::vector<bool> was_draining(static_cast<std::size_t>(T), false);
+  for (int t = 0; t < T; ++t) {
+    auto& q = to_target_[static_cast<std::size_t>(t)];
+    if (!q.empty() && tports_[static_cast<std::size_t>(t)]->gnt.read()) {
+      was_draining[static_cast<std::size_t>(t)] = true;
+      q.pop_front();
+    }
+  }
+  for (int r = 0; r < nres; ++r) {
+    const int w = out.req_winner[static_cast<std::size_t>(r)];
+    bool locks = false;
+    bool continuation = false;  // cell continues/closes a held allocation
+    if (w >= 0) {
+      continuation = allocation_[static_cast<std::size_t>(r)] == w;
+      RequestCell cell = iports_[static_cast<std::size_t>(w)]->sample_request();
+      cell.src = static_cast<std::uint8_t>(w);
+      locks = cell.lck;
+      if (faults_.byte_enable_dropped && stbus::is_store(cell.opc)) {
+        cell.be = crve::Bits::all_ones(cfg_.bus_bytes);
+      }
+      const int t = cfg_.route(cell.add);
+      if (faults_.opcode_corrupt_on_busy &&
+          was_draining[static_cast<std::size_t>(t)]) {
+        cell.opc = static_cast<Opcode>(static_cast<std::uint8_t>(cell.opc) ^ 1u);
+      }
+      to_target_[static_cast<std::size_t>(t)].push_back(std::move(cell));
+      allocation_[static_cast<std::size_t>(r)] = locks ? w : -1;
+    }
+    arb_[static_cast<std::size_t>(r)].update(
+        ticks_, w, out.req_mask[static_cast<std::size_t>(r)],
+        locks || continuation, faults_);
+  }
+
+  // Decode-error sinks.
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    if (!((out.error_sinks >> i) & 1u)) continue;
+    const RequestCell cell =
+        iports_[static_cast<std::size_t>(i)]->sample_request();
+    if (cell.eop) {
+      err_pending_[static_cast<std::size_t>(i)].push_back(
+          {cell.opc, cell.tid,
+           stbus::response_cells(cell.opc, cfg_.bus_bytes, cfg_.type)});
+    }
+  }
+
+  if (prog_ != nullptr) handle_prog();
+}
+
+void Node::handle_prog() {
+  if (prog_ack_) {
+    prog_ack_ = false;
+    return;
+  }
+  if (!prog_->req.read()) return;
+  const auto opc = static_cast<Opcode>(prog_->opc.read());
+  const auto addr = static_cast<std::uint32_t>(prog_->add.read());
+  const int index = static_cast<int>(addr / 4);
+  prog_load_ = stbus::is_load(opc);
+  prog_bad_ = index < 0 || index >= cfg_.n_initiators;
+  prog_value_ = 0;
+  if (!prog_bad_) {
+    if (prog_load_) {
+      prog_value_ =
+          static_cast<std::uint32_t>(arb_.front().read_priority(index));
+    } else if (!faults_.priority_register_ignored) {
+      const auto v =
+          static_cast<int>(prog_->data.read().to_u64() & 0xffffffffull);
+      for (auto& a : arb_) a.write_priority(index, v);
+    }
+  }
+  prog_ack_ = true;
+}
+
+}  // namespace crve::bca

@@ -1,0 +1,138 @@
+// BCA (bus-cycle-accurate) view of the STBus node.
+//
+// Written independently of rtl::Node against the same cycle contract
+// (DESIGN.md §4, rtl/node.h): a behavioural, transaction-queue model of the
+// kind a SystemC BCA author would produce. Internally it tracks per-target
+// outbound slots and per-initiator response slots as small queues, computes
+// the whole cycle outcome in one evaluation pass, and keeps arbitration
+// state in policy objects of its own design. Only the port pins are
+// contractual; everything inside differs from the RTL view — which is what
+// makes the paper's alignment comparison meaningful.
+//
+// All switchable deviations from the contract live in bca::Faults.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "bca/faults.h"
+#include "sim/context.h"
+#include "stbus/config.h"
+#include "stbus/pins.h"
+
+namespace crve::bca {
+
+// Arbitration bookkeeping, one instance per node resource. Implemented with
+// recency lists / explicit candidate sorting rather than the RTL view's
+// counter scans.
+class ArbState {
+ public:
+  ArbState(const stbus::NodeConfig& cfg);
+
+  int choose(std::uint32_t eligible) const;
+  // `holds_allocation` marks grants that open, continue or close a held
+  // allocation (lck cells and owner-path continuations); the LRU-stale
+  // fault skips the recency refresh exactly for those grants.
+  void update(std::uint64_t next_cycle, int granted, std::uint32_t requesting,
+              bool holds_allocation, const Faults& faults);
+
+  void write_priority(int initiator, int value) {
+    prio_[static_cast<std::size_t>(initiator)] = value;
+  }
+  int read_priority(int initiator) const {
+    return prio_[static_cast<std::size_t>(initiator)];
+  }
+
+ private:
+  stbus::ArbPolicy policy_;
+  int n_;
+  std::vector<int> prio_;
+  std::list<int> lru_order_;  // front = least recently granted
+  int next_ptr_ = 0;          // round-robin / bandwidth scan start
+  std::vector<int> waited_;
+  std::vector<int> deadline_;
+  std::vector<int> tokens_;
+  std::vector<int> quota_;
+  int window_;
+};
+
+class Node {
+ public:
+  // `memoize` enables the sensitivity-list shortcut (skip re-evaluation
+  // while inputs are unchanged) — the source of the BCA speed advantage;
+  // disabling it exists for the ablation benchmark only.
+  Node(sim::Context& ctx, stbus::NodeConfig cfg,
+       std::vector<stbus::PortPins*> initiator_ports,
+       std::vector<stbus::PortPins*> target_ports,
+       stbus::PortPins* prog_port = nullptr, Faults faults = {},
+       bool memoize = true);
+
+  const stbus::NodeConfig& config() const { return cfg_; }
+  const Faults& faults() const { return faults_; }
+
+  int priority(int initiator) const {
+    return arb_.front().read_priority(initiator);
+  }
+
+ private:
+  // Snapshot of one cycle's decisions, shared between the combinational
+  // drive and the edge commit.
+  struct Outcome {
+    std::vector<int> req_winner;       // per resource
+    std::vector<std::uint32_t> req_mask;  // per resource, requesting
+    std::uint32_t grants = 0;
+    std::uint32_t error_sinks = 0;
+    std::vector<int> rsp_pick;  // per initiator: source (T = errgen, -1 none)
+  };
+
+  struct PendingError {
+    stbus::Opcode opc{};
+    std::uint8_t tid = 0;
+    int cells_left = 0;
+  };
+
+  Outcome evaluate() const;
+  void drive_pins();
+  void tick();
+  void handle_prog();
+  // Highest change stamp across the pins this model is sensitive to.
+  std::uint64_t input_stamp() const;
+
+  bool target_slot_free(int target) const;
+  bool initiator_slot_free(int initiator) const;
+
+  sim::Context& ctx_;
+  stbus::NodeConfig cfg_;
+  std::vector<stbus::PortPins*> iports_;
+  std::vector<stbus::PortPins*> tports_;
+  stbus::PortPins* prog_ = nullptr;
+  Faults faults_;
+
+  std::vector<ArbState> arb_;                    // per resource
+  std::vector<int> allocation_;                  // per resource owner
+  std::vector<std::deque<stbus::RequestCell>> to_target_;   // capacity 1
+  std::vector<std::deque<stbus::ResponseCell>> to_initiator_;  // capacity 1
+  std::vector<int> rsp_allocation_;              // per initiator
+  std::vector<int> rsp_next_;                    // per-initiator source scan
+  int rsp_shared_next_ = 0;
+  std::vector<std::deque<PendingError>> err_pending_;  // per initiator
+
+  std::uint64_t ticks_ = 0;
+
+  // Sensitivity-list memoization: skip re-evaluation while the inputs are
+  // unchanged within a cycle (what a SystemC BCA model's wait()/sensitivity
+  // gives for free — and the source of its speed advantage over RTL).
+  bool memoize_ = true;
+  std::uint64_t eval_cycle_ = ~std::uint64_t{0};
+  std::uint64_t eval_stamp_ = ~std::uint64_t{0};
+
+  bool prog_ack_ = false;
+  bool prog_load_ = false;
+  bool prog_bad_ = false;
+  std::uint32_t prog_value_ = 0;
+};
+
+}  // namespace crve::bca

@@ -1,0 +1,10 @@
+#include "common/log.h"
+
+namespace crve {
+
+LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace crve

@@ -1,0 +1,42 @@
+// Minimal severity-filtered logger shared by the kernel, the verification
+// environment and the regression tool.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace crve {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide log threshold; messages below it are dropped.
+LogLevel& log_threshold();
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    os_ << "[" << tag << "] ";
+  }
+  ~LogLine() {
+    if (level_ >= log_threshold()) std::cerr << os_.str() << "\n";
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return {LogLevel::kDebug, "debug"}; }
+inline detail::LogLine log_info() { return {LogLevel::kInfo, "info "}; }
+inline detail::LogLine log_warn() { return {LogLevel::kWarn, "warn "}; }
+inline detail::LogLine log_error() { return {LogLevel::kError, "error"}; }
+
+}  // namespace crve

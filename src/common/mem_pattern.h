@@ -1,0 +1,20 @@
+// Deterministic default-fill pattern for modelled memories.
+//
+// Untouched bytes read as a hash of (address, pattern seed) so that load
+// data is reproducible without pre-initialising memory. The target BFM and
+// the TLM reference model must agree bit-for-bit, so the function lives
+// here rather than in either of them.
+#pragma once
+
+#include <cstdint>
+
+namespace crve {
+
+inline std::uint8_t default_mem_byte(std::uint32_t addr,
+                                     std::uint64_t pattern) {
+  std::uint64_t h = addr * 0x9e3779b97f4a7c15ull + pattern;
+  h ^= h >> 29;
+  return static_cast<std::uint8_t>(h);
+}
+
+}  // namespace crve

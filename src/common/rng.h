@@ -1,0 +1,84 @@
+// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+//
+// The regression flow runs the same test with the same seed on the RTL and
+// BCA views and expects bit-identical stimulus, so the generator must be
+// fully deterministic and independent of the standard library's
+// implementation-defined distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace crve {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full 64-bit range
+    return lo + next_u64() % span;
+  }
+
+  int index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+    return static_cast<int>(range(0, n - 1));
+  }
+
+  // True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    if (den == 0) throw std::invalid_argument("Rng::chance: den == 0");
+    return range(1, den) <= num;
+  }
+
+  // Picks an index with probability proportional to weights[i].
+  int weighted(std::span<const std::uint32_t> weights) {
+    std::uint64_t total = 0;
+    for (auto w : weights) total += w;
+    if (total == 0) throw std::invalid_argument("Rng::weighted: zero total");
+    std::uint64_t r = range(0, total - 1);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (r < weights[i]) return static_cast<int>(i);
+      r -= weights[i];
+    }
+    return static_cast<int>(weights.size() - 1);
+  }
+
+  // Derives an independent stream (e.g. one per BFM) from this generator.
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace crve

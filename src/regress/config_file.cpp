@@ -1,0 +1,193 @@
+#include "regress/config_file.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crve::regress {
+
+using stbus::ArbPolicy;
+using stbus::Architecture;
+using stbus::NodeConfig;
+using stbus::ProtocolType;
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<int> parse_int_list(const std::string& v, const std::string& key) {
+  std::vector<int> out;
+  std::istringstream is(v);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    try {
+      out.push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("config: bad integer in " + key + ": " +
+                                  item);
+    }
+  }
+  return out;
+}
+
+Architecture parse_arch(const std::string& v) {
+  if (v == "shared") return Architecture::kSharedBus;
+  if (v == "full") return Architecture::kFullCrossbar;
+  if (v == "partial") return Architecture::kPartialCrossbar;
+  throw std::invalid_argument("config: unknown arch '" + v + "'");
+}
+
+ArbPolicy parse_arb(const std::string& v) {
+  if (v == "fixed") return ArbPolicy::kFixedPriority;
+  if (v == "rr") return ArbPolicy::kRoundRobin;
+  if (v == "lru") return ArbPolicy::kLru;
+  if (v == "latency") return ArbPolicy::kLatencyBased;
+  if (v == "bandwidth") return ArbPolicy::kBandwidthLimited;
+  if (v == "prog") return ArbPolicy::kProgrammable;
+  throw std::invalid_argument("config: unknown arb '" + v + "'");
+}
+
+}  // namespace
+
+NodeConfig parse_config(std::istream& is, const std::string& origin) {
+  NodeConfig cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(origin + ":" + std::to_string(lineno) +
+                                  ": expected key=value");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    try {
+      if (key == "name") {
+        cfg.name = val;
+      } else if (key == "n_initiators") {
+        cfg.n_initiators = std::stoi(val);
+      } else if (key == "n_targets") {
+        cfg.n_targets = std::stoi(val);
+      } else if (key == "bus_bytes") {
+        cfg.bus_bytes = std::stoi(val);
+      } else if (key == "type") {
+        const int t = std::stoi(val);
+        if (t != 2 && t != 3) {
+          throw std::invalid_argument("type must be 2 or 3");
+        }
+        cfg.type = t == 2 ? ProtocolType::kType2 : ProtocolType::kType3;
+      } else if (key == "arch") {
+        cfg.arch = parse_arch(val);
+      } else if (key == "arb") {
+        cfg.arb = parse_arb(val);
+      } else if (key == "programming_port") {
+        cfg.programming_port = std::stoi(val) != 0;
+      } else if (key == "priorities") {
+        cfg.priorities = parse_int_list(val, key);
+      } else if (key == "latency_deadline") {
+        cfg.latency_deadline = parse_int_list(val, key);
+      } else if (key == "bandwidth_quota") {
+        cfg.bandwidth_quota = parse_int_list(val, key);
+      } else if (key == "bandwidth_window") {
+        cfg.bandwidth_window = std::stoi(val);
+      } else if (key == "xbar_group") {
+        cfg.xbar_group = parse_int_list(val, key);
+      } else {
+        throw std::invalid_argument("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(origin + ":" + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+  }
+  cfg.validate_and_normalize();
+  return cfg;
+}
+
+NodeConfig parse_config_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("config: cannot open " + path);
+  return parse_config(is, path);
+}
+
+std::string format_config(const stbus::NodeConfig& cfg) {
+  std::ostringstream os;
+  os << "name = " << cfg.name << "\n";
+  os << "n_initiators = " << cfg.n_initiators << "\n";
+  os << "n_targets = " << cfg.n_targets << "\n";
+  os << "bus_bytes = " << cfg.bus_bytes << "\n";
+  os << "type = " << (cfg.type == ProtocolType::kType2 ? 2 : 3) << "\n";
+  os << "arch = "
+     << (cfg.arch == Architecture::kSharedBus
+             ? "shared"
+             : cfg.arch == Architecture::kFullCrossbar ? "full" : "partial")
+     << "\n";
+  const char* arb = "fixed";
+  switch (cfg.arb) {
+    case ArbPolicy::kFixedPriority:
+      arb = "fixed";
+      break;
+    case ArbPolicy::kRoundRobin:
+      arb = "rr";
+      break;
+    case ArbPolicy::kLru:
+      arb = "lru";
+      break;
+    case ArbPolicy::kLatencyBased:
+      arb = "latency";
+      break;
+    case ArbPolicy::kBandwidthLimited:
+      arb = "bandwidth";
+      break;
+    case ArbPolicy::kProgrammable:
+      arb = "prog";
+      break;
+  }
+  os << "arb = " << arb << "\n";
+  os << "programming_port = " << (cfg.programming_port ? 1 : 0) << "\n";
+  auto list = [&os](const char* key, const std::vector<int>& v) {
+    if (v.empty()) return;
+    os << key << " = ";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      os << (i ? "," : "") << v[i];
+    }
+    os << "\n";
+  };
+  list("priorities", cfg.priorities);
+  list("latency_deadline", cfg.latency_deadline);
+  list("bandwidth_quota", cfg.bandwidth_quota);
+  os << "bandwidth_window = " << cfg.bandwidth_window << "\n";
+  list("xbar_group", cfg.xbar_group);
+  return os.str();
+}
+
+std::vector<stbus::NodeConfig> configs_from_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".cfg") {
+      files.push_back(e.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<stbus::NodeConfig> out;
+  out.reserve(files.size());
+  for (const auto& f : files) out.push_back(parse_config_file(f));
+  return out;
+}
+
+}  // namespace crve::regress

@@ -1,0 +1,45 @@
+// Node configuration files for the regression tool.
+//
+// The paper's regression tool "can load text files defining HDL parameters
+// of each configuration; it's sufficient to indicate the directory to which
+// the tool has to point". This module parses/serializes that key=value
+// format:
+//
+//   name            = node_a
+//   n_initiators    = 3
+//   n_targets       = 2
+//   bus_bytes       = 4        # data width in bytes (8..256 bits)
+//   type            = 2        # 2 or 3
+//   arch            = full     # shared | full | partial
+//   arb             = lru      # fixed | rr | lru | latency | bandwidth | prog
+//   programming_port= 0
+//   # optional per-initiator lists, comma separated
+//   priorities      = 0,1,2
+//   latency_deadline= 4,10,16
+//   bandwidth_quota = 8,0,0
+//   bandwidth_window= 64
+//   xbar_group      = 0,0,1    # per target (partial crossbar)
+//
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "stbus/config.h"
+
+namespace crve::regress {
+
+// Parses one configuration; throws std::invalid_argument with a line-tagged
+// message on malformed input.
+stbus::NodeConfig parse_config(std::istream& is, const std::string& origin);
+stbus::NodeConfig parse_config_file(const std::string& path);
+
+// Serializes a configuration in the same format (round-trippable).
+std::string format_config(const stbus::NodeConfig& cfg);
+
+// Loads every "*.cfg" file in a directory, sorted by filename.
+std::vector<stbus::NodeConfig> configs_from_dir(const std::string& dir);
+
+}  // namespace crve::regress

@@ -1,0 +1,231 @@
+// crve_regress — the regression tool as a command-line batch runner.
+//
+// The paper's tool has a GUI for submitting HDL parameters and "runs
+// regression tests in batch mode, through generic scripts that are design
+// independent... it's sufficient to indicate the directory to which the
+// tool has to point". This binary is that batch mode:
+//
+//   crve_regress --configs DIR [options]
+//   crve_regress --sample-configs DIR        # write example .cfg files
+//
+// Options:
+//   --configs DIR      run every *.cfg in DIR (sorted)
+//   --out DIR          write VCDs, per-run reports, alignment reports
+//   --seeds a,b,c      seeds to run every test with        (default: 1)
+//   --tests t02,t05    subset of the CATG suite by prefix  (default: all 12)
+//   --tx N             transactions per initiator per test (default: 60)
+//   --threshold P      alignment sign-off threshold        (default: 0.99)
+//   --fault NAME       inject a named BCA fault (see bca/faults.h)
+//   --no-alignment     skip VCD dump + STBA comparison
+//
+// Exit status: 0 when every configuration signs off.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "regress/config_file.h"
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crve_regress --configs DIR [--out DIR] [--seeds a,b]\n"
+               "                    [--tests t02,t05] [--tx N] [--threshold P]\n"
+               "                    [--fault NAME] [--no-alignment]\n"
+               "       crve_regress --sample-configs DIR\n");
+  return 2;
+}
+
+bool set_fault(bca::Faults& f, const std::string& name) {
+  if (name == "lru_stale_on_chunk") {
+    f.lru_stale_on_chunk = true;
+  } else if (name == "grant_during_lock") {
+    f.grant_during_lock = true;
+  } else if (name == "byte_enable_dropped") {
+    f.byte_enable_dropped = true;
+  } else if (name == "response_src_swap") {
+    f.response_src_swap = true;
+  } else if (name == "size_conv_endianness") {
+    f.size_conv_endianness = true;
+  } else if (name == "opcode_corrupt_on_busy") {
+    f.opcode_corrupt_on_busy = true;
+  } else if (name == "eop_one_cell_early") {
+    f.eop_one_cell_early = true;
+  } else if (name == "priority_register_ignored") {
+    f.priority_register_ignored = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void write_sample_configs(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  auto write = [&dir](const char* name, stbus::NodeConfig cfg) {
+    std::ofstream os(dir + "/" + name);
+    os << regress::format_config(cfg);
+  };
+  stbus::NodeConfig a;
+  a.name = "node_t2_xbar_lru";
+  a.n_initiators = 3;
+  a.n_targets = 2;
+  a.arb = stbus::ArbPolicy::kLru;
+  write("a_node_t2_xbar_lru.cfg", a);
+
+  stbus::NodeConfig b;
+  b.name = "node_t3_shared_latency";
+  b.n_initiators = 4;
+  b.n_targets = 2;
+  b.type = stbus::ProtocolType::kType3;
+  b.arch = stbus::Architecture::kSharedBus;
+  b.arb = stbus::ArbPolicy::kLatencyBased;
+  b.latency_deadline = {4, 8, 16, 32};
+  write("b_node_t3_shared_latency.cfg", b);
+
+  stbus::NodeConfig c;
+  c.name = "node_t2_wide_prog";
+  c.n_initiators = 2;
+  c.n_targets = 2;
+  c.bus_bytes = 16;
+  c.arb = stbus::ArbPolicy::kProgrammable;
+  c.programming_port = true;
+  write("c_node_t2_wide_prog.cfg", c);
+  std::printf("wrote 3 sample configurations to %s\n", dir.c_str());
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_dir, out_dir, sample_dir;
+  std::vector<std::uint64_t> seeds = {1};
+  std::vector<std::string> test_filter;
+  int tx = 60;
+  double threshold = 0.99;
+  bca::Faults faults;
+  bool alignment = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--configs") {
+      const char* v = next();
+      if (!v) return usage();
+      config_dir = v;
+    } else if (arg == "--sample-configs") {
+      const char* v = next();
+      if (!v) return usage();
+      sample_dir = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_dir = v;
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return usage();
+      seeds.clear();
+      for (const auto& s : split_csv(v)) seeds.push_back(std::stoull(s));
+    } else if (arg == "--tests") {
+      const char* v = next();
+      if (!v) return usage();
+      test_filter = split_csv(v);
+    } else if (arg == "--tx") {
+      const char* v = next();
+      if (!v) return usage();
+      tx = std::stoi(v);
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (!v) return usage();
+      threshold = std::stod(v);
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (!v || !set_fault(faults, v)) {
+        std::fprintf(stderr, "unknown fault '%s'\n", v ? v : "");
+        return 2;
+      }
+    } else if (arg == "--no-alignment") {
+      alignment = false;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!sample_dir.empty()) {
+    write_sample_configs(sample_dir);
+    return 0;
+  }
+  if (config_dir.empty()) return usage();
+
+  std::vector<stbus::NodeConfig> configs;
+  try {
+    configs = regress::configs_from_dir(config_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (configs.empty()) {
+    std::fprintf(stderr, "no .cfg files in %s\n", config_dir.c_str());
+    return 2;
+  }
+
+  std::vector<verif::TestSpec> tests;
+  for (const auto& spec : verif::catg_test_suite()) {
+    if (test_filter.empty()) {
+      tests.push_back(spec);
+      continue;
+    }
+    for (const auto& f : test_filter) {
+      if (spec.name.rfind(f, 0) == 0) {
+        tests.push_back(spec);
+        break;
+      }
+    }
+  }
+  if (tests.empty()) {
+    std::fprintf(stderr, "no tests match the --tests filter\n");
+    return 2;
+  }
+
+  bool all_ok = true;
+  for (const auto& cfg : configs) {
+    regress::RunPlan plan;
+    plan.cfg = cfg;
+    plan.tests = tests;
+    plan.seeds = seeds;
+    plan.n_transactions = tx;
+    plan.run_alignment = alignment;
+    plan.alignment_threshold = threshold;
+    plan.faults = faults;
+    if (!out_dir.empty()) plan.out_dir = out_dir + "/" + cfg.name;
+    std::printf("=== %s ===\n", cfg.summary().c_str());
+    try {
+      const auto res = regress::Regression::run(plan);
+      std::printf("%s\n", res.summary().c_str());
+      all_ok = all_ok && res.signed_off;
+    } catch (const std::exception& e) {
+      std::printf("  exception: %s\n", e.what());
+      all_ok = false;
+    }
+  }
+  std::printf("overall: %s\n", all_ok ? "ALL SIGNED OFF" : "NOT signed off");
+  return all_ok ? 0 : 1;
+}

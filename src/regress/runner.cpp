@@ -1,0 +1,197 @@
+#include "regress/runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace crve::regress {
+
+using verif::ModelKind;
+using verif::RunResult;
+using verif::Testbench;
+using verif::TestbenchOptions;
+using verif::TestSpec;
+
+namespace {
+
+// Environment-side port prefixes to align for a given (config, test).
+std::vector<std::string> alignment_ports(stbus::NodeConfig cfg,
+                                         const TestSpec& spec) {
+  if (spec.adjust) spec.adjust(cfg);
+  cfg.validate_and_normalize();
+  std::vector<std::string> ports;
+  for (int i = 0; i < cfg.n_initiators; ++i) {
+    ports.push_back(Testbench::initiator_port_name(i));
+  }
+  for (int t = 0; t < cfg.n_targets; ++t) {
+    ports.push_back(Testbench::target_port_name(t));
+  }
+  return ports;
+}
+
+void write_text(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  os << content;
+}
+
+std::string run_report(const TestOutcome& o) {
+  std::ostringstream os;
+  os << "test " << o.test << " seed " << o.seed << " model "
+     << verif::to_string(o.model) << "\n";
+  os << "  completed: " << (o.result.completed ? "yes" : "NO") << " in "
+     << o.result.cycles << " cycles\n";
+  os << "  checker violations: " << o.result.checker_violations << "\n";
+  for (const auto& v : o.result.violations) {
+    os << "    @" << v.cycle << " " << v.port << " [" << v.rule << "] "
+       << v.message << "\n";
+  }
+  os << "  scoreboard errors: " << o.result.scoreboard_errors << "\n";
+  for (const auto& e : o.result.sb_errors) {
+    os << "    @" << e.cycle << " " << e.where << " " << e.message << "\n";
+  }
+  os << "  functional coverage: " << o.result.coverage_percent << "%\n";
+  if (o.result.toggle_percent >= 0.0) {
+    os << "  toggle coverage: " << o.result.toggle_percent << "%\n";
+  }
+  os << "  port utilisation (busy cycles / packets in / packets out):\n";
+  for (const auto& u : o.result.utilisation) {
+    os << "    " << u.port << ": " << u.busy_cycles << " / "
+       << u.request_packets << " / " << u.response_packets << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+RegressionResult Regression::run(const RunPlan& plan) {
+  RegressionResult res;
+  std::vector<TestSpec> tests =
+      plan.tests.empty() ? verif::catg_test_suite() : plan.tests;
+
+  const bool to_disk = !plan.out_dir.empty();
+  if (to_disk) std::filesystem::create_directories(plan.out_dir);
+
+  res.rtl_passed = true;
+  res.bca_passed = true;
+  res.coverage_match = true;
+  double cov_sum = 0.0;
+  int cov_n = 0;
+
+  for (const auto& spec : tests) {
+    for (std::uint64_t seed : plan.seeds) {
+      std::uint64_t digest[2] = {0, 0};
+      bool run_ok[2] = {false, false};
+      // In-memory waveforms when no artifact directory is given.
+      std::ostringstream wave[2];
+      std::string wave_path[2];
+
+      for (int m = 0; m < 2; ++m) {
+        const ModelKind model = m == 0 ? ModelKind::kRtl : ModelKind::kBca;
+        TestbenchOptions opts;
+        opts.model = model;
+        opts.seed = seed;
+        opts.max_cycles = plan.max_cycles;
+        if (model != ModelKind::kRtl) opts.faults = plan.faults;
+        if (plan.run_alignment || to_disk) {
+          if (to_disk) {
+            wave_path[m] = plan.out_dir + "/" + spec.name + "_s" +
+                           std::to_string(seed) + "_" +
+                           (m == 0 ? "rtl" : "bca") + ".vcd";
+            opts.vcd_path = wave_path[m];
+          } else {
+            opts.vcd_stream = &wave[m];
+          }
+        }
+        TestSpec s = spec;
+        if (plan.n_transactions > 0) s.n_transactions = plan.n_transactions;
+        Testbench tb(plan.cfg, s, opts);
+        const RunResult r = tb.run();
+        log_info() << plan.cfg.name << ": " << spec.name << " seed " << seed
+                   << " " << to_string(model) << " -> "
+                   << (r.passed() ? "pass" : "FAIL") << " (" << r.cycles
+                   << " cycles)";
+
+        TestOutcome out;
+        out.test = spec.name;
+        out.seed = seed;
+        out.model = model;
+        out.result = r;
+        if (to_disk) {
+          write_text(plan.out_dir + "/report_" + spec.name + "_s" +
+                         std::to_string(seed) + "_" +
+                         (m == 0 ? "rtl" : "bca") + ".txt",
+                     run_report(out));
+        }
+        digest[m] = r.coverage_digest;
+        run_ok[m] = r.passed();
+        if (m == 0) {
+          res.rtl_passed = res.rtl_passed && r.passed();
+          cov_sum += r.coverage_percent;
+          ++cov_n;
+        } else {
+          res.bca_passed = res.bca_passed && r.passed();
+        }
+        res.outcomes.push_back(std::move(out));
+      }
+
+      if (digest[0] != digest[1]) res.coverage_match = false;
+
+      // Bus-accurate comparison (Fig. 4: after both views verified).
+      if (plan.run_alignment) {
+        const auto ports = alignment_ports(plan.cfg, spec);
+        stba::AlignmentReport rep;
+        if (to_disk) {
+          rep = stba::Analyzer::compare_files(wave_path[0], wave_path[1],
+                                              ports);
+        } else {
+          std::istringstream a(wave[0].str());
+          std::istringstream b(wave[1].str());
+          const vcd::Trace ta = vcd::Trace::parse(a);
+          const vcd::Trace tb2 = vcd::Trace::parse(b);
+          rep = stba::Analyzer::compare(ta, tb2, ports);
+        }
+        res.min_alignment = std::min(res.min_alignment, rep.min_rate());
+        if (to_disk) {
+          write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
+                         std::to_string(seed) + ".txt",
+                     rep.summary());
+        }
+        res.alignments.push_back({spec.name, seed, std::move(rep)});
+      }
+      (void)run_ok;
+    }
+  }
+
+  res.mean_coverage_rtl = cov_n > 0 ? cov_sum / cov_n : 0.0;
+  res.signed_off = res.rtl_passed && res.bca_passed && res.coverage_match &&
+                   res.min_alignment >= plan.alignment_threshold;
+  if (to_disk) write_text(plan.out_dir + "/summary.txt", res.summary());
+  return res;
+}
+
+std::string RegressionResult::summary() const {
+  std::ostringstream os;
+  os << "regression: " << outcomes.size() << " runs\n";
+  os << "  RTL view:   " << (rtl_passed ? "PASS" : "FAIL") << "\n";
+  os << "  BCA view:   " << (bca_passed ? "PASS" : "FAIL") << "\n";
+  os << "  coverage:   " << (coverage_match ? "identical on both views"
+                                            : "MISMATCH between views")
+     << " (mean " << mean_coverage_rtl << "% on RTL)\n";
+  os << "  alignment:  min " << 100.0 * min_alignment << "% across "
+     << alignments.size() << " comparisons\n";
+  os << "  sign-off:   " << (signed_off ? "YES" : "NO") << "\n";
+  for (const auto& o : outcomes) {
+    if (!o.result.passed()) {
+      os << "  FAILED: " << o.test << " seed " << o.seed << " "
+         << verif::to_string(o.model) << " (viol "
+         << o.result.checker_violations << ", sb "
+         << o.result.scoreboard_errors << ", "
+         << (o.result.completed ? "completed" : "TIMEOUT") << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace crve::regress

@@ -1,0 +1,68 @@
+// Regression runner (paper Fig. 4 / Fig. 5).
+//
+// Implements the common verification flow end-to-end for one node
+// configuration: build the testbench for each view, run the same test suite
+// with the same seeds on both, collect verification and coverage reports,
+// dump VCD waveforms, and — once both views pass — call STBA for the
+// bus-accurate comparison. The sign-off criteria are the paper's: all
+// checks green on both views, identical functional coverage, and >= 99%
+// alignment at every port.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bca/faults.h"
+#include "stba/analyzer.h"
+#include "stbus/config.h"
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace crve::regress {
+
+struct RunPlan {
+  stbus::NodeConfig cfg;
+  std::vector<verif::TestSpec> tests;  // empty = full CATG suite
+  std::vector<std::uint64_t> seeds = {1};
+  int n_transactions = 0;  // 0 = keep each test's default
+  // Artifact directory for VCD dumps and text reports; empty = in-memory.
+  std::string out_dir;
+  bool run_alignment = true;
+  double alignment_threshold = 0.99;
+  bca::Faults faults;  // injected into the BCA runs
+  std::uint64_t max_cycles = 500000;
+};
+
+struct TestOutcome {
+  std::string test;
+  std::uint64_t seed = 0;
+  verif::ModelKind model{};
+  verif::RunResult result;
+};
+
+struct AlignmentOutcome {
+  std::string test;
+  std::uint64_t seed = 0;
+  stba::AlignmentReport report;
+};
+
+struct RegressionResult {
+  std::vector<TestOutcome> outcomes;
+  std::vector<AlignmentOutcome> alignments;
+  bool rtl_passed = false;
+  bool bca_passed = false;
+  bool coverage_match = false;  // per-(test,seed) digests equal across views
+  double min_alignment = 1.0;
+  double mean_coverage_rtl = 0.0;
+  bool signed_off = false;
+
+  std::string summary() const;
+};
+
+class Regression {
+ public:
+  static RegressionResult run(const RunPlan& plan);
+};
+
+}  // namespace crve::regress

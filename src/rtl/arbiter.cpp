@@ -1,0 +1,141 @@
+#include "rtl/arbiter.h"
+
+#include <stdexcept>
+
+namespace crve::rtl {
+
+using stbus::ArbPolicy;
+
+Arbiter::Arbiter(const stbus::NodeConfig& cfg, int resource)
+    : policy_(cfg.arb),
+      n_(cfg.n_initiators),
+      resource_(resource),
+      prio_(cfg.priorities),
+      last_grant_(static_cast<std::size_t>(cfg.n_initiators)),
+      wait_(static_cast<std::size_t>(cfg.n_initiators), 0),
+      deadline_(cfg.latency_deadline),
+      tokens_(cfg.bandwidth_quota),
+      quota_(cfg.bandwidth_quota),
+      window_(cfg.bandwidth_window) {
+  // Seed LRU recency so that, before any grant, lower indices win.
+  for (int i = 0; i < n_; ++i) {
+    last_grant_[static_cast<std::size_t>(i)] = i - n_;
+  }
+}
+
+int Arbiter::pick(std::uint32_t eligible) const {
+  if (eligible == 0) return -1;
+  switch (policy_) {
+    case ArbPolicy::kFixedPriority:
+    case ArbPolicy::kProgrammable:
+      return pick_priority(eligible);
+    case ArbPolicy::kRoundRobin:
+      return pick_round_robin(eligible);
+    case ArbPolicy::kLru:
+      return pick_lru(eligible);
+    case ArbPolicy::kLatencyBased:
+      return pick_latency(eligible);
+    case ArbPolicy::kBandwidthLimited:
+      return pick_bandwidth(eligible);
+  }
+  return -1;
+}
+
+int Arbiter::pick_priority(std::uint32_t eligible) const {
+  int best = -1;
+  for (int i = 0; i < n_; ++i) {
+    if (!((eligible >> i) & 1u)) continue;
+    if (best < 0 || prio_[static_cast<std::size_t>(i)] >
+                        prio_[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int Arbiter::pick_round_robin(std::uint32_t eligible) const {
+  for (int k = 0; k < n_; ++k) {
+    const int i = (rr_ptr_ + k) % n_;
+    if ((eligible >> i) & 1u) return i;
+  }
+  return -1;
+}
+
+int Arbiter::pick_lru(std::uint32_t eligible) const {
+  int best = -1;
+  for (int i = 0; i < n_; ++i) {
+    if (!((eligible >> i) & 1u)) continue;
+    if (best < 0 || last_grant_[static_cast<std::size_t>(i)] <
+                        last_grant_[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int Arbiter::pick_latency(std::uint32_t eligible) const {
+  int best = -1;
+  long best_urgency = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (!((eligible >> i) & 1u)) continue;
+    const long urgency = static_cast<long>(wait_[static_cast<std::size_t>(i)]) -
+                         deadline_[static_cast<std::size_t>(i)];
+    if (best < 0 || urgency > best_urgency) {
+      best = i;
+      best_urgency = urgency;
+    }
+  }
+  return best;
+}
+
+int Arbiter::pick_bandwidth(std::uint32_t eligible) const {
+  // Token-holding requesters first; otherwise stay work-conserving and
+  // fall back to everyone. Scan order shared with round-robin.
+  std::uint32_t with_tokens = 0;
+  for (int i = 0; i < n_; ++i) {
+    const bool unlimited = quota_[static_cast<std::size_t>(i)] == 0;
+    if (((eligible >> i) & 1u) &&
+        (unlimited || tokens_[static_cast<std::size_t>(i)] > 0)) {
+      with_tokens |= 1u << i;
+    }
+  }
+  const std::uint32_t pool = with_tokens != 0 ? with_tokens : eligible;
+  for (int k = 0; k < n_; ++k) {
+    const int i = (rr_ptr_ + k) % n_;
+    if ((pool >> i) & 1u) return i;
+  }
+  return -1;
+}
+
+void Arbiter::on_edge(std::uint64_t next_cycle, int granted,
+                      std::uint32_t requesting) {
+  // Latency wait counters: grow while requesting ungranted, clear otherwise.
+  for (int i = 0; i < n_; ++i) {
+    auto& w = wait_[static_cast<std::size_t>(i)];
+    if (((requesting >> i) & 1u) && i != granted) {
+      ++w;
+    } else {
+      w = 0;
+    }
+  }
+  if (granted >= 0) {
+    last_grant_[static_cast<std::size_t>(granted)] =
+        static_cast<std::int64_t>(next_cycle);
+    rr_ptr_ = (granted + 1) % n_;
+    auto& t = tokens_[static_cast<std::size_t>(granted)];
+    if (quota_[static_cast<std::size_t>(granted)] > 0 && t > 0) --t;
+  }
+  // Bandwidth window refill at window boundaries.
+  if (window_ > 0 && next_cycle % static_cast<std::uint64_t>(window_) == 0) {
+    tokens_ = quota_;
+  }
+}
+
+void Arbiter::set_priority(int initiator, int prio) {
+  if (initiator < 0 || initiator >= n_) {
+    throw std::out_of_range("Arbiter::set_priority");
+  }
+  prio_[static_cast<std::size_t>(initiator)] = prio;
+}
+
+}  // namespace crve::rtl

@@ -1,0 +1,66 @@
+// Arbitration policy engine for the RTL-view node.
+//
+// Implements the six STBus node policies. The exact decision rules are part
+// of the node's timing specification (DESIGN.md §4) and the BCA view
+// re-implements them independently; any divergence shows up as a lowered
+// STBA alignment rate, which is precisely the paper's methodology.
+//
+// Decision inputs are bitmasks of *eligible* initiators (requesting, routed
+// to this arbiter's resource, downstream able to accept). All tie-breaks go
+// to the lower initiator index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stbus/config.h"
+
+namespace crve::rtl {
+
+class Arbiter {
+ public:
+  // `resource` identifies which node resource this arbiter serves (for
+  // diagnostics only; policy state is per-arbiter).
+  Arbiter(const stbus::NodeConfig& cfg, int resource);
+
+  // Picks a winner among eligible initiators; -1 when mask is empty.
+  // Pure: does not mutate state (kernel comb processes may call it
+  // repeatedly while settling).
+  int pick(std::uint32_t eligible) const;
+
+  // State updates, applied once per clock edge by the node:
+  // `granted` is the winner actually granted this cycle (-1 if none),
+  // `requesting` the mask of initiators that held req during the cycle.
+  void on_edge(std::uint64_t next_cycle, int granted,
+               std::uint32_t requesting);
+
+  // Programmable-priority register file (also readable for kFixedPriority).
+  void set_priority(int initiator, int prio);
+  int priority(int initiator) const {
+    return prio_[static_cast<std::size_t>(initiator)];
+  }
+
+  int resource() const { return resource_; }
+
+ private:
+  int pick_priority(std::uint32_t eligible) const;
+  int pick_round_robin(std::uint32_t eligible) const;
+  int pick_lru(std::uint32_t eligible) const;
+  int pick_latency(std::uint32_t eligible) const;
+  int pick_bandwidth(std::uint32_t eligible) const;
+
+  stbus::ArbPolicy policy_;
+  int n_;
+  int resource_;
+
+  std::vector<int> prio_;          // fixed / programmable priorities
+  int rr_ptr_ = 0;                 // round-robin & bandwidth scan pointer
+  std::vector<std::int64_t> last_grant_;  // LRU recency
+  std::vector<int> wait_;          // latency-based wait counters
+  std::vector<int> deadline_;
+  std::vector<int> tokens_;        // bandwidth tokens
+  std::vector<int> quota_;
+  int window_;
+};
+
+}  // namespace crve::rtl

@@ -1,0 +1,119 @@
+#include "rtl/bridge.h"
+
+#include <stdexcept>
+
+#include "stbus/packet.h"
+
+namespace crve::rtl {
+
+using stbus::ProtocolType;
+using stbus::Request;
+using stbus::RequestCell;
+using stbus::ResponseCell;
+using stbus::RspOpcode;
+
+Bridge::Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
+               ProtocolType up_type, stbus::PortPins& downstream,
+               ProtocolType dn_type)
+    : name_(std::move(name)),
+      up_(upstream),
+      dn_(downstream),
+      up_type_(up_type),
+      dn_type_(dn_type) {
+  ctx.add_clocked(name_ + ".edge", [this] { edge(); });
+  ctx.add_comb(name_ + ".comb", [this] { comb(); });
+}
+
+void Bridge::comb() {
+  // Upstream request side.
+  up_.gnt.write(state_ == State::kAccept);
+  // Downstream request side.
+  if (state_ == State::kReplayReq) {
+    dn_.drive_request(dn_req_cells_[replay_idx_]);
+  } else {
+    dn_.idle_request();
+  }
+  // Downstream response side.
+  dn_.r_gnt.write(state_ == State::kWaitRsp);
+  // Upstream response side.
+  if (state_ == State::kReplayRsp) {
+    up_.drive_response(up_rsp_cells_[replay_idx_]);
+  } else {
+    up_.idle_response();
+  }
+}
+
+void Bridge::edge() {
+  switch (state_) {
+    case State::kAccept: {
+      if (!(up_.req.read() && up_.gnt.read())) break;
+      up_req_cells_.push_back(up_.sample_request());
+      const RequestCell& cell = up_req_cells_.back();
+      if (!cell.eop) break;
+
+      // Full request packet absorbed; rebuild for the downstream port.
+      const RequestCell& head = up_req_cells_.front();
+      Request req;
+      req.opc = head.opc;
+      req.add = head.add;
+      req.src = head.src;
+      req.tid = head.tid;
+      req.lck = cell.lck;  // chunk continuation flag lives on the last cell
+      if (stbus::is_store(req.opc) || stbus::is_atomic(req.opc)) {
+        req.wdata = stbus::extract_request_data(req.opc, req.add,
+                                                up_req_cells_, up_.bus_bytes);
+      }
+      dn_req_cells_ = stbus::build_request(req, dn_.bus_bytes, dn_type_);
+      // Preserve the chunk flag on the rebuilt final cell.
+      dn_req_cells_.back().lck = req.lck;
+      rsp_cells_expected_ =
+          stbus::response_cells(req.opc, dn_.bus_bytes, dn_type_);
+      replay_idx_ = 0;
+      state_ = State::kReplayReq;
+      break;
+    }
+    case State::kReplayReq: {
+      if (!(dn_.req.read() && dn_.gnt.read())) break;
+      if (++replay_idx_ == dn_req_cells_.size()) {
+        dn_rsp_cells_.clear();
+        state_ = State::kWaitRsp;
+      }
+      break;
+    }
+    case State::kWaitRsp: {
+      if (!(dn_.r_req.read() && dn_.r_gnt.read())) break;
+      dn_rsp_cells_.push_back(dn_.sample_response());
+      if (static_cast<int>(dn_rsp_cells_.size()) < rsp_cells_expected_) break;
+
+      // Rebuild the upstream response.
+      const RequestCell& head = up_req_cells_.front();
+      RspOpcode status = RspOpcode::kOk;
+      for (const auto& c : dn_rsp_cells_) {
+        if (c.opc != RspOpcode::kOk) status = RspOpcode::kError;
+      }
+      std::vector<std::uint8_t> rdata;
+      if (stbus::is_load(head.opc) || stbus::is_atomic(head.opc)) {
+        rdata = stbus::extract_response_data(head.opc, head.add,
+                                             dn_rsp_cells_, dn_.bus_bytes);
+      }
+      up_rsp_cells_ =
+          stbus::build_response(head.opc, head.add, rdata, status,
+                                up_.bus_bytes, up_type_, head.src, head.tid);
+      replay_idx_ = 0;
+      ++stats_.transactions;
+      if (status != RspOpcode::kOk) ++stats_.errors;
+      state_ = State::kReplayRsp;
+      break;
+    }
+    case State::kReplayRsp: {
+      if (!(up_.r_req.read() && up_.r_gnt.read())) break;
+      if (++replay_idx_ == up_rsp_cells_.size()) {
+        up_req_cells_.clear();
+        state_ = State::kAccept;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace crve::rtl

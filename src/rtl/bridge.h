@@ -1,0 +1,68 @@
+// Packet bridge between two STBus ports of possibly different data widths
+// and protocol types — the common machinery behind the size converter and
+// the type converter IPs.
+//
+// The bridge is a target on its upstream port and an initiator on its
+// downstream port. It works store-and-forward at transaction granularity,
+// fully serialized (one transaction end-to-end at a time):
+//
+//   ACCEPT      absorb the upstream request packet, assembling the logical
+//               Request (gnt held high);
+//   REPLAY_REQ  re-emit the request as downstream cells built for the
+//               downstream width/protocol;
+//   WAIT_RSP    absorb the downstream response packet (r_gnt held high),
+//               collecting data/status (any ERROR cell poisons the whole
+//               transaction);
+//   REPLAY_RSP  re-emit the response upstream in the upstream shape.
+//
+// Serialization trades throughput for a fully deterministic cycle contract,
+// which is what the alignment comparison needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+#include "stbus/config.h"
+#include "stbus/pins.h"
+
+namespace crve::rtl {
+
+class Bridge {
+ public:
+  Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
+         stbus::ProtocolType up_type, stbus::PortPins& downstream,
+         stbus::ProtocolType dn_type);
+  virtual ~Bridge() = default;
+
+  struct Stats {
+    std::uint64_t transactions = 0;
+    std::uint64_t errors = 0;  // transactions answered with ERROR
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class State { kAccept, kReplayReq, kWaitRsp, kReplayRsp };
+
+  void comb();
+  void edge();
+
+  std::string name_;
+  stbus::PortPins& up_;
+  stbus::PortPins& dn_;
+  stbus::ProtocolType up_type_;
+  stbus::ProtocolType dn_type_;
+
+  State state_ = State::kAccept;
+  std::vector<stbus::RequestCell> up_req_cells_;   // absorbed upstream packet
+  std::vector<stbus::RequestCell> dn_req_cells_;   // rebuilt downstream packet
+  std::vector<stbus::ResponseCell> dn_rsp_cells_;  // absorbed downstream rsp
+  std::vector<stbus::ResponseCell> up_rsp_cells_;  // rebuilt upstream rsp
+  std::size_t replay_idx_ = 0;
+  int rsp_cells_expected_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace crve::rtl

@@ -1,0 +1,338 @@
+#include "rtl/node.h"
+
+#include <stdexcept>
+
+namespace crve::rtl {
+
+using stbus::Opcode;
+using stbus::PortPins;
+using stbus::RequestCell;
+using stbus::ResponseCell;
+using stbus::RspOpcode;
+
+Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
+           std::vector<PortPins*> initiator_ports,
+           std::vector<PortPins*> target_ports, PortPins* prog_port)
+    : cfg_(std::move(cfg)),
+      iports_(std::move(initiator_ports)),
+      tports_(std::move(target_ports)),
+      prog_(prog_port) {
+  cfg_.validate_and_normalize();
+  if (static_cast<int>(iports_.size()) != cfg_.n_initiators ||
+      static_cast<int>(tports_.size()) != cfg_.n_targets) {
+    throw std::invalid_argument("rtl::Node: port count mismatch");
+  }
+  if (cfg_.programming_port && prog_ == nullptr) {
+    throw std::invalid_argument("rtl::Node: programming port pins missing");
+  }
+  const int nres = cfg_.num_resources();
+  arbs_.reserve(static_cast<std::size_t>(nres));
+  for (int r = 0; r < nres; ++r) {
+    arbs_.push_back(std::make_unique<Arbiter>(cfg_, r));
+  }
+  req_owner_.assign(static_cast<std::size_t>(nres), -1);
+  treg_.resize(static_cast<std::size_t>(cfg_.n_targets));
+  ireg_.resize(static_cast<std::size_t>(cfg_.n_initiators));
+  rsp_owner_.assign(static_cast<std::size_t>(cfg_.n_initiators), -1);
+  rsp_rr_.assign(static_cast<std::size_t>(cfg_.n_initiators), 0);
+  errq_.resize(static_cast<std::size_t>(cfg_.n_initiators));
+  stats_.grants.assign(static_cast<std::size_t>(cfg_.n_initiators), 0);
+
+  ctx.add_clocked(cfg_.name + ".edge", [this] { edge(); });
+  // One combinational process per synthesizable block, arbitration first so
+  // the per-port blocks read settled decision wires within the same delta.
+  ctx.add_comb(cfg_.name + ".arb", [this] { comb_arbitration(); });
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    ctx.add_comb(cfg_.name + ".ignt" + std::to_string(i),
+                 [this, i] { comb_initiator_gnt(i); });
+    ctx.add_comb(cfg_.name + ".irsp" + std::to_string(i),
+                 [this, i] { comb_initiator_rsp(i); });
+  }
+  for (int t = 0; t < cfg_.n_targets; ++t) {
+    ctx.add_comb(cfg_.name + ".treq" + std::to_string(t),
+                 [this, t] { comb_target_req(t); });
+    ctx.add_comb(cfg_.name + ".trgnt" + std::to_string(t),
+                 [this, t] { comb_target_rgnt(t); });
+  }
+  if (prog_ != nullptr) {
+    ctx.add_comb(cfg_.name + ".prog", [this] { comb_prog(); });
+  }
+}
+
+int Node::request_target(int initiator) const {
+  const PortPins& p = *iports_[static_cast<std::size_t>(initiator)];
+  if (!p.req.read()) return -1;
+  const int t = cfg_.route(static_cast<std::uint32_t>(p.add.read()));
+  return t < 0 ? -2 : t;
+}
+
+bool Node::treg_can_accept(int target) const {
+  const auto& r = treg_[static_cast<std::size_t>(target)];
+  // Empty, or the target is consuming the held cell this cycle.
+  return !r.valid || tports_[static_cast<std::size_t>(target)]->gnt.read();
+}
+
+bool Node::ireg_can_accept(int initiator) const {
+  const auto& r = ireg_[static_cast<std::size_t>(initiator)];
+  return !r.valid || iports_[static_cast<std::size_t>(initiator)]->r_gnt.read();
+}
+
+Node::ReqDecision Node::decide_requests() const {
+  const int nres = cfg_.num_resources();
+  ReqDecision d;
+  d.winner.assign(static_cast<std::size_t>(nres), -1);
+  d.requesting.assign(static_cast<std::size_t>(nres), 0);
+
+  std::vector<std::uint32_t> eligible(static_cast<std::size_t>(nres), 0);
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    const int t = request_target(i);
+    if (t == -1) continue;
+    if (t == -2) {
+      // Decode error: the node absorbs the packet unconditionally.
+      d.gnt_mask |= 1u << i;
+      d.error_mask |= 1u << i;
+      continue;
+    }
+    const int r = cfg_.resource_of_target(t);
+    d.requesting[static_cast<std::size_t>(r)] |= 1u << i;
+    if (treg_can_accept(t)) eligible[static_cast<std::size_t>(r)] |= 1u << i;
+  }
+
+  for (int r = 0; r < nres; ++r) {
+    const int owner = req_owner_[static_cast<std::size_t>(r)];
+    int w;
+    if (owner >= 0) {
+      // Allocation held: only the owner may continue its packet/chunk.
+      w = ((eligible[static_cast<std::size_t>(r)] >> owner) & 1u) ? owner : -1;
+    } else {
+      w = arbs_[static_cast<std::size_t>(r)]->pick(
+          eligible[static_cast<std::size_t>(r)]);
+    }
+    d.winner[static_cast<std::size_t>(r)] = w;
+    if (w >= 0) d.gnt_mask |= 1u << w;
+  }
+  return d;
+}
+
+Node::RspDecision Node::decide_responses() const {
+  const int T = cfg_.n_targets;
+  RspDecision d;
+  d.source.assign(static_cast<std::size_t>(cfg_.n_initiators), kNoSource);
+
+  // Which target currently offers a response cell to which initiator.
+  std::vector<int> dest(static_cast<std::size_t>(T), -1);
+  for (int t = 0; t < T; ++t) {
+    const PortPins& p = *tports_[static_cast<std::size_t>(t)];
+    if (!p.r_req.read()) continue;
+    const int i = static_cast<int>(p.r_src.read());
+    if (i >= 0 && i < cfg_.n_initiators) dest[static_cast<std::size_t>(t)] = i;
+  }
+
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    if (!ireg_can_accept(i)) continue;
+    auto offers = [&](int s) {
+      if (s < T) return dest[static_cast<std::size_t>(s)] == i;
+      return !errq_[static_cast<std::size_t>(i)].empty();
+    };
+    const int owner = rsp_owner_[static_cast<std::size_t>(i)];
+    if (owner >= 0) {
+      // Mid-packet: only the owning source may continue.
+      if (offers(owner)) d.source[static_cast<std::size_t>(i)] = owner;
+      continue;
+    }
+    const int start = rsp_rr_[static_cast<std::size_t>(i)];
+    for (int k = 0; k <= T; ++k) {
+      const int s = (start + k) % (T + 1);
+      if (offers(s)) {
+        d.source[static_cast<std::size_t>(i)] = s;
+        break;
+      }
+    }
+  }
+
+  // Shared bus: the response datapath carries one cell per cycle node-wide.
+  if (cfg_.arch == stbus::Architecture::kSharedBus) {
+    int chosen = -1;
+    for (int k = 0; k < cfg_.n_initiators; ++k) {
+      const int i = (rsp_shared_rr_ + k) % cfg_.n_initiators;
+      if (d.source[static_cast<std::size_t>(i)] != kNoSource) {
+        chosen = i;
+        break;
+      }
+    }
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      if (i != chosen) d.source[static_cast<std::size_t>(i)] = kNoSource;
+    }
+  }
+  return d;
+}
+
+void Node::comb_arbitration() {
+  req_wires_ = decide_requests();
+  rsp_wires_ = decide_responses();
+}
+
+void Node::comb_initiator_gnt(int i) {
+  iports_[static_cast<std::size_t>(i)]->gnt.write(
+      (req_wires_.gnt_mask >> i) & 1u);
+}
+
+void Node::comb_initiator_rsp(int i) {
+  PortPins& p = *iports_[static_cast<std::size_t>(i)];
+  const auto& r = ireg_[static_cast<std::size_t>(i)];
+  if (r.valid) {
+    p.drive_response(r.cell);
+  } else {
+    p.idle_response();
+  }
+}
+
+void Node::comb_target_req(int t) {
+  PortPins& p = *tports_[static_cast<std::size_t>(t)];
+  const auto& r = treg_[static_cast<std::size_t>(t)];
+  if (r.valid) {
+    p.drive_request(r.cell);
+  } else {
+    p.idle_request();
+  }
+}
+
+void Node::comb_target_rgnt(int t) {
+  const PortPins& p = *tports_[static_cast<std::size_t>(t)];
+  bool g = false;
+  if (p.r_req.read()) {
+    const int i = static_cast<int>(p.r_src.read());
+    if (i >= 0 && i < cfg_.n_initiators) {
+      g = rsp_wires_.source[static_cast<std::size_t>(i)] == t;
+    }
+  }
+  tports_[static_cast<std::size_t>(t)]->r_gnt.write(g);
+}
+
+void Node::comb_prog() {
+  prog_->gnt.write(prog_gnt_);
+  prog_->r_req.write(prog_gnt_);
+  prog_->r_eop.write(prog_gnt_);
+  prog_->r_opc.write(static_cast<std::uint64_t>(
+      prog_err_ ? RspOpcode::kError : RspOpcode::kOk));
+  prog_->r_data.write(
+      crve::Bits(prog_->bus_bytes * 8, prog_is_load_ ? prog_rdata_ : 0));
+}
+
+void Node::edge() {
+  // Decisions recomputed from the settled values of the ending cycle;
+  // identical to what comb() last produced.
+  const ReqDecision rd = decide_requests();
+  const RspDecision sd = decide_responses();
+  const int T = cfg_.n_targets;
+  const int nres = cfg_.num_resources();
+
+  // --- response path: drain, then fill ----------------------------------
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    auto& r = ireg_[static_cast<std::size_t>(i)];
+    if (r.valid && iports_[static_cast<std::size_t>(i)]->r_gnt.read()) {
+      r.valid = false;
+    }
+  }
+  bool any_rsp = false;
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    const int s = sd.source[static_cast<std::size_t>(i)];
+    if (s == kNoSource) continue;
+    any_rsp = true;
+    ResponseCell cell;
+    if (s < T) {
+      cell = tports_[static_cast<std::size_t>(s)]->sample_response();
+    } else {
+      auto& q = errq_[static_cast<std::size_t>(i)];
+      ErrDesc& e = q.front();
+      cell.opc = RspOpcode::kError;
+      cell.data = crve::Bits(cfg_.bus_bytes * 8);
+      cell.src = static_cast<std::uint8_t>(i);
+      cell.tid = e.tid;
+      cell.eop = e.cells_left == 1;
+      if (--e.cells_left == 0) q.pop_front();
+    }
+    ireg_[static_cast<std::size_t>(i)] = {true, cell};
+    rsp_owner_[static_cast<std::size_t>(i)] = cell.eop ? -1 : s;
+    if (rsp_owner_[static_cast<std::size_t>(i)] == -1) {
+      rsp_rr_[static_cast<std::size_t>(i)] = (s + 1) % (T + 1);
+    }
+    ++stats_.response_cells;
+  }
+  if (cfg_.arch == stbus::Architecture::kSharedBus && any_rsp) {
+    // Advance past the initiator served this cycle.
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      if (sd.source[static_cast<std::size_t>(i)] != kNoSource) {
+        rsp_shared_rr_ = (i + 1) % cfg_.n_initiators;
+        break;
+      }
+    }
+  }
+
+  // --- request path: drain, then fill ------------------------------------
+  for (int t = 0; t < T; ++t) {
+    auto& r = treg_[static_cast<std::size_t>(t)];
+    if (r.valid && tports_[static_cast<std::size_t>(t)]->gnt.read()) {
+      r.valid = false;
+    }
+  }
+  const std::uint64_t next_cycle =
+      /* cycle counter only feeds arbiter windows */ ++edge_count_;
+  for (int r = 0; r < nres; ++r) {
+    const int w = rd.winner[static_cast<std::size_t>(r)];
+    if (w >= 0) {
+      RequestCell cell = iports_[static_cast<std::size_t>(w)]->sample_request();
+      cell.src = static_cast<std::uint8_t>(w);
+      const int t = cfg_.route(cell.add);
+      treg_[static_cast<std::size_t>(t)] = {true, cell};
+      req_owner_[static_cast<std::size_t>(r)] = cell.lck ? w : -1;
+      ++stats_.request_cells;
+      ++stats_.grants[static_cast<std::size_t>(w)];
+    }
+    arbs_[static_cast<std::size_t>(r)]->on_edge(
+        next_cycle, w, rd.requesting[static_cast<std::size_t>(r)]);
+  }
+
+  // --- decode-error sinks -------------------------------------------------
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    if (!((rd.error_mask >> i) & 1u)) continue;
+    const RequestCell cell =
+        iports_[static_cast<std::size_t>(i)]->sample_request();
+    if (cell.eop) {
+      errq_[static_cast<std::size_t>(i)].push_back(
+          {cell.opc, cell.tid,
+           stbus::response_cells(cell.opc, cfg_.bus_bytes, cfg_.type)});
+      ++stats_.decode_errors;
+    }
+  }
+
+  if (prog_ != nullptr) prog_edge();
+}
+
+void Node::prog_edge() {
+  if (prog_gnt_) {
+    // Acknowledge cycle just completed; ignore held req this cycle.
+    prog_gnt_ = false;
+    return;
+  }
+  if (!prog_->req.read()) return;
+  const auto opc = static_cast<Opcode>(prog_->opc.read());
+  const auto addr = static_cast<std::uint32_t>(prog_->add.read());
+  const int index = static_cast<int>(addr / 4);
+  prog_is_load_ = stbus::is_load(opc);
+  prog_err_ = index < 0 || index >= cfg_.n_initiators;
+  prog_rdata_ = 0;
+  if (!prog_err_) {
+    if (prog_is_load_) {
+      prog_rdata_ = static_cast<std::uint32_t>(
+          arbs_.front()->priority(index));
+    } else {
+      const auto v = static_cast<int>(prog_->data.read().to_u64() &
+                                      0xffffffffull);
+      for (auto& a : arbs_) a->set_priority(index, v);
+    }
+  }
+  prog_gnt_ = true;
+}
+
+}  // namespace crve::rtl

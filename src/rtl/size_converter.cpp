@@ -1,0 +1,17 @@
+#include "rtl/size_converter.h"
+
+#include <stdexcept>
+
+namespace crve::rtl {
+
+SizeConverter::SizeConverter(sim::Context& ctx, std::string name,
+                             stbus::PortPins& upstream,
+                             stbus::PortPins& downstream,
+                             stbus::ProtocolType type)
+    : Bridge(ctx, std::move(name), upstream, type, downstream, type) {
+  if (upstream.bus_bytes == downstream.bus_bytes) {
+    throw std::invalid_argument("SizeConverter: ports have equal width");
+  }
+}
+
+}  // namespace crve::rtl

@@ -1,0 +1,15 @@
+// STBus size converter: joins two ports of different data widths under the
+// same protocol type (e.g. the 64/32 converter of paper Fig. 1).
+#pragma once
+
+#include "rtl/bridge.h"
+
+namespace crve::rtl {
+
+class SizeConverter : public Bridge {
+ public:
+  SizeConverter(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
+                stbus::PortPins& downstream, stbus::ProtocolType type);
+};
+
+}  // namespace crve::rtl

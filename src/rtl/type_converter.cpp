@@ -1,0 +1,18 @@
+#include "rtl/type_converter.h"
+
+#include <stdexcept>
+
+namespace crve::rtl {
+
+TypeConverter::TypeConverter(sim::Context& ctx, std::string name,
+                             stbus::PortPins& upstream,
+                             stbus::ProtocolType up_type,
+                             stbus::PortPins& downstream,
+                             stbus::ProtocolType dn_type)
+    : Bridge(ctx, std::move(name), upstream, up_type, downstream, dn_type) {
+  if (up_type == dn_type) {
+    throw std::invalid_argument("TypeConverter: ports have equal type");
+  }
+}
+
+}  // namespace crve::rtl

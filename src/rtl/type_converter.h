@@ -1,0 +1,17 @@
+// STBus type converter: joins two ports speaking different protocol types
+// (e.g. the t2/t3 converters between the nodes of paper Fig. 1). The data
+// width may also differ; the packet shapes are rebuilt per side.
+#pragma once
+
+#include "rtl/bridge.h"
+
+namespace crve::rtl {
+
+class TypeConverter : public Bridge {
+ public:
+  TypeConverter(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
+                stbus::ProtocolType up_type, stbus::PortPins& downstream,
+                stbus::ProtocolType dn_type);
+};
+
+}  // namespace crve::rtl

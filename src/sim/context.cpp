@@ -1,0 +1,74 @@
+#include "sim/context.h"
+
+#include <algorithm>
+
+namespace crve::sim {
+
+SignalBase::SignalBase(Context& ctx, std::string name, int width)
+    : ctx_(ctx), name_(std::move(name)), width_(width) {
+  ctx_.register_signal(this);
+}
+
+void SignalBase::mark_dirty() { ctx_.mark_dirty(this); }
+
+void Context::add_clocked(std::string name, std::function<void()> fn) {
+  clocked_.push_back({std::move(name), std::move(fn)});
+}
+
+void Context::add_comb(std::string name, std::function<void()> fn) {
+  comb_.push_back({std::move(name), std::move(fn)});
+}
+
+bool Context::commit_dirty() {
+  bool changed = false;
+  // A signal may be written several times in one evaluation; dedupe cheaply.
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  for (SignalBase* s : dirty_) {
+    if (s->commit()) {
+      s->set_stamp(++change_stamp_);
+      changed = true;
+    }
+  }
+  dirty_.clear();
+  return changed;
+}
+
+void Context::settle() {
+  for (int iter = 0;; ++iter) {
+    if (iter >= delta_limit_) {
+      throw SimError("combinational loop: no fixpoint after " +
+                     std::to_string(delta_limit_) + " delta cycles at cycle " +
+                     std::to_string(cycle_));
+    }
+    for (auto& p : comb_) {
+      p.fn();
+      ++evaluations_;
+    }
+    if (!commit_dirty()) break;
+  }
+}
+
+void Context::initialize() {
+  if (initialized_) return;
+  initialized_ = true;
+  commit_dirty();  // writes made during construction
+  settle();
+  for (Tracer* t : tracers_) t->sample(cycle_, signals_);
+}
+
+void Context::step(int n) {
+  initialize();
+  for (int i = 0; i < n; ++i) {
+    ++cycle_;
+    for (auto& p : clocked_) {
+      p.fn();
+      ++evaluations_;
+    }
+    commit_dirty();
+    settle();
+    for (Tracer* t : tracers_) t->sample(cycle_, signals_);
+  }
+}
+
+}  // namespace crve::sim

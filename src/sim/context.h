@@ -1,0 +1,89 @@
+// Cycle-based simulation kernel with delta-cycle settling.
+//
+// One implicit clock domain (the paper's testbenches drive one clock from
+// the VHDL testbench; everything else is driven by processes). Each step():
+//   1. clocked processes run (reading pre-edge values, scheduling writes),
+//   2. writes commit,
+//   3. combinational processes run to a fixpoint (delta cycles),
+//   4. tracers sample the settled cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/signal.h"
+
+namespace crve::sim {
+
+// Observer sampling settled signal values once per cycle (e.g. VCD writer).
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void sample(std::uint64_t cycle,
+                      const std::vector<SignalBase*>& signals) = 0;
+};
+
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Context {
+ public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- construction phase -------------------------------------------------
+  void add_clocked(std::string name, std::function<void()> fn);
+  void add_comb(std::string name, std::function<void()> fn);
+
+  // Registered automatically by SignalBase; exposed for tracers.
+  const std::vector<SignalBase*>& signals() const { return signals_; }
+
+  void attach_tracer(Tracer* t) { tracers_.push_back(t); }
+
+  // --- run phase ------------------------------------------------------
+  // Settles combinational logic before the first edge. Called implicitly by
+  // the first step(); callable explicitly for tests.
+  void initialize();
+
+  // Advances n clock cycles.
+  void step(int n = 1);
+
+  std::uint64_t cycle() const { return cycle_; }
+  // Total process evaluations, a proxy for simulator work (bench_sim_speed).
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  // Max delta iterations before declaring a combinational loop.
+  void set_delta_limit(int limit) { delta_limit_ = limit; }
+
+ private:
+  friend class SignalBase;
+  void register_signal(SignalBase* s) { signals_.push_back(s); }
+  void mark_dirty(SignalBase* s) { dirty_.push_back(s); }
+
+  // Commits pending writes; returns whether any visible value changed.
+  bool commit_dirty();
+  void settle();
+
+  struct Process {
+    std::string name;
+    std::function<void()> fn;
+  };
+
+  std::vector<SignalBase*> signals_;
+  std::vector<SignalBase*> dirty_;
+  std::vector<Process> clocked_;
+  std::vector<Process> comb_;
+  std::vector<Tracer*> tracers_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t change_stamp_ = 0;
+  int delta_limit_ = 64;
+  bool initialized_ = false;
+};
+
+}  // namespace crve::sim

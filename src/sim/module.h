@@ -1,0 +1,31 @@
+// Lightweight hierarchical naming helper for kernel components.
+//
+// Modules do not own processes or signals; they only provide dotted names
+// ("tb.node.arb") so VCD scopes and checker messages are readable.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/context.h"
+
+namespace crve::sim {
+
+class Module {
+ public:
+  Module(Context& ctx, std::string name) : ctx_(ctx), name_(std::move(name)) {}
+  Module(Module& parent, std::string name)
+      : ctx_(parent.ctx_), name_(parent.name_ + "." + std::move(name)) {}
+
+  Context& ctx() { return ctx_; }
+  const std::string& name() const { return name_; }
+  std::string sub(const std::string& child) const {
+    return name_ + "." + child;
+  }
+
+ private:
+  Context& ctx_;
+  std::string name_;
+};
+
+}  // namespace crve::sim

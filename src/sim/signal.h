@@ -1,0 +1,159 @@
+// Two-phase signals for the cycle-based simulation kernel.
+//
+// A Signal<T> holds a current and a next value. Processes read the current
+// value and write the next one; the kernel commits writes between process
+// evaluations (register semantics for clocked processes, delta-cycle
+// settling for combinational ones). This mirrors the VHDL/SystemC signal
+// model the paper's testbenches rely on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/bits.h"
+
+namespace crve::sim {
+
+class Context;
+
+class SignalBase {
+ public:
+  SignalBase(Context& ctx, std::string name, int width);
+  virtual ~SignalBase() = default;
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  // Declared width in bits, fixed for the signal's lifetime (VCD needs it).
+  int width() const { return width_; }
+
+  // Monotonic change stamp: bumped by the kernel whenever a commit changes
+  // the visible value. Models with sensitivity-list semantics (the BCA
+  // view) use it to skip re-evaluation when their inputs are unchanged.
+  std::uint64_t stamp() const { return stamp_; }
+  void set_stamp(std::uint64_t s) { stamp_ = s; }
+
+  // Moves the pending next value into the current one. Returns whether the
+  // visible value changed. Called by the kernel only.
+  virtual bool commit() = 0;
+
+  // Current value as an MSB-first binary string of exactly width() chars.
+  virtual std::string vcd_value() const = 0;
+
+ protected:
+  void mark_dirty();
+
+ private:
+  Context& ctx_;
+  std::string name_;
+  int width_;
+  std::uint64_t stamp_ = 0;
+};
+
+namespace detail {
+
+inline std::string to_vcd(bool v, int /*width*/) { return v ? "1" : "0"; }
+
+inline std::string to_vcd(std::uint64_t v, int width) {
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i) {
+    if ((v >> i) & 1u) s[static_cast<std::size_t>(width - 1 - i)] = '1';
+  }
+  return s;
+}
+
+inline std::string to_vcd(const Bits& v, int /*width*/) {
+  return v.to_bin_string();
+}
+
+inline std::uint64_t masked(std::uint64_t v, int width) {
+  return width >= 64 ? v : (v & ((std::uint64_t{1} << width) - 1));
+}
+
+}  // namespace detail
+
+// Single-bit signal.
+class SignalBool : public SignalBase {
+ public:
+  SignalBool(Context& ctx, std::string name)
+      : SignalBase(ctx, std::move(name), 1) {}
+
+  bool read() const { return cur_; }
+  void write(bool v) {
+    next_ = v;
+    mark_dirty();
+  }
+  bool commit() override {
+    const bool changed = cur_ != next_;
+    cur_ = next_;
+    return changed;
+  }
+  std::string vcd_value() const override { return detail::to_vcd(cur_, 1); }
+
+ private:
+  bool cur_ = false;
+  bool next_ = false;
+};
+
+// Unsigned signal of declared width (1..64 bits). Writes are masked.
+class SignalU64 : public SignalBase {
+ public:
+  SignalU64(Context& ctx, std::string name, int width)
+      : SignalBase(ctx, std::move(name), width) {
+    if (width < 1 || width > 64) {
+      throw std::invalid_argument("SignalU64 width out of range");
+    }
+  }
+
+  std::uint64_t read() const { return cur_; }
+  void write(std::uint64_t v) {
+    next_ = detail::masked(v, width());
+    mark_dirty();
+  }
+  bool commit() override {
+    const bool changed = cur_ != next_;
+    cur_ = next_;
+    return changed;
+  }
+  std::string vcd_value() const override {
+    return detail::to_vcd(cur_, width());
+  }
+
+ private:
+  std::uint64_t cur_ = 0;
+  std::uint64_t next_ = 0;
+};
+
+// Wide-data signal; the written Bits value must match the declared width.
+class SignalBits : public SignalBase {
+ public:
+  SignalBits(Context& ctx, std::string name, int width)
+      : SignalBase(ctx, std::move(name), width),
+        cur_(width),
+        next_(width) {}
+
+  const Bits& read() const { return cur_; }
+  void write(const Bits& v) {
+    if (v.width() != width()) {
+      throw std::invalid_argument("SignalBits::write: width mismatch on " +
+                                  name());
+    }
+    next_ = v;
+    mark_dirty();
+  }
+  bool commit() override {
+    const bool changed = !(cur_ == next_);
+    cur_ = next_;
+    return changed;
+  }
+  std::string vcd_value() const override { return cur_.to_bin_string(); }
+
+ private:
+  Bits cur_;
+  Bits next_;
+};
+
+}  // namespace crve::sim

@@ -1,0 +1,161 @@
+#include "stba/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace crve::stba {
+
+const std::vector<std::string>& Analyzer::port_fields() {
+  static const std::vector<std::string> kFields = {
+      "req",   "gnt",   "opc",   "add",   "data",  "be",   "eop",
+      "lck",   "src",   "tid",   "r_req", "r_gnt", "r_opc", "r_data",
+      "r_eop", "r_src", "r_tid"};
+  return kFields;
+}
+
+namespace {
+
+std::vector<int> resolve_port(const vcd::Trace& t, const std::string& port) {
+  std::vector<int> idx;
+  for (const auto& f : Analyzer::port_fields()) {
+    auto v = t.find(port + "." + f);
+    if (!v) {
+      throw std::runtime_error("STBA: signal " + port + "." + f +
+                               " not found (or ambiguous) in dump");
+    }
+    idx.push_back(*v);
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::vector<ExtractedCell> Analyzer::extract(const vcd::Trace& t,
+                                             const std::string& port) {
+  const std::vector<int> idx = resolve_port(t, port);
+  auto field = [&](int f, std::uint64_t cyc) -> const std::string& {
+    return t.value_at(idx[static_cast<std::size_t>(f)], cyc);
+  };
+  // Field order mirrors port_fields().
+  enum {
+    kReq, kGnt, kOpc, kAdd, kData, kBe, kEop, kLck, kSrc, kTid,
+    kRReq, kRGnt, kROpc, kRData, kREop, kRSrc, kRTid
+  };
+  std::vector<ExtractedCell> cells;
+  for (std::uint64_t c = 0; c <= t.max_time(); ++c) {
+    if (field(kReq, c) == "1" && field(kGnt, c) == "1") {
+      ExtractedCell cell;
+      cell.cycle = c;
+      cell.response = false;
+      cell.opc = field(kOpc, c);
+      cell.add = field(kAdd, c);
+      cell.data = field(kData, c);
+      cell.be = field(kBe, c);
+      cell.eop = field(kEop, c) == "1";
+      cell.lck = field(kLck, c) == "1";
+      cell.src = field(kSrc, c);
+      cell.tid = field(kTid, c);
+      cells.push_back(std::move(cell));
+    }
+    if (field(kRReq, c) == "1" && field(kRGnt, c) == "1") {
+      ExtractedCell cell;
+      cell.cycle = c;
+      cell.response = true;
+      cell.opc = field(kROpc, c);
+      cell.data = field(kRData, c);
+      cell.eop = field(kREop, c) == "1";
+      cell.src = field(kRSrc, c);
+      cell.tid = field(kRTid, c);
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
+                                  const std::vector<std::string>& ports) {
+  AlignmentReport report;
+  const std::uint64_t total = std::max(a.max_time(), b.max_time()) + 1;
+  for (const auto& port : ports) {
+    PortAlignment pa;
+    pa.port = port;
+    pa.total_cycles = total;
+    const std::vector<int> ia = resolve_port(a, port);
+    const std::vector<int> ib = resolve_port(b, port);
+    for (std::uint64_t c = 0; c < total; ++c) {
+      bool aligned = true;
+      for (std::size_t f = 0; f < ia.size(); ++f) {
+        if (a.value_at(ia[f], c) != b.value_at(ib[f], c)) {
+          aligned = false;
+          if (!pa.diverged()) {
+            pa.diverged_signals.push_back(port + "." + port_fields()[f]);
+          }
+        }
+      }
+      if (aligned) {
+        ++pa.aligned_cycles;
+      } else if (!pa.diverged()) {
+        pa.first_divergence = c;
+      }
+    }
+    // Transaction-level diff (content compare, cycle-independent).
+    const auto ca = extract(a, port);
+    const auto cb = extract(b, port);
+    pa.cells_a = ca.size();
+    pa.cells_b = cb.size();
+    const std::size_t n = std::min(ca.size(), cb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ca[i].same_content(cb[i])) ++pa.cells_matching;
+    }
+    report.ports.push_back(std::move(pa));
+  }
+  return report;
+}
+
+AlignmentReport Analyzer::compare_files(const std::string& path_a,
+                                        const std::string& path_b,
+                                        const std::vector<std::string>& ports) {
+  const vcd::Trace a = vcd::Trace::parse_file(path_a);
+  const vcd::Trace b = vcd::Trace::parse_file(path_b);
+  return compare(a, b, ports);
+}
+
+double AlignmentReport::min_rate() const {
+  double m = 1.0;
+  for (const auto& p : ports) m = std::min(m, p.rate());
+  return m;
+}
+
+double AlignmentReport::mean_rate() const {
+  if (ports.empty()) return 1.0;
+  double s = 0;
+  for (const auto& p : ports) s += p.rate();
+  return s / static_cast<double>(ports.size());
+}
+
+bool AlignmentReport::signed_off(double threshold) const {
+  for (const auto& p : ports) {
+    if (p.rate() < threshold) return false;
+  }
+  return true;
+}
+
+std::string AlignmentReport::summary() const {
+  std::ostringstream os;
+  for (const auto& p : ports) {
+    os << p.port << ": " << p.aligned_cycles << "/" << p.total_cycles << " ("
+       << 100.0 * p.rate() << "%)";
+    if (p.diverged()) {
+      os << " first divergence @" << p.first_divergence << " on";
+      for (const auto& s : p.diverged_signals) os << " " << s;
+    }
+    os << "\n";
+  }
+  os << "min rate " << 100.0 * min_rate() << "%, "
+     << (signed_off() ? "SIGNED OFF (>=99% everywhere)" : "NOT signed off")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace crve::stba

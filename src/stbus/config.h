@@ -1,0 +1,105 @@
+// STBus node and interconnect configuration.
+//
+// Mirrors the HDL parameters the paper's regression tool submits through its
+// GUI: protocol type, number of initiator/target ports, data width,
+// architecture (shared bus / full / partial crossbar), arbitration policy,
+// address map, and the optional programmable-priority port.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stbus/opcode.h"
+
+namespace crve::stbus {
+
+enum class ProtocolType : std::uint8_t { kType1 = 1, kType2 = 2, kType3 = 3 };
+
+enum class Architecture : std::uint8_t {
+  kSharedBus = 0,      // one transfer at a time across the whole node
+  kFullCrossbar = 1,   // concurrent transfers to distinct targets
+  kPartialCrossbar = 2 // concurrency between declared target groups only
+};
+
+// The six arbitration policies of the STBus node.
+enum class ArbPolicy : std::uint8_t {
+  kFixedPriority = 0,
+  kRoundRobin = 1,
+  kLru = 2,
+  kLatencyBased = 3,      // deadline counters per initiator
+  kBandwidthLimited = 4,  // token bucket per initiator
+  kProgrammable = 5,      // priorities written via the programming port
+};
+
+std::string to_string(ProtocolType t);
+std::string to_string(Architecture a);
+std::string to_string(ArbPolicy p);
+
+struct AddressRange {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;  // bytes; base..base+size-1
+  int target = 0;
+
+  bool contains(std::uint32_t addr) const {
+    return addr >= base && addr - base < size;
+  }
+};
+
+struct NodeConfig {
+  std::string name = "node";
+  int n_initiators = 2;
+  int n_targets = 2;
+  int bus_bytes = 4;  // port data width in bytes: 1..32 (8..256 bits)
+  ProtocolType type = ProtocolType::kType2;
+  Architecture arch = Architecture::kFullCrossbar;
+  ArbPolicy arb = ArbPolicy::kFixedPriority;
+
+  // Request routing. Addresses hitting no range get an error response.
+  std::vector<AddressRange> address_map;
+
+  // Per-initiator static priorities (higher wins) for kFixedPriority and the
+  // reset values for kProgrammable. Defaults to initiator index.
+  std::vector<int> priorities;
+
+  // Per-initiator deadline (cycles) for kLatencyBased: the longer a request
+  // has been waiting relative to its deadline, the higher its priority.
+  std::vector<int> latency_deadline;
+
+  // Per-initiator token budget for kBandwidthLimited: grants per
+  // `bandwidth_window` cycles. 0 = unlimited.
+  std::vector<int> bandwidth_quota;
+  int bandwidth_window = 64;
+
+  // Partial crossbar: group id per target; targets sharing a group share one
+  // datapath resource. Ignored for other architectures.
+  std::vector<int> xbar_group;
+
+  // When true the node exposes a Type1 programming port whose registers hold
+  // the per-initiator priorities used by kProgrammable.
+  bool programming_port = false;
+
+  int address_bits = 32;
+  int src_bits = 6;
+  int tid_bits = 8;
+
+  // Fills defaulted vectors, checks ranges; throws std::invalid_argument.
+  void validate_and_normalize();
+
+  // Evenly splits a window of the address space across targets.
+  static std::vector<AddressRange> even_map(int n_targets,
+                                            std::uint32_t base = 0,
+                                            std::uint32_t per_target = 0x10000);
+
+  // Routes an address; returns -1 for a decode error.
+  int route(std::uint32_t addr) const;
+
+  // Datapath resource index for a target under the configured architecture:
+  // shared bus -> 0 for all; full crossbar -> target index; partial -> group.
+  int resource_of_target(int target) const;
+  int num_resources() const;
+
+  std::string summary() const;
+};
+
+}  // namespace crve::stbus

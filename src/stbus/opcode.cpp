@@ -1,0 +1,68 @@
+#include "stbus/opcode.h"
+
+#include <stdexcept>
+
+namespace crve::stbus {
+
+Opcode load_of_size(int bytes) {
+  switch (bytes) {
+    case 1:
+      return Opcode::kLd1;
+    case 2:
+      return Opcode::kLd2;
+    case 4:
+      return Opcode::kLd4;
+    case 8:
+      return Opcode::kLd8;
+    case 16:
+      return Opcode::kLd16;
+    case 32:
+      return Opcode::kLd32;
+    case 64:
+      return Opcode::kLd64;
+    default:
+      throw std::invalid_argument("load_of_size: bad size " +
+                                  std::to_string(bytes));
+  }
+}
+
+Opcode store_of_size(int bytes) {
+  switch (bytes) {
+    case 1:
+      return Opcode::kSt1;
+    case 2:
+      return Opcode::kSt2;
+    case 4:
+      return Opcode::kSt4;
+    case 8:
+      return Opcode::kSt8;
+    case 16:
+      return Opcode::kSt16;
+    case 32:
+      return Opcode::kSt32;
+    case 64:
+      return Opcode::kSt64;
+    default:
+      throw std::invalid_argument("store_of_size: bad size " +
+                                  std::to_string(bytes));
+  }
+}
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kRmw4:
+      return "RMW4";
+    case Opcode::kSwap4:
+      return "SWAP4";
+    default:
+      break;
+  }
+  const std::string kind = is_load(op) ? "LD" : "ST";
+  return kind + std::to_string(size_bytes(op));
+}
+
+std::string to_string(RspOpcode op) {
+  return op == RspOpcode::kOk ? "OK" : "ERROR";
+}
+
+}  // namespace crve::stbus

@@ -1,0 +1,85 @@
+// STBus operation and response opcodes.
+//
+// The public STBus transaction set: loads and stores of power-of-two sizes
+// from 1 to 64 bytes, plus the atomic ReadModifyWrite and Swap operations.
+// Sizes above the port width produce multi-cell packets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crve::stbus {
+
+enum class Opcode : std::uint8_t {
+  kLd1 = 0,
+  kLd2,
+  kLd4,
+  kLd8,
+  kLd16,
+  kLd32,
+  kLd64,
+  kSt1,
+  kSt2,
+  kSt4,
+  kSt8,
+  kSt16,
+  kSt32,
+  kSt64,
+  kRmw4,   // atomic OR under byte enables; returns old value
+  kSwap4,  // atomic exchange; returns old value
+};
+
+constexpr int kOpcodeBits = 6;
+constexpr int kNumOpcodes = 16;
+
+constexpr bool is_load(Opcode op) {
+  return op >= Opcode::kLd1 && op <= Opcode::kLd64;
+}
+constexpr bool is_store(Opcode op) {
+  return op >= Opcode::kSt1 && op <= Opcode::kSt64;
+}
+constexpr bool is_atomic(Opcode op) {
+  return op == Opcode::kRmw4 || op == Opcode::kSwap4;
+}
+
+// Transfer size in bytes.
+constexpr int size_bytes(Opcode op) {
+  switch (op) {
+    case Opcode::kLd1:
+    case Opcode::kSt1:
+      return 1;
+    case Opcode::kLd2:
+    case Opcode::kSt2:
+      return 2;
+    case Opcode::kLd4:
+    case Opcode::kSt4:
+    case Opcode::kRmw4:
+    case Opcode::kSwap4:
+      return 4;
+    case Opcode::kLd8:
+    case Opcode::kSt8:
+      return 8;
+    case Opcode::kLd16:
+    case Opcode::kSt16:
+      return 16;
+    case Opcode::kLd32:
+    case Opcode::kSt32:
+      return 32;
+    case Opcode::kLd64:
+    case Opcode::kSt64:
+      return 64;
+  }
+  return 0;
+}
+
+Opcode load_of_size(int bytes);
+Opcode store_of_size(int bytes);
+std::string to_string(Opcode op);
+
+// Response status carried on r_opc.
+enum class RspOpcode : std::uint8_t { kOk = 0, kError = 1 };
+constexpr int kRspOpcodeBits = 2;
+
+std::string to_string(RspOpcode op);
+
+}  // namespace crve::stbus

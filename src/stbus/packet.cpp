@@ -1,0 +1,208 @@
+#include "stbus/packet.h"
+
+#include <stdexcept>
+
+namespace crve::stbus {
+
+int data_cells(Opcode opc, int bus_bytes) {
+  const int size = size_bytes(opc);
+  return size <= bus_bytes ? 1 : size / bus_bytes;
+}
+
+int request_cells(Opcode opc, int bus_bytes, ProtocolType type) {
+  if (type == ProtocolType::kType1) return 1;
+  if (is_atomic(opc)) return 1;
+  if (is_store(opc)) return data_cells(opc, bus_bytes);
+  // Loads: Type3 sends the address once; Type2 sends one beat per cell.
+  return type == ProtocolType::kType3 ? 1 : data_cells(opc, bus_bytes);
+}
+
+int response_cells(Opcode opc, int bus_bytes, ProtocolType type) {
+  if (type == ProtocolType::kType1) return 1;
+  if (is_atomic(opc)) return 1;
+  if (is_load(opc)) return data_cells(opc, bus_bytes);
+  // Stores: Type3 acknowledges once; Type2 is symmetric.
+  return type == ProtocolType::kType3 ? 1 : data_cells(opc, bus_bytes);
+}
+
+bool lanes_legal(Opcode opc, std::uint32_t add, int bus_bytes) {
+  const int size = size_bytes(opc);
+  if (size >= bus_bytes) return true;
+  const int lane0 =
+      static_cast<int>(add % static_cast<std::uint32_t>(bus_bytes));
+  return lane0 + size <= bus_bytes;
+}
+
+Bits byte_enables(Opcode opc, std::uint32_t add, int bus_bytes, int cell) {
+  const int size = size_bytes(opc);
+  Bits be(bus_bytes);
+  if (size >= bus_bytes) {
+    return Bits::all_ones(bus_bytes);
+  }
+  // Sub-bus transfer: one cell, lanes chosen by the address offset.
+  if (cell != 0) {
+    throw std::invalid_argument("byte_enables: sub-bus op has a single cell");
+  }
+  if (!lanes_legal(opc, add, bus_bytes)) {
+    throw std::invalid_argument("byte_enables: lanes straddle the bus word");
+  }
+  const int lane0 = static_cast<int>(add % static_cast<std::uint32_t>(bus_bytes));
+  for (int i = 0; i < size; ++i) be.set_bit(lane0 + i, true);
+  return be;
+}
+
+std::uint32_t cell_address(std::uint32_t add, int bus_bytes, int cell) {
+  return add + static_cast<std::uint32_t>(cell) *
+                   static_cast<std::uint32_t>(bus_bytes);
+}
+
+bool aligned(Opcode opc, std::uint32_t add) {
+  const auto size = static_cast<std::uint32_t>(size_bytes(opc));
+  return (add & (size - 1)) == 0;
+}
+
+std::vector<RequestCell> build_request(const Request& req, int bus_bytes,
+                                       ProtocolType type) {
+  const int size = size_bytes(req.opc);
+  const bool carries_data = is_store(req.opc) || is_atomic(req.opc);
+  if (carries_data && static_cast<int>(req.wdata.size()) != size) {
+    throw std::invalid_argument("build_request: wdata size mismatch");
+  }
+  if (is_atomic(req.opc) && size > bus_bytes) {
+    // Atomics are single-cell by definition and cannot straddle beats.
+    throw std::invalid_argument("build_request: atomic wider than the bus");
+  }
+  const int n = request_cells(req.opc, bus_bytes, type);
+  std::vector<RequestCell> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    RequestCell cell;
+    cell.opc = req.opc;
+    cell.add = cell_address(req.add, bus_bytes, c);
+    cell.be = byte_enables(req.opc, req.add, bus_bytes, size >= bus_bytes ? 0 : c);
+    cell.data = Bits(bus_bytes * 8);
+    if (carries_data) {
+      const int lane0 = size < bus_bytes ? static_cast<int>(req.add % static_cast<std::uint32_t>(bus_bytes)) : 0;
+      const int chunk = size < bus_bytes ? size : bus_bytes;
+      for (int i = 0; i < chunk; ++i) {
+        const int src_byte = c * bus_bytes + i;
+        if (src_byte < size) {
+          cell.data.set_byte(lane0 + i, req.wdata[static_cast<std::size_t>(src_byte)]);
+        }
+      }
+    }
+    cell.eop = (c == n - 1);
+    cell.lck = req.lck || !cell.eop;
+    cell.src = req.src;
+    cell.tid = req.tid;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<ResponseCell> build_response(Opcode opc, std::uint32_t add,
+                                         std::span<const std::uint8_t> rdata,
+                                         RspOpcode status, int bus_bytes,
+                                         ProtocolType type, std::uint8_t src,
+                                         std::uint8_t tid) {
+  const int size = size_bytes(opc);
+  const bool carries_data = is_load(opc) || is_atomic(opc);
+  if (carries_data && static_cast<int>(rdata.size()) != size) {
+    throw std::invalid_argument("build_response: rdata size mismatch");
+  }
+  if (is_atomic(opc) && size > bus_bytes) {
+    throw std::invalid_argument("build_response: atomic wider than the bus");
+  }
+  const int n = response_cells(opc, bus_bytes, type);
+  std::vector<ResponseCell> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    ResponseCell cell;
+    cell.opc = status;
+    cell.data = Bits(bus_bytes * 8);
+    if (carries_data) {
+      const int lane0 = size < bus_bytes ? static_cast<int>(add % static_cast<std::uint32_t>(bus_bytes)) : 0;
+      const int chunk = size < bus_bytes ? size : bus_bytes;
+      for (int i = 0; i < chunk; ++i) {
+        const int src_byte = c * bus_bytes + i;
+        if (src_byte < size) {
+          cell.data.set_byte(lane0 + i,
+                             rdata[static_cast<std::size_t>(src_byte)]);
+        }
+      }
+    }
+    cell.eop = (c == n - 1);
+    cell.src = src;
+    cell.tid = tid;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<ResponseCell> build_error_response(Opcode opc, int bus_bytes,
+                                               ProtocolType type,
+                                               std::uint8_t src,
+                                               std::uint8_t tid) {
+  const int n = response_cells(opc, bus_bytes, type);
+  std::vector<ResponseCell> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    ResponseCell cell;
+    cell.opc = RspOpcode::kError;
+    cell.data = Bits(bus_bytes * 8);
+    cell.eop = (c == n - 1);
+    cell.src = src;
+    cell.tid = tid;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+namespace {
+
+// Shared lane-unpacking for request and response data payloads.
+std::vector<std::uint8_t> extract_data(Opcode opc, std::uint32_t add,
+                                       int bus_bytes, int n_cells,
+                                       const Bits* (*get)(const void*, int),
+                                       const void* cells) {
+  const int size = size_bytes(opc);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(size), 0);
+  const int lane0 = size < bus_bytes ? static_cast<int>(add % static_cast<std::uint32_t>(bus_bytes)) : 0;
+  const int chunk = size < bus_bytes ? size : bus_bytes;
+  for (int c = 0; c < n_cells; ++c) {
+    const Bits* data = get(cells, c);
+    for (int i = 0; i < chunk; ++i) {
+      const int dst = c * bus_bytes + i;
+      if (dst < size) {
+        out[static_cast<std::size_t>(dst)] = data->byte(lane0 + i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> extract_request_data(
+    Opcode opc, std::uint32_t add, std::span<const RequestCell> cells,
+    int bus_bytes) {
+  return extract_data(
+      opc, add, bus_bytes, static_cast<int>(cells.size()),
+      [](const void* p, int c) {
+        return &static_cast<const RequestCell*>(p)[c].data;
+      },
+      cells.data());
+}
+
+std::vector<std::uint8_t> extract_response_data(
+    Opcode opc, std::uint32_t add, std::span<const ResponseCell> cells,
+    int bus_bytes) {
+  return extract_data(
+      opc, add, bus_bytes, static_cast<int>(cells.size()),
+      [](const void* p, int c) {
+        return &static_cast<const ResponseCell*>(p)[c].data;
+      },
+      cells.data());
+}
+
+}  // namespace crve::stbus

@@ -1,0 +1,67 @@
+// TLM (transaction-level) view of the interconnect — the paper's future
+// work brought into the flow: "Future including of SystemC Verification in
+// verification flow will be a great opportunity to add TLM development and
+// verification phase in the flow."
+//
+// tlm::Node is an untimed functional model: one blocking transport call per
+// logical operation, no pins, no cycles. It serves two roles:
+//   * the first design view to verify, before BCA and RTL exist (the flow
+//     of Fig. 4 gains a third, earlier column);
+//   * the independent reference model the common environment replays
+//     observed traffic through (verif::ReferenceModel), checking the
+//     cycle-accurate views' end-to-end data semantics against the spec.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stbus/config.h"
+#include "stbus/packet.h"
+
+namespace crve::tlm {
+
+// Byte-sparse memory with the shared deterministic fill pattern.
+class Memory {
+ public:
+  explicit Memory(std::uint64_t pattern = 0x5a5a) : pattern_(pattern) {}
+
+  std::uint8_t read(std::uint32_t addr) const;
+  void write(std::uint32_t addr, std::uint8_t value) { bytes_[addr] = value; }
+
+ private:
+  std::uint64_t pattern_;
+  std::unordered_map<std::uint32_t, std::uint8_t> bytes_;
+};
+
+// Result of one transported operation.
+struct Completion {
+  stbus::RspOpcode status = stbus::RspOpcode::kOk;
+  std::vector<std::uint8_t> rdata;  // loads/atomics
+  int target = -1;                  // -1 = decode error
+};
+
+class Node {
+ public:
+  explicit Node(stbus::NodeConfig cfg);
+
+  // Blocking transport: routes the operation, applies memory semantics at
+  // the decoded target, returns the completion. Never touches memory on a
+  // decode error or an illegal lane geometry (status = kError).
+  Completion transport(const stbus::Request& req);
+
+  // Applies an operation directly at a known target (used by the reference
+  // model when replaying target-port traffic).
+  Completion apply_at(int target, const stbus::Request& req);
+
+  Memory& memory(int target) {
+    return mem_[static_cast<std::size_t>(target)];
+  }
+  const stbus::NodeConfig& config() const { return cfg_; }
+
+ private:
+  stbus::NodeConfig cfg_;
+  std::vector<Memory> mem_;
+};
+
+}  // namespace crve::tlm

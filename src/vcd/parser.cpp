@@ -1,0 +1,147 @@
+#include "vcd/parser.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crve::vcd {
+
+namespace {
+
+// Pads or truncates a VCD binary value to exactly `width` characters and
+// expands x/z to 0 (our models are two-valued).
+std::string normalize(std::string v, int width) {
+  for (auto& c : v) {
+    if (c == 'x' || c == 'X' || c == 'z' || c == 'Z') c = '0';
+  }
+  const auto w = static_cast<std::size_t>(width);
+  if (v.size() < w) v.insert(v.begin(), w - v.size(), '0');
+  if (v.size() > w) v.erase(0, v.size() - w);
+  return v;
+}
+
+}  // namespace
+
+Trace Trace::parse_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("vcd::Trace: cannot open " + path);
+  return parse(is);
+}
+
+Trace Trace::parse(std::istream& is) {
+  Trace t;
+  std::map<std::string, int> by_id;
+  std::vector<std::string> scope;
+
+  std::string tok;
+  // --- header ---------------------------------------------------------
+  while (is >> tok) {
+    if (tok == "$scope") {
+      std::string kind, name, end;
+      is >> kind >> name >> end;
+      scope.push_back(name);
+    } else if (tok == "$upscope") {
+      std::string end;
+      is >> end;
+      if (!scope.empty()) scope.pop_back();
+    } else if (tok == "$var") {
+      std::string kind, width_s, id, name, end_or_range;
+      is >> kind >> width_s >> id >> name >> end_or_range;
+      // Optional "[msb:lsb]" token before $end.
+      if (end_or_range != "$end") {
+        std::string end;
+        is >> end;
+      }
+      Var v;
+      v.width = std::stoi(width_s);
+      v.id = id;
+      std::string full;
+      for (const auto& s : scope) full += s + ".";
+      full += name;
+      v.name = full;
+      by_id[id] = static_cast<int>(t.vars_.size());
+      t.vars_.push_back(std::move(v));
+    } else if (tok == "$enddefinitions") {
+      std::string end;
+      is >> end;
+      break;
+    } else if (tok == "$date" || tok == "$version" || tok == "$timescale" ||
+               tok == "$comment") {
+      while (is >> tok && tok != "$end") {
+      }
+    }
+  }
+
+  t.changes_.resize(t.vars_.size());
+  t.zeros_.reserve(t.vars_.size());
+  for (const auto& v : t.vars_) {
+    t.zeros_.emplace_back(static_cast<std::size_t>(v.width), '0');
+  }
+
+  // --- change stream ----------------------------------------------------
+  std::uint64_t now = 0;
+  while (is >> tok) {
+    if (tok.empty()) continue;
+    const char c = tok[0];
+    if (c == '#') {
+      now = std::stoull(tok.substr(1));
+      t.max_time_ = std::max(t.max_time_, now);
+    } else if (c == 'b' || c == 'B') {
+      std::string id;
+      is >> id;
+      auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        throw std::runtime_error("vcd::Trace: unknown id " + id);
+      }
+      const int vi = it->second;
+      t.changes_[static_cast<std::size_t>(vi)].push_back(
+          {now, normalize(tok.substr(1),
+                          t.vars_[static_cast<std::size_t>(vi)].width)});
+    } else if (c == '0' || c == '1' || c == 'x' || c == 'X' || c == 'z' ||
+               c == 'Z') {
+      const std::string id = tok.substr(1);
+      auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        throw std::runtime_error("vcd::Trace: unknown id " + id);
+      }
+      t.changes_[static_cast<std::size_t>(it->second)].push_back(
+          {now, normalize(std::string(1, c), 1)});
+    } else if (c == '$') {
+      // $dumpvars / $end etc. — skip keyword blocks without payload.
+      continue;
+    } else {
+      throw std::runtime_error("vcd::Trace: unexpected token " + tok);
+    }
+  }
+  return t;
+}
+
+std::optional<int> Trace::find(const std::string& suffix) const {
+  std::optional<int> hit;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const std::string& n = vars_[i].name;
+    const bool match =
+        n == suffix || (n.size() > suffix.size() &&
+                        n.compare(n.size() - suffix.size(), suffix.size(),
+                                  suffix) == 0 &&
+                        n[n.size() - suffix.size() - 1] == '.');
+    if (match) {
+      if (hit) return std::nullopt;  // ambiguous
+      hit = static_cast<int>(i);
+    }
+  }
+  return hit;
+}
+
+const std::string& Trace::value_at(int var, std::uint64_t t) const {
+  const auto& ch = changes_[static_cast<std::size_t>(var)];
+  // Last change with time <= t.
+  auto it = std::upper_bound(
+      ch.begin(), ch.end(), t,
+      [](std::uint64_t x, const Change& c) { return x < c.time; });
+  if (it == ch.begin()) return zeros_[static_cast<std::size_t>(var)];
+  return std::prev(it)->value;
+}
+
+}  // namespace crve::vcd

@@ -1,0 +1,57 @@
+// VCD reader used by the STBus Analyzer.
+//
+// Parses the header into a variable table (hierarchical names rebuilt from
+// $scope nesting) and the change stream into per-variable change lists.
+// value_at() answers "what did signal X hold at cycle T" by binary search,
+// which is all the alignment computation needs.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crve::vcd {
+
+struct Var {
+  std::string name;  // full dotted name, e.g. "tb.init0.req"
+  int width = 0;
+  std::string id;    // VCD identifier code
+};
+
+struct Change {
+  std::uint64_t time = 0;
+  std::string value;  // normalized: exactly `width` binary chars
+};
+
+class Trace {
+ public:
+  static Trace parse(std::istream& is);
+  static Trace parse_file(const std::string& path);
+
+  const std::vector<Var>& vars() const { return vars_; }
+
+  // Index of the variable whose full name ends with `suffix` (unique match
+  // required); nullopt when absent.
+  std::optional<int> find(const std::string& suffix) const;
+
+  // Settled value of variable `var` at time `t` (last change at or before t).
+  // Before the first change the value is all-zeros.
+  const std::string& value_at(int var, std::uint64_t t) const;
+
+  const std::vector<Change>& changes(int var) const {
+    return changes_[static_cast<std::size_t>(var)];
+  }
+
+  std::uint64_t max_time() const { return max_time_; }
+
+ private:
+  std::vector<Var> vars_;
+  std::vector<std::vector<Change>> changes_;
+  std::vector<std::string> zeros_;  // all-zero value per var, for t < first
+  std::uint64_t max_time_ = 0;
+};
+
+}  // namespace crve::vcd

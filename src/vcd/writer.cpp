@@ -1,0 +1,108 @@
+#include "vcd/writer.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace crve::vcd {
+
+Writer::Writer(std::ostream& os) : os_(os) {}
+
+Writer::Writer(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(*owned_) {
+  if (!*owned_) throw std::runtime_error("vcd::Writer: cannot open " + path);
+}
+
+Writer::~Writer() { finish(); }
+
+void Writer::finish() { os_.flush(); }
+
+std::string Writer::id_code(int index) {
+  // Base-94 over the printable ASCII range '!'..'~'.
+  std::string id;
+  int n = index;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+namespace {
+
+// Splits "tb.node.req" into scope path {"tb","node"} and leaf "req".
+std::pair<std::vector<std::string>, std::string> split_name(
+    const std::string& full) {
+  std::vector<std::string> scopes;
+  std::string part;
+  std::istringstream is(full);
+  while (std::getline(is, part, '.')) scopes.push_back(part);
+  std::string leaf = scopes.back();
+  scopes.pop_back();
+  return {scopes, leaf};
+}
+
+}  // namespace
+
+void Writer::write_header(const std::vector<sim::SignalBase*>& signals) {
+  os_ << "$date crve $end\n";
+  os_ << "$version crve vcd writer $end\n";
+  os_ << "$timescale 1ns $end\n";
+
+  // Emit $scope/$upscope transitions between consecutive signals' paths.
+  std::vector<std::string> open;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    auto [scopes, leaf] = split_name(signals[i]->name());
+    std::size_t common = 0;
+    while (common < open.size() && common < scopes.size() &&
+           open[common] == scopes[common]) {
+      ++common;
+    }
+    for (std::size_t j = open.size(); j > common; --j) {
+      os_ << "$upscope $end\n";
+    }
+    open.resize(common);
+    for (std::size_t j = common; j < scopes.size(); ++j) {
+      os_ << "$scope module " << scopes[j] << " $end\n";
+      open.push_back(scopes[j]);
+    }
+    os_ << "$var wire " << signals[i]->width() << " "
+        << id_code(static_cast<int>(i)) << " " << leaf << " $end\n";
+  }
+  for (std::size_t j = open.size(); j > 0; --j) os_ << "$upscope $end\n";
+  os_ << "$enddefinitions $end\n";
+  last_.assign(signals.size(), std::string());
+}
+
+void Writer::emit(int index, const std::string& value) {
+  if (value.size() == 1) {
+    os_ << value << id_code(index) << "\n";
+  } else {
+    // Canonical VCD truncates leading zeros but keeps at least one digit.
+    std::size_t first = value.find('1');
+    const std::string trimmed =
+        first == std::string::npos ? "0" : value.substr(first);
+    os_ << "b" << trimmed << " " << id_code(index) << "\n";
+  }
+}
+
+void Writer::sample(std::uint64_t cycle,
+                    const std::vector<sim::SignalBase*>& signals) {
+  if (!header_done_) {
+    write_header(signals);
+    header_done_ = true;
+  }
+  bool time_emitted = false;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const std::string v = signals[i]->vcd_value();
+    if (v == last_[i]) continue;
+    if (!time_emitted) {
+      os_ << "#" << cycle << "\n";
+      time_emitted = true;
+    }
+    emit(static_cast<int>(i), v);
+    last_[i] = v;
+  }
+}
+
+}  // namespace crve::vcd

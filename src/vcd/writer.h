@@ -1,0 +1,48 @@
+// VCD (Value Change Dump, IEEE 1364) writer.
+//
+// Implements sim::Tracer: after each settled cycle it emits value changes
+// for every registered signal. The regression tool dumps one VCD per
+// (model view, test, seed) run; STBA later diffs the RTL and BCA dumps.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+
+namespace crve::vcd {
+
+class Writer : public sim::Tracer {
+ public:
+  // Writes to an externally owned stream.
+  explicit Writer(std::ostream& os);
+  // Opens and owns a file stream; throws on failure.
+  explicit Writer(const std::string& path);
+  ~Writer() override;
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void sample(std::uint64_t cycle,
+              const std::vector<sim::SignalBase*>& signals) override;
+
+  // Flushes the underlying stream (done automatically on destruction).
+  void finish();
+
+  // VCD identifier code for the i-th declared variable.
+  static std::string id_code(int index);
+
+ private:
+  void write_header(const std::vector<sim::SignalBase*>& signals);
+  void emit(int index, const std::string& value);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream& os_;
+  bool header_done_ = false;
+  std::vector<std::string> last_;  // last emitted value per signal
+};
+
+}  // namespace crve::vcd

@@ -1,0 +1,81 @@
+// Target BFM: a latency-programmable memory model.
+//
+// Accepts request packets (with optional per-cycle wait states), applies
+// stores to a sparse byte memory honouring byte enables, and produces
+// response packets after a configurable latency. Memory reads of untouched
+// locations return a deterministic address-hash pattern, so load data is
+// reproducible without pre-initialization. Responses leave one target in
+// arrival order; out-of-order traffic at an initiator arises from targets
+// of different speeds — exactly how the paper's test case forces it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/context.h"
+#include "stbus/config.h"
+#include "stbus/packet.h"
+#include "stbus/pins.h"
+
+namespace crve::verif {
+
+struct TargetProfile {
+  // Cycles between absorbing a request packet and offering the response.
+  int fixed_latency = 2;
+  // Extra random latency drawn uniformly in [0, extra_latency_max].
+  std::uint32_t extra_latency_max = 0;
+  // Per-mille chance of a wait state (gnt low) each cycle.
+  std::uint32_t gnt_stall_permille = 0;
+  // Per-mille chance a packet is answered with ERROR (memory untouched).
+  std::uint32_t error_permille = 0;
+  // Seed for the default memory fill pattern.
+  std::uint64_t mem_pattern = 0x5a5a;
+};
+
+class TargetBfm {
+ public:
+  TargetBfm(sim::Context& ctx, std::string name, stbus::PortPins& pins,
+            stbus::ProtocolType type, TargetProfile profile, Rng rng);
+
+  // Direct memory access for tests.
+  std::uint8_t peek(std::uint32_t addr) const;
+  void poke(std::uint32_t addr, std::uint8_t value);
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t error_packets = 0;
+    std::uint64_t illegal_packets = 0;  // geometrically malformed requests
+  };
+  const Stats& stats() const { return stats_; }
+
+  // True when no response is pending or in flight.
+  bool idle() const { return pending_.empty() && rsp_cells_.empty(); }
+
+ private:
+  struct Pending {
+    std::vector<stbus::ResponseCell> cells;
+    std::uint64_t ready_cycle = 0;
+  };
+
+  void step();
+  void process_packet();
+
+  std::string name_;
+  sim::Context& ctx_;
+  stbus::PortPins& pins_;
+  stbus::ProtocolType type_;
+  TargetProfile prof_;
+  Rng rng_;
+
+  std::unordered_map<std::uint32_t, std::uint8_t> mem_;
+  std::vector<stbus::RequestCell> req_cells_;
+  std::deque<Pending> pending_;
+  std::deque<stbus::ResponseCell> rsp_cells_;  // packet being driven
+  Stats stats_;
+};
+
+}  // namespace crve::verif

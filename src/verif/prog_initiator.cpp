@@ -1,0 +1,56 @@
+#include "verif/prog_initiator.h"
+
+#include "stbus/opcode.h"
+
+namespace crve::verif {
+
+ProgInitiator::ProgInitiator(sim::Context& ctx, std::string name,
+                             stbus::PortPins& pins,
+                             std::vector<ProgOp> schedule)
+    : name_(std::move(name)),
+      ctx_(ctx),
+      pins_(pins),
+      schedule_(std::move(schedule)) {
+  ctx.add_clocked("prog." + name_, [this] { step(); });
+}
+
+void ProgInitiator::step() {
+  const std::uint64_t prev_cycle = ctx_.cycle() - 1;
+
+  if (busy_ && pins_.gnt.read()) {
+    // Type1 ack observed: the access completed last cycle.
+    ProgResult r;
+    r.op = schedule_[next_];
+    r.read_value =
+        static_cast<std::uint32_t>(pins_.r_data.read().to_u64() & 0xffffffffu);
+    r.error = static_cast<stbus::RspOpcode>(pins_.r_opc.read()) ==
+              stbus::RspOpcode::kError;
+    r.done_cycle = prev_cycle;
+    results_.push_back(r);
+    busy_ = false;
+    ++next_;
+    pins_.idle_request();
+    return;
+  }
+
+  if (!busy_ && next_ < schedule_.size() &&
+      ctx_.cycle() >= schedule_[next_].at_cycle) {
+    busy_ = true;
+  }
+
+  if (busy_) {
+    const ProgOp& op = schedule_[next_];
+    stbus::RequestCell cell;
+    cell.opc = op.write ? stbus::Opcode::kSt4 : stbus::Opcode::kLd4;
+    cell.add = static_cast<std::uint32_t>(op.index) * 4;
+    cell.data = crve::Bits(pins_.bus_bytes * 8, op.value);
+    cell.be = crve::Bits::all_ones(pins_.bus_bytes);
+    cell.eop = true;
+    pins_.drive_request(cell);
+  } else {
+    pins_.idle_request();
+  }
+  pins_.r_gnt.write(true);
+}
+
+}  // namespace crve::verif

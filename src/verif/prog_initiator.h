@@ -1,0 +1,51 @@
+// Programming initiator: drives the node's Type1 programming port.
+//
+// Executes a directed schedule of priority-register accesses (paper Fig. 6:
+// the "Programming Initiator" that changes arbitration priorities while
+// random traffic runs on the data ports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+#include "stbus/pins.h"
+
+namespace crve::verif {
+
+struct ProgOp {
+  std::uint64_t at_cycle = 0;  // earliest cycle the access may start
+  bool write = false;
+  int index = 0;               // initiator whose priority register is touched
+  std::uint32_t value = 0;     // write data
+};
+
+struct ProgResult {
+  ProgOp op;
+  std::uint32_t read_value = 0;
+  bool error = false;
+  std::uint64_t done_cycle = 0;
+};
+
+class ProgInitiator {
+ public:
+  ProgInitiator(sim::Context& ctx, std::string name, stbus::PortPins& pins,
+                std::vector<ProgOp> schedule);
+
+  bool done() const { return next_ >= schedule_.size() && !busy_; }
+  const std::vector<ProgResult>& results() const { return results_; }
+
+ private:
+  void step();
+
+  std::string name_;
+  sim::Context& ctx_;
+  stbus::PortPins& pins_;
+  std::vector<ProgOp> schedule_;
+  std::size_t next_ = 0;
+  bool busy_ = false;
+  std::vector<ProgResult> results_;
+};
+
+}  // namespace crve::verif

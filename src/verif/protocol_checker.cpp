@@ -1,0 +1,286 @@
+#include "verif/protocol_checker.h"
+
+#include <algorithm>
+
+#include "stbus/packet.h"
+
+namespace crve::verif {
+
+using stbus::Opcode;
+using stbus::RequestCell;
+using stbus::ResponseCell;
+using stbus::RspOpcode;
+
+ProtocolChecker::ProtocolChecker(sim::Context& ctx, std::string name,
+                                 const stbus::PortPins& pins,
+                                 stbus::ProtocolType type, Role role,
+                                 int expected_src,
+                                 const stbus::NodeConfig* map)
+    : name_(std::move(name)),
+      ctx_(ctx),
+      pins_(pins),
+      type_(type),
+      role_(role),
+      expected_src_(expected_src),
+      map_(map) {
+  ctx.add_clocked("chk." + name_, [this] { sample(); });
+}
+
+void ProtocolChecker::report(std::uint64_t cycle, const std::string& rule,
+                             const std::string& message) {
+  ++count_;
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back({cycle, name_, rule, message});
+  }
+}
+
+void ProtocolChecker::sample() {
+  const std::uint64_t cycle = ctx_.cycle() - 1;
+
+  const bool req = pins_.req.read();
+  const bool gnt = pins_.gnt.read();
+  const bool r_req = pins_.r_req.read();
+  const bool r_gnt = pins_.r_gnt.read();
+
+  // HOLD rules: a stalled channel must not change its payload or retract.
+  if (prev_valid_ && prev_req_ && !prev_gnt_) {
+    if (!req) {
+      report(cycle, "HOLD_REQ", "request retracted while ungranted");
+    } else {
+      const RequestCell now = pins_.sample_request();
+      const RequestCell& p = prev_req_cell_;
+      if (now.opc != p.opc || now.add != p.add || !(now.data == p.data) ||
+          !(now.be == p.be) || now.eop != p.eop || now.lck != p.lck ||
+          now.src != p.src || now.tid != p.tid) {
+        report(cycle, "HOLD_REQ", "request payload changed while ungranted");
+      }
+    }
+  }
+  if (prev_valid_ && prev_r_req_ && !prev_r_gnt_) {
+    if (!r_req) {
+      report(cycle, "HOLD_RSP", "response retracted while ungranted");
+    } else {
+      const ResponseCell now = pins_.sample_response();
+      const ResponseCell& p = prev_rsp_cell_;
+      if (now.opc != p.opc || !(now.data == p.data) || now.eop != p.eop ||
+          now.src != p.src || now.tid != p.tid) {
+        report(cycle, "HOLD_RSP", "response payload changed while ungranted");
+      }
+    }
+  }
+
+  // Starvation watchdog: a channel stalled for starve_limit_ consecutive
+  // cycles is reported once per episode.
+  auto watch = [this, cycle](bool stalled, int& counter, bool& reported,
+                             const char* what) {
+    if (!stalled) {
+      counter = 0;
+      reported = false;
+      return;
+    }
+    ++counter;
+    if (starve_limit_ > 0 && counter >= starve_limit_ && !reported) {
+      reported = true;
+      report(cycle, "STARVE",
+             std::string(what) + " ungranted for " +
+                 std::to_string(counter) + " cycles");
+    }
+  };
+  watch(req && !gnt, req_stalled_, req_starved_reported_, "request");
+  watch(r_req && !r_gnt, rsp_stalled_, rsp_starved_reported_, "response");
+
+  if (req && gnt) check_request_fire(cycle);
+  if (r_req && r_gnt) check_response_fire(cycle);
+
+  prev_valid_ = true;
+  prev_req_ = req;
+  prev_gnt_ = gnt;
+  if (req) prev_req_cell_ = pins_.sample_request();
+  prev_r_req_ = r_req;
+  prev_r_gnt_ = r_gnt;
+  if (r_req) prev_rsp_cell_ = pins_.sample_response();
+}
+
+void ProtocolChecker::check_request_fire(std::uint64_t cycle) {
+  const RequestCell cell = pins_.sample_request();
+  const int bus = pins_.bus_bytes;
+  const int beat = static_cast<int>(req_pkt_.size());
+
+  if (beat == 0) {
+    if (!stbus::aligned(cell.opc, cell.add)) {
+      report(cycle, "ALIGN",
+             "address 0x" + std::to_string(cell.add) + " unaligned for " +
+                 stbus::to_string(cell.opc));
+    }
+    if (chunk_target_ && map_ != nullptr) {
+      const int t = map_->route(cell.add);
+      if (t != *chunk_target_) {
+        report(cycle, "CHUNK_TGT",
+               "chunk continued to a different target (" +
+                   std::to_string(t) + " vs " +
+                   std::to_string(*chunk_target_) + ")");
+      }
+    }
+  } else {
+    const RequestCell& head = req_pkt_.front();
+    if (cell.opc != head.opc) {
+      report(cycle, "OPC_STABLE", "opcode changed within packet");
+    }
+    const std::uint32_t expect_add =
+        stbus::cell_address(head.add, bus, beat);
+    if (cell.add != expect_add) {
+      report(cycle, "ADDR_SEQ", "beat address not incrementing by bus width");
+    }
+    if (cell.src != head.src) {
+      report(cycle, "SRC_STABLE", "src changed within packet");
+    }
+  }
+
+  if (role_ == Role::kInitiatorPort && expected_src_ >= 0 &&
+      static_cast<int>(cell.src) != expected_src_) {
+    report(cycle, "SRC_STABLE",
+           "src " + std::to_string(cell.src) + " != port id " +
+               std::to_string(expected_src_));
+  }
+
+  // Byte enables: multi-beat packets use full enables; sub-bus single-cell
+  // packets use the aligned lane mask. A (opcode, address) pair whose lanes
+  // cannot fit the bus word at all is itself a violation.
+  const int size = stbus::size_bytes(cell.opc);
+  const std::uint32_t be_add =
+      req_pkt_.empty() ? cell.add : req_pkt_.front().add;
+  if (!stbus::lanes_legal(cell.opc, be_add, bus)) {
+    report(cycle, "BE", "operation lanes straddle the bus word");
+  } else {
+    const crve::Bits expect_be =
+        size >= bus ? crve::Bits::all_ones(bus)
+                    : stbus::byte_enables(cell.opc, be_add, bus, 0);
+    if (!(cell.be == expect_be)) {
+      report(cycle, "BE", "byte enables do not match opcode/address");
+    }
+  }
+
+  const int expect_cells = stbus::request_cells(
+      req_pkt_.empty() ? cell.opc : req_pkt_.front().opc, bus, type_);
+  const bool should_be_last = beat + 1 == expect_cells;
+  if (cell.eop != should_be_last) {
+    report(cycle, "PKT_LEN",
+           "eop on beat " + std::to_string(beat + 1) + " of " +
+               std::to_string(expect_cells));
+  }
+  if (!cell.eop && !cell.lck) {
+    report(cycle, "LCK_MID", "mid-packet cell without lck");
+  }
+
+  req_pkt_.push_back(cell);
+  if (cell.eop || beat + 1 >= expect_cells) {
+    // Packet complete (treat a bad-eop packet as complete to resync).
+    if (type_ == stbus::ProtocolType::kType3) {
+      for (const auto& o : outstanding_) {
+        if (o.tid == cell.tid && o.src == req_pkt_.front().src) {
+          report(cycle, "TID_REUSE",
+                 "tid " + std::to_string(cell.tid) + " already outstanding");
+        }
+      }
+    }
+    Outstanding o;
+    o.opc = req_pkt_.front().opc;
+    o.src = req_pkt_.front().src;
+    o.tid = req_pkt_.front().tid;
+    o.rsp_cells = stbus::response_cells(o.opc, bus, type_);
+    outstanding_.push_back(o);
+    chunk_target_.reset();
+    if (cell.lck && map_ != nullptr) {
+      chunk_target_ = map_->route(req_pkt_.front().add);
+    }
+    req_pkt_.clear();
+  }
+}
+
+void ProtocolChecker::check_response_fire(std::uint64_t cycle) {
+  const ResponseCell cell = pins_.sample_response();
+
+  if (cell.opc != RspOpcode::kOk && cell.opc != RspOpcode::kError) {
+    report(cycle, "RSP_OPC", "illegal r_opc encoding");
+  }
+
+  if (rsp_pkt_.empty()) {
+    // Start of a response packet: must match an outstanding request.
+    auto match = outstanding_.end();
+    if (type_ == stbus::ProtocolType::kType3) {
+      match = std::find_if(outstanding_.begin(), outstanding_.end(),
+                           [&](const Outstanding& o) {
+                             return o.tid == cell.tid && o.src == cell.src;
+                           });
+    } else if (!outstanding_.empty()) {
+      // Type2: strictly in order.
+      match = outstanding_.begin();
+      if (match->src != cell.src || match->tid != cell.tid) {
+        report(cycle, "RSP_MATCH", "response out of order (src/tid mismatch)");
+      }
+    }
+    if (match == outstanding_.end()) {
+      report(cycle, "RSP_SPUR", "response with no outstanding request");
+      rsp_pkt_.push_back(cell);
+      if (cell.eop) rsp_pkt_.clear();
+      return;
+    }
+    rsp_pkt_.push_back(cell);
+    if (static_cast<int>(rsp_pkt_.size()) == match->rsp_cells) {
+      if (!cell.eop) report(cycle, "PKT_LEN", "missing r_eop on last cell");
+      outstanding_.erase(match);
+      rsp_pkt_.clear();
+    } else if (cell.eop) {
+      report(cycle, "PKT_LEN",
+             "r_eop after " + std::to_string(rsp_pkt_.size()) + " of " +
+                 std::to_string(match->rsp_cells) + " cells");
+      outstanding_.erase(match);
+      rsp_pkt_.clear();
+    }
+  } else {
+    const ResponseCell& head = rsp_pkt_.front();
+    if (cell.src != head.src || cell.tid != head.tid) {
+      report(cycle, "RSP_MATCH", "response packet interleaved (src/tid)");
+    }
+    // Find the packet's outstanding entry to know the expected length.
+    auto match = std::find_if(outstanding_.begin(), outstanding_.end(),
+                              [&](const Outstanding& o) {
+                                return o.tid == head.tid && o.src == head.src;
+                              });
+    rsp_pkt_.push_back(cell);
+    const int expect =
+        match != outstanding_.end() ? match->rsp_cells
+                                    : static_cast<int>(rsp_pkt_.size());
+    if (static_cast<int>(rsp_pkt_.size()) == expect) {
+      if (!cell.eop) report(cycle, "PKT_LEN", "missing r_eop on last cell");
+      if (match != outstanding_.end()) outstanding_.erase(match);
+      rsp_pkt_.clear();
+    } else if (cell.eop) {
+      report(cycle, "PKT_LEN",
+             "r_eop after " + std::to_string(rsp_pkt_.size()) + " of " +
+                 std::to_string(expect) + " cells");
+      if (match != outstanding_.end()) outstanding_.erase(match);
+      rsp_pkt_.clear();
+    }
+  }
+}
+
+void ProtocolChecker::end_of_test() {
+  const std::uint64_t cycle = ctx_.cycle();
+  if (!req_pkt_.empty()) {
+    report(cycle, "EOT", "request packet left incomplete");
+  }
+  if (!rsp_pkt_.empty()) {
+    report(cycle, "EOT", "response packet left incomplete");
+  }
+  if (!outstanding_.empty()) {
+    report(cycle, "EOT",
+           std::to_string(outstanding_.size()) +
+               " transactions without response");
+  }
+  if (chunk_target_) {
+    report(cycle, "EOT", "chunk left open (final packet had lck)");
+  }
+}
+
+}  // namespace crve::verif

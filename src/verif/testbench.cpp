@@ -1,0 +1,317 @@
+#include "verif/testbench.h"
+
+#include <stdexcept>
+
+#include "verif/wrapper.h"
+
+namespace crve::verif {
+
+std::string to_string(ModelKind m) {
+  switch (m) {
+    case ModelKind::kRtl:
+      return "RTL";
+    case ModelKind::kBca:
+      return "BCA";
+    case ModelKind::kBcaWrapped:
+      return "BCA-wrapped";
+  }
+  return "?";
+}
+
+namespace {
+
+// Coverage tap: forwards initiator-port packets into the coverage model.
+class CoverageTap : public MonitorListener {
+ public:
+  CoverageTap(StbusCoverage& cov, int initiator)
+      : cov_(cov), initiator_(initiator) {}
+  void on_request_packet(const ObservedRequest& pkt) override {
+    cov_.sample_request(initiator_, pkt);
+  }
+  void on_response_packet(const ObservedResponse& pkt) override {
+    cov_.sample_response(initiator_, pkt);
+  }
+
+ private:
+  StbusCoverage& cov_;
+  int initiator_;
+};
+
+TargetProfile default_target_profile(const stbus::NodeConfig&, int t) {
+  TargetProfile p;
+  // Staggered speeds: the mix of fast and slow targets the paper's
+  // out-of-order test relies on.
+  p.fixed_latency = 1 + (t % 3) * 2;
+  return p;
+}
+
+}  // namespace
+
+std::string Testbench::initiator_port_name(int i) {
+  return "tb.init" + std::to_string(i);
+}
+
+std::string Testbench::target_port_name(int t) {
+  return "tb.targ" + std::to_string(t);
+}
+
+std::vector<std::string> Testbench::port_signal_names(
+    const std::string& port) {
+  static const char* kFields[] = {"req",  "gnt",   "opc",   "add",  "data",
+                                  "be",   "eop",   "lck",   "src",  "tid",
+                                  "r_req", "r_gnt", "r_opc", "r_data",
+                                  "r_eop", "r_src", "r_tid"};
+  std::vector<std::string> names;
+  for (const char* f : kFields) names.push_back(port + "." + f);
+  return names;
+}
+
+Testbench::Testbench(stbus::NodeConfig cfg, const TestSpec& spec,
+                     TestbenchOptions opts)
+    : cfg_(std::move(cfg)), opts_(std::move(opts)) {
+  if (spec.adjust) spec.adjust(cfg_);
+  if (spec.prog) cfg_.programming_port = true;
+  cfg_.validate_and_normalize();
+
+  // --- environment-side pins ----------------------------------------------
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    ipins_.push_back(std::make_unique<stbus::PortPins>(
+        ctx_, initiator_port_name(i), cfg_));
+  }
+  for (int t = 0; t < cfg_.n_targets; ++t) {
+    tpins_.push_back(std::make_unique<stbus::PortPins>(
+        ctx_, target_port_name(t), cfg_));
+  }
+  if (cfg_.programming_port) {
+    prog_pins_ = std::make_unique<stbus::PortPins>(ctx_, "tb.prog", 4,
+                                                   cfg_.address_bits,
+                                                   cfg_.src_bits,
+                                                   cfg_.tid_bits);
+  }
+
+  // --- DUT ------------------------------------------------------------
+  std::vector<stbus::PortPins*> node_iports;
+  std::vector<stbus::PortPins*> node_tports;
+  if (opts_.model == ModelKind::kBcaWrapped) {
+    // The paper's VHDL-wrapper plumbing: DUT-side bundles behind relays.
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      dut_ipins_.push_back(std::make_unique<stbus::PortPins>(
+          ctx_, "dutwrap.init" + std::to_string(i), cfg_));
+      make_port_wrapper(ctx_, "wrap.init" + std::to_string(i),
+                        *ipins_[static_cast<std::size_t>(i)],
+                        *dut_ipins_.back(), /*dut_receives_requests=*/true);
+      node_iports.push_back(dut_ipins_.back().get());
+    }
+    for (int t = 0; t < cfg_.n_targets; ++t) {
+      dut_tpins_.push_back(std::make_unique<stbus::PortPins>(
+          ctx_, "dutwrap.targ" + std::to_string(t), cfg_));
+      make_port_wrapper(ctx_, "wrap.targ" + std::to_string(t),
+                        *tpins_[static_cast<std::size_t>(t)],
+                        *dut_tpins_.back(), /*dut_receives_requests=*/false);
+      node_tports.push_back(dut_tpins_.back().get());
+    }
+  } else {
+    for (auto& p : ipins_) node_iports.push_back(p.get());
+    for (auto& p : tpins_) node_tports.push_back(p.get());
+  }
+
+  switch (opts_.model) {
+    case ModelKind::kRtl:
+      rtl_node_ = std::make_unique<rtl::Node>(ctx_, cfg_, node_iports,
+                                              node_tports, prog_pins_.get());
+      break;
+    case ModelKind::kBca:
+    case ModelKind::kBcaWrapped:
+      bca_node_ = std::make_unique<bca::Node>(ctx_, cfg_, node_iports,
+                                              node_tports, prog_pins_.get(),
+                                              opts_.faults,
+                                              opts_.bca_memoization);
+      break;
+  }
+
+  // --- BFMs --------------------------------------------------------------
+  Rng master(opts_.seed);
+  for (int i = 0; i < cfg_.n_initiators; ++i) {
+    InitiatorProfile prof =
+        spec.profile ? spec.profile(cfg_, i) : InitiatorProfile{};
+    prof.n_transactions = spec.n_transactions;
+    prof.keep_history = prof.keep_history || opts_.keep_history;
+    std::vector<stbus::Request> directed;
+    if (spec.directed) {
+      directed = spec.directed(cfg_, i);
+      // A directed test drives only the sequences it specifies; ports with
+      // an empty sequence stay silent.
+      if (directed.empty()) prof.n_transactions = 0;
+    }
+    if (!directed.empty()) {
+      bfms_.push_back(std::make_unique<InitiatorBfm>(
+          ctx_, "init" + std::to_string(i),
+          *ipins_[static_cast<std::size_t>(i)], cfg_.type, i, cfg_, prof,
+          master.fork(), std::move(directed)));
+    } else {
+      bfms_.push_back(std::make_unique<InitiatorBfm>(
+          ctx_, "init" + std::to_string(i),
+          *ipins_[static_cast<std::size_t>(i)], cfg_.type, i, cfg_, prof,
+          master.fork()));
+    }
+  }
+  std::vector<std::uint64_t> mem_patterns;
+  bool targets_inject_errors = false;
+  for (int t = 0; t < cfg_.n_targets; ++t) {
+    const TargetProfile prof = spec.target ? spec.target(cfg_, t)
+                                           : default_target_profile(cfg_, t);
+    mem_patterns.push_back(prof.mem_pattern);
+    targets_inject_errors |= prof.error_permille > 0;
+    targets_.push_back(std::make_unique<TargetBfm>(
+        ctx_, "targ" + std::to_string(t),
+        *tpins_[static_cast<std::size_t>(t)], cfg_.type, prof,
+        master.fork()));
+  }
+  if (spec.prog) {
+    prog_bfm_ = std::make_unique<ProgInitiator>(ctx_, "prog", *prog_pins_,
+                                                spec.prog(cfg_));
+  }
+
+  // --- monitors, checkers, scoreboard, coverage ---------------------------
+  if (!opts_.enable_monitors &&
+      (opts_.enable_scoreboard || opts_.enable_coverage)) {
+    throw std::invalid_argument(
+        "TestbenchOptions: scoreboard/coverage require monitors");
+  }
+  if (opts_.enable_monitors) {
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      imons_.push_back(std::make_unique<Monitor>(
+          ctx_, "init" + std::to_string(i),
+          *ipins_[static_cast<std::size_t>(i)]));
+    }
+    for (int t = 0; t < cfg_.n_targets; ++t) {
+      tmons_.push_back(std::make_unique<Monitor>(
+          ctx_, "targ" + std::to_string(t),
+          *tpins_[static_cast<std::size_t>(t)]));
+    }
+  }
+  if (opts_.enable_checkers) {
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      checkers_.push_back(std::make_unique<ProtocolChecker>(
+          ctx_, "init" + std::to_string(i),
+          *ipins_[static_cast<std::size_t>(i)], cfg_.type,
+          ProtocolChecker::Role::kInitiatorPort, i, &cfg_));
+    }
+    for (int t = 0; t < cfg_.n_targets; ++t) {
+      checkers_.push_back(std::make_unique<ProtocolChecker>(
+          ctx_, "targ" + std::to_string(t),
+          *tpins_[static_cast<std::size_t>(t)], cfg_.type,
+          ProtocolChecker::Role::kTargetPort, -1, &cfg_));
+    }
+    if (prog_pins_) {
+      prog_checker_ =
+          std::make_unique<Type1Checker>(ctx_, "prog", *prog_pins_);
+    }
+  }
+  if (opts_.enable_scoreboard) {
+    scoreboard_ = std::make_unique<Scoreboard>(cfg_);
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      scoreboard_->attach_initiator(*imons_[static_cast<std::size_t>(i)], i);
+    }
+    for (int t = 0; t < cfg_.n_targets; ++t) {
+      scoreboard_->attach_target(*tmons_[static_cast<std::size_t>(t)], t);
+    }
+  }
+  if (opts_.enable_reference_model && opts_.enable_monitors &&
+      !targets_inject_errors) {
+    reference_ = std::make_unique<ReferenceModel>(cfg_, mem_patterns);
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      reference_->attach_initiator(*imons_[static_cast<std::size_t>(i)], i);
+    }
+    for (int t = 0; t < cfg_.n_targets; ++t) {
+      reference_->attach_target(*tmons_[static_cast<std::size_t>(t)], t);
+    }
+  }
+  if (opts_.enable_coverage) {
+    coverage_ = std::make_unique<StbusCoverage>(cfg_);
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      cov_taps_.push_back(std::make_unique<CoverageTap>(*coverage_, i));
+      imons_[static_cast<std::size_t>(i)]->subscribe(cov_taps_.back().get());
+    }
+  }
+  if (opts_.enable_toggle_coverage) {
+    toggle_ = std::make_unique<ToggleCoverage>();
+    ctx_.attach_tracer(toggle_.get());
+  }
+  if (!opts_.vcd_path.empty()) {
+    vcd_ = std::make_unique<vcd::Writer>(opts_.vcd_path);
+    ctx_.attach_tracer(vcd_.get());
+  } else if (opts_.vcd_stream != nullptr) {
+    vcd_ = std::make_unique<vcd::Writer>(*opts_.vcd_stream);
+    ctx_.attach_tracer(vcd_.get());
+  }
+}
+
+Testbench::~Testbench() = default;
+
+bool Testbench::traffic_drained() const {
+  for (const auto& b : bfms_) {
+    if (!b->done()) return false;
+  }
+  for (const auto& t : targets_) {
+    if (!t->idle()) return false;
+  }
+  if (prog_bfm_ && !prog_bfm_->done()) return false;
+  return true;
+}
+
+RunResult Testbench::run() {
+  RunResult res;
+  ctx_.initialize();
+  while (ctx_.cycle() < opts_.max_cycles) {
+    ctx_.step();
+    if (traffic_drained()) {
+      res.completed = true;
+      // A few drain cycles so monitors flush final packets.
+      ctx_.step(4);
+      break;
+    }
+  }
+  for (auto& c : checkers_) c->end_of_test();
+  if (scoreboard_) scoreboard_->end_of_test();
+  if (reference_) reference_->end_of_test();
+  if (vcd_) vcd_->finish();
+
+  res.cycles = ctx_.cycle();
+  res.evaluations = ctx_.evaluations();
+  for (auto& c : checkers_) {
+    res.checker_violations += c->violation_count();
+    for (const auto& v : c->violations()) {
+      if (res.violations.size() < 100) res.violations.push_back(v);
+    }
+  }
+  if (prog_checker_) {
+    res.checker_violations += prog_checker_->violation_count();
+    for (const auto& v : prog_checker_->violations()) {
+      if (res.violations.size() < 100) res.violations.push_back(v);
+    }
+  }
+  if (scoreboard_) {
+    res.scoreboard_errors = scoreboard_->error_count();
+    res.sb_errors = scoreboard_->errors();
+  }
+  if (reference_) {
+    res.reference_mismatches = reference_->error_count();
+    res.ref_errors = reference_->errors();
+  }
+  if (coverage_) {
+    res.coverage_percent = coverage_->percent();
+    res.coverage_digest = coverage_->digest();
+  }
+  if (toggle_) res.toggle_percent = toggle_->percent();
+  auto add_util = [&res](const Monitor& m) {
+    res.utilisation.push_back({m.name(), m.stats().busy_cycles,
+                               m.stats().request_packets,
+                               m.stats().response_packets});
+  };
+  for (const auto& m : imons_) add_util(*m);
+  for (const auto& m : tmons_) add_util(*m);
+  return res;
+}
+
+}  // namespace crve::verif

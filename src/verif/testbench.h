@@ -1,0 +1,183 @@
+// Generic testbench (paper Fig. 2 / Fig. 6).
+//
+// Builds, for one node configuration and one test specification, the full
+// common verification environment — initiator/target BFMs, monitors,
+// protocol checkers, scoreboard, functional coverage, optional programming
+// initiator and VCD dump — around either view of the DUT. The choice of
+// model (RTL, BCA, or BCA-behind-wrappers) is a single enum: nothing else
+// in the environment changes, which is the paper's central claim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bca/faults.h"
+#include "bca/node.h"
+#include "rtl/node.h"
+#include "sim/context.h"
+#include "stbus/config.h"
+#include "stbus/pins.h"
+#include "vcd/writer.h"
+#include "verif/bfm_initiator.h"
+#include "verif/bfm_target.h"
+#include "verif/coverage.h"
+#include "verif/monitor.h"
+#include "verif/prog_initiator.h"
+#include "verif/protocol_checker.h"
+#include "verif/reference_model.h"
+#include "verif/scoreboard.h"
+#include "verif/toggle_coverage.h"
+#include "verif/type1_checker.h"
+
+namespace crve::verif {
+
+enum class ModelKind { kRtl, kBca, kBcaWrapped };
+
+std::string to_string(ModelKind m);
+
+// One of the twelve (plus old-flow) generic test cases. All hooks receive
+// the final node configuration so tests adapt to any HDL parameter set.
+struct TestSpec {
+  std::string name;
+  std::string description;
+  int n_transactions = 100;  // per initiator
+  // Configuration demands of the test (e.g. forces an arbitration policy).
+  std::function<void(stbus::NodeConfig&)> adjust;
+  // Random profile per initiator (required unless `directed` is set).
+  std::function<InitiatorProfile(const stbus::NodeConfig&, int)> profile;
+  // Directed sequence per initiator (old-flow harness, smoke tests).
+  std::function<std::vector<stbus::Request>(const stbus::NodeConfig&, int)>
+      directed;
+  // Target profile per target (default: short per-target-staggered latency).
+  std::function<TargetProfile(const stbus::NodeConfig&, int)> target;
+  // Programming-port schedule (requires cfg.programming_port).
+  std::function<std::vector<ProgOp>(const stbus::NodeConfig&)> prog;
+};
+
+struct TestbenchOptions {
+  ModelKind model = ModelKind::kRtl;
+  std::uint64_t seed = 1;
+  bca::Faults faults;        // applied to the BCA view only
+  bool bca_memoization = true;  // ablation knob (bench_sim_speed)
+  std::string vcd_path;      // non-empty: dump all signals to this file
+  std::ostream* vcd_stream = nullptr;  // alternative in-memory dump target
+  bool enable_checkers = true;
+  bool enable_scoreboard = true;
+  bool enable_coverage = true;
+  // Replays observed traffic through the untimed TLM view and checks the
+  // end-to-end data semantics. Auto-disabled when a target BFM injects
+  // random errors (the reference model cannot predict those).
+  bool enable_reference_model = true;
+  // Monitors are required by the scoreboard, coverage and the reference
+  // model; disabling them is only legal (and only useful) for raw
+  // model-speed measurements.
+  bool enable_monitors = true;
+  // Per-bit toggle coverage over all traced signals (the both-view analog
+  // of the paper's RTL-only code coverage). Opt-in: it samples every signal
+  // every cycle.
+  bool enable_toggle_coverage = false;
+  bool keep_history = false;  // record completed transactions in the BFMs
+  std::uint64_t max_cycles = 500000;
+};
+
+struct RunResult {
+  bool completed = false;  // all traffic drained before max_cycles
+  std::uint64_t cycles = 0;
+  std::uint64_t evaluations = 0;  // kernel process evaluations (sim cost)
+  std::uint64_t checker_violations = 0;
+  std::uint64_t scoreboard_errors = 0;
+  std::uint64_t reference_mismatches = 0;
+  double coverage_percent = 0.0;
+  std::uint64_t coverage_digest = 0;
+  double toggle_percent = -1.0;  // -1 = toggle coverage disabled
+  // Per-port utilisation (cycles with any transfer / total cycles).
+  struct PortUtilisation {
+    std::string port;
+    std::uint64_t busy_cycles = 0;
+    std::uint64_t request_packets = 0;
+    std::uint64_t response_packets = 0;
+  };
+  std::vector<PortUtilisation> utilisation;
+  std::vector<Violation> violations;         // first ~100
+  std::vector<ScoreboardError> sb_errors;    // first ~100
+  std::vector<ReferenceError> ref_errors;    // first ~100
+
+  bool passed() const {
+    return completed && checker_violations == 0 && scoreboard_errors == 0 &&
+           reference_mismatches == 0;
+  }
+};
+
+class Testbench {
+ public:
+  Testbench(stbus::NodeConfig cfg, const TestSpec& spec,
+            TestbenchOptions opts);
+  ~Testbench();
+
+  Testbench(const Testbench&) = delete;
+  Testbench& operator=(const Testbench&) = delete;
+
+  // Runs to completion (or opts.max_cycles) and gathers the result.
+  RunResult run();
+
+  // --- component access for tests and benches -----------------------------
+  sim::Context& ctx() { return ctx_; }
+  const stbus::NodeConfig& config() const { return cfg_; }
+  InitiatorBfm& initiator(int i) { return *bfms_[static_cast<std::size_t>(i)]; }
+  TargetBfm& target(int t) { return *targets_[static_cast<std::size_t>(t)]; }
+  Monitor& initiator_monitor(int i) {
+    return *imons_[static_cast<std::size_t>(i)];
+  }
+  Monitor& target_monitor(int t) {
+    return *tmons_[static_cast<std::size_t>(t)];
+  }
+  const StbusCoverage* coverage() const { return coverage_.get(); }
+  const ToggleCoverage* toggle_coverage() const { return toggle_.get(); }
+  const ReferenceModel* reference_model() const { return reference_.get(); }
+  ProgInitiator* prog_initiator() { return prog_bfm_.get(); }
+  rtl::Node* rtl_node() { return rtl_node_.get(); }
+  bca::Node* bca_node() { return bca_node_.get(); }
+
+  // Full dotted names of the environment-side port signals (for STBA).
+  static std::vector<std::string> port_signal_names(const std::string& port);
+  static std::string initiator_port_name(int i);
+  static std::string target_port_name(int t);
+
+ private:
+  bool traffic_drained() const;
+
+  stbus::NodeConfig cfg_;
+  TestbenchOptions opts_;
+  sim::Context ctx_;
+
+  std::vector<std::unique_ptr<stbus::PortPins>> ipins_;
+  std::vector<std::unique_ptr<stbus::PortPins>> tpins_;
+  std::unique_ptr<stbus::PortPins> prog_pins_;
+  // Wrapped mode: DUT-side bundles behind the relays.
+  std::vector<std::unique_ptr<stbus::PortPins>> dut_ipins_;
+  std::vector<std::unique_ptr<stbus::PortPins>> dut_tpins_;
+
+  std::unique_ptr<rtl::Node> rtl_node_;
+  std::unique_ptr<bca::Node> bca_node_;
+
+  std::vector<std::unique_ptr<InitiatorBfm>> bfms_;
+  std::vector<std::unique_ptr<TargetBfm>> targets_;
+  std::unique_ptr<ProgInitiator> prog_bfm_;
+
+  std::vector<std::unique_ptr<Monitor>> imons_;
+  std::vector<std::unique_ptr<Monitor>> tmons_;
+  std::vector<std::unique_ptr<ProtocolChecker>> checkers_;
+  std::unique_ptr<Type1Checker> prog_checker_;
+  std::unique_ptr<Scoreboard> scoreboard_;
+  std::unique_ptr<ReferenceModel> reference_;
+  std::unique_ptr<StbusCoverage> coverage_;
+  std::unique_ptr<ToggleCoverage> toggle_;
+  std::vector<std::unique_ptr<MonitorListener>> cov_taps_;
+  std::unique_ptr<vcd::Writer> vcd_;
+};
+
+}  // namespace crve::verif

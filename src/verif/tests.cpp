@@ -1,0 +1,330 @@
+#include "verif/tests.h"
+
+#include <stdexcept>
+
+namespace crve::verif {
+
+using stbus::AddressRange;
+using stbus::ArbPolicy;
+using stbus::NodeConfig;
+using stbus::Opcode;
+using stbus::ProtocolType;
+using stbus::Request;
+
+namespace {
+
+// First address-map range owned by a target.
+AddressRange range_of_target(const NodeConfig& cfg, int t) {
+  for (const auto& r : cfg.address_map) {
+    if (r.target == t) return r;
+  }
+  throw std::invalid_argument("no address range for target " +
+                              std::to_string(t));
+}
+
+// A 64-aligned window inside a target's range (concentrated traffic makes
+// address collisions — and therefore ordering behaviour — more likely).
+AddressRange window_of_target(const NodeConfig& cfg, int t,
+                              std::uint32_t span = 0x1000) {
+  AddressRange r = range_of_target(cfg, t);
+  r.size = std::min(r.size, span);
+  return r;
+}
+
+std::vector<AddressRange> all_windows(const NodeConfig& cfg) {
+  std::vector<AddressRange> w;
+  for (int t = 0; t < cfg.n_targets; ++t) {
+    w.push_back(window_of_target(cfg, t));
+  }
+  return w;
+}
+
+// Only the opcodes listed get the given weight; everything else zero.
+std::vector<std::uint32_t> weights_of(
+    std::initializer_list<std::pair<Opcode, std::uint32_t>> list) {
+  std::vector<std::uint32_t> w(stbus::kNumOpcodes, 0);
+  for (auto [opc, weight] : list) {
+    w[static_cast<std::size_t>(opc)] = weight;
+  }
+  return w;
+}
+
+// Directed write-then-read sequence into an initiator-private region.
+std::vector<Request> write_read_sequence(const NodeConfig& cfg, int init,
+                                         int pairs) {
+  const int t = init % cfg.n_targets;
+  const AddressRange r = range_of_target(cfg, t);
+  // Private 1KiB block per initiator to keep read-back values predictable.
+  const std::uint32_t base =
+      r.base + static_cast<std::uint32_t>(init) * 0x400 % std::max(r.size, 1u);
+  std::vector<Request> seq;
+  for (int k = 0; k < pairs; ++k) {
+    Request st;
+    st.opc = Opcode::kSt4;
+    st.add = base + static_cast<std::uint32_t>(k) * 4;
+    st.wdata = {static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(init),
+                0xa5, static_cast<std::uint8_t>(k ^ init)};
+    seq.push_back(st);
+  }
+  for (int k = 0; k < pairs; ++k) {
+    Request ld;
+    ld.opc = Opcode::kLd4;
+    ld.add = base + static_cast<std::uint32_t>(k) * 4;
+    seq.push_back(ld);
+  }
+  return seq;
+}
+
+}  // namespace
+
+TestSpec t01_basic_write_read() {
+  TestSpec s;
+  s.name = "t01_basic_write_read";
+  s.description = "directed write-then-read smoke test, private regions";
+  s.n_transactions = 32;
+  s.profile = [](const NodeConfig&, int) {
+    InitiatorProfile p;
+    p.max_outstanding = 1;
+    return p;
+  };
+  s.directed = [](const NodeConfig& cfg, int i) {
+    return write_read_sequence(cfg, i, 16);
+  };
+  return s;
+}
+
+TestSpec t02_random_all_opcodes() {
+  TestSpec s;
+  s.name = "t02_random_all_opcodes";
+  s.description = "flat random mix over the full opcode set";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.chunk_permille = 50;
+    p.idle_permille = 250;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t03_out_of_order() {
+  TestSpec s;
+  s.name = "t03_out_of_order";
+  s.description = "short loads to targets of different speeds (Type3 OOO)";
+  s.adjust = [](NodeConfig& cfg) { cfg.type = ProtocolType::kType3; };
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.opcode_weights = weights_of({{Opcode::kLd1, 1},
+                                   {Opcode::kLd2, 2},
+                                   {Opcode::kLd4, 4},
+                                   {Opcode::kSt4, 2}});
+    p.max_size_bytes = cfg.bus_bytes;
+    p.idle_permille = 0;
+    p.max_outstanding = 8;
+    return p;
+  };
+  s.target = [](const NodeConfig&, int t) {
+    TargetProfile p;
+    p.fixed_latency = 1 + 4 * t;  // fast vs slow targets
+    return p;
+  };
+  return s;
+}
+
+TestSpec t04_latency_arbitration() {
+  TestSpec s;
+  s.name = "t04_latency_arbitration";
+  s.description = "latency-based arbitration under full contention";
+  s.adjust = [](NodeConfig& cfg) {
+    cfg.arb = ArbPolicy::kLatencyBased;
+    cfg.latency_deadline.clear();
+    for (int i = 0; i < cfg.n_initiators; ++i) {
+      cfg.latency_deadline.push_back(4 + 6 * i);
+    }
+  };
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = {window_of_target(cfg, 0)};
+    p.opcode_weights = weights_of({{Opcode::kLd4, 1}, {Opcode::kSt4, 1}});
+    p.idle_permille = 0;
+    p.max_outstanding = 2;
+    return p;
+  };
+  s.target = [](const NodeConfig&, int) {
+    TargetProfile p;
+    p.fixed_latency = 1;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t05_chunked_traffic() {
+  TestSpec s;
+  s.name = "t05_chunked_traffic";
+  s.description = "heavy lck chunking keeps slave allocation";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.chunk_permille = 600;
+    p.max_chunk_packets = 4;
+    p.max_size_bytes = cfg.bus_bytes * 2;
+    p.idle_permille = 100;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t06_size_sweep() {
+  TestSpec s;
+  s.name = "t06_size_sweep";
+  s.description = "all operation sizes including multi-cell packets";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.idle_permille = 150;
+    p.max_outstanding = 2;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t07_target_contention() {
+  TestSpec s;
+  s.name = "t07_target_contention";
+  s.description = "every initiator hammers target 0";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = {window_of_target(cfg, 0)};
+    p.idle_permille = 0;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t08_programmable_priority() {
+  TestSpec s;
+  s.name = "t08_programmable_priority";
+  s.description = "priorities rewritten mid-run through the prog port";
+  s.adjust = [](NodeConfig& cfg) { cfg.arb = ArbPolicy::kProgrammable; };
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = {window_of_target(cfg, 0)};
+    p.opcode_weights = weights_of({{Opcode::kLd4, 1}, {Opcode::kSt4, 1}});
+    p.idle_permille = 0;
+    return p;
+  };
+  s.prog = [](const NodeConfig& cfg) {
+    std::vector<ProgOp> ops;
+    ops.push_back({50, true, 0, 100});   // boost initiator 0
+    ops.push_back({120, false, 0, 0});   // read back
+    const int last = cfg.n_initiators - 1;
+    ops.push_back({200, true, last, 200});  // boost the last initiator
+    ops.push_back({260, false, last, 0});
+    for (int i = 0; i < cfg.n_initiators; ++i) {
+      ops.push_back({320 + static_cast<std::uint64_t>(i) * 8, true, i, 5});
+    }
+    return ops;
+  };
+  return s;
+}
+
+TestSpec t09_backpressure() {
+  TestSpec s;
+  s.name = "t09_backpressure";
+  s.description = "wait states at targets, response stalls at initiators";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.rsp_stall_permille = 300;
+    p.idle_permille = 0;
+    return p;
+  };
+  s.target = [](const NodeConfig&, int t) {
+    TargetProfile p;
+    p.fixed_latency = 1 + (t % 2);
+    p.gnt_stall_permille = 300;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t10_decode_errors() {
+  TestSpec s;
+  s.name = "t10_decode_errors";
+  s.description = "part of the traffic aims at unmapped addresses";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.decode_error_permille = 250;
+    p.error_window = AddressRange{0xF0000000u, 0x10000u, 0};
+    p.idle_permille = 100;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t11_bandwidth_limits() {
+  TestSpec s;
+  s.name = "t11_bandwidth_limits";
+  s.description = "bandwidth-limited policy with a tight quota on init 0";
+  s.adjust = [](NodeConfig& cfg) {
+    cfg.arb = ArbPolicy::kBandwidthLimited;
+    cfg.bandwidth_quota.assign(static_cast<std::size_t>(cfg.n_initiators), 0);
+    cfg.bandwidth_quota[0] = 8;  // at most 8 grants per window
+    cfg.bandwidth_window = 64;
+  };
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = {window_of_target(cfg, 0)};
+    p.opcode_weights = weights_of({{Opcode::kLd4, 1}, {Opcode::kSt4, 1}});
+    p.idle_permille = 0;
+    return p;
+  };
+  return s;
+}
+
+TestSpec t12_locked_atomics() {
+  TestSpec s;
+  s.name = "t12_locked_atomics";
+  s.description = "read-modify-write and swap mix with chunking";
+  s.profile = [](const NodeConfig& cfg, int) {
+    InitiatorProfile p;
+    p.windows = all_windows(cfg);
+    p.opcode_weights = weights_of({{Opcode::kRmw4, 4},
+                                   {Opcode::kSwap4, 4},
+                                   {Opcode::kLd4, 1},
+                                   {Opcode::kSt4, 1}});
+    p.chunk_permille = 300;
+    p.idle_permille = 100;
+    return p;
+  };
+  return s;
+}
+
+std::vector<TestSpec> catg_test_suite() {
+  return {t01_basic_write_read(),     t02_random_all_opcodes(),
+          t03_out_of_order(),         t04_latency_arbitration(),
+          t05_chunked_traffic(),      t06_size_sweep(),
+          t07_target_contention(),    t08_programmable_priority(),
+          t09_backpressure(),         t10_decode_errors(),
+          t11_bandwidth_limits(),     t12_locked_atomics()};
+}
+
+TestSpec old_flow_write_read() {
+  // The paper's pre-CATG testbench: "a very basic model of harnesses
+  // written in SystemC and doing write then read operations towards a
+  // memory model" — a single master, no concurrency, no corner cases.
+  TestSpec s = t01_basic_write_read();
+  s.name = "old_flow_write_read";
+  s.description =
+      "pre-CATG harness: one master, directed write-then-read, data "
+      "self-check only";
+  s.directed = [](const NodeConfig& cfg, int i) {
+    return i == 0 ? write_read_sequence(cfg, 0, 16)
+                  : std::vector<Request>{};
+  };
+  return s;
+}
+
+}  // namespace crve::verif

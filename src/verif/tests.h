@@ -1,0 +1,53 @@
+// The generic STBus node test suite.
+//
+// The paper's Section 5: "Twelve test cases have been developed to cover
+// the tests of all main features of the node such as out of order traffic
+// or latency based arbitration... The test cases are generic and depend on
+// some HDL parameters. They can be reused for all configurations of the
+// Node." Each factory returns a TestSpec whose hooks adapt to the node
+// configuration they are run against.
+//
+//   t01_basic_write_read      directed write-then-read smoke test
+//   t02_random_all_opcodes    flat random mix of the whole opcode set
+//   t03_out_of_order          short loads to targets of different speeds
+//   t04_latency_arbitration   latency-based policy under full contention
+//   t05_chunked_traffic       heavy lck chunking
+//   t06_size_sweep            all sizes incl. multi-cell packets
+//   t07_target_contention     every initiator hammers target 0
+//   t08_programmable_priority priorities rewritten mid-run via prog port
+//   t09_backpressure          wait states and response stalls everywhere
+//   t10_decode_errors         traffic aimed partly at unmapped addresses
+//   t11_bandwidth_limits      bandwidth-limited policy with tight quota
+//   t12_locked_atomics        RMW/SWAP mix with chunking
+//
+// old_flow_write_read() reproduces the pre-CATG harness: a directed
+// write-then-read memory test with no protocol checkers, no scoreboard and
+// no coverage — the baseline of the bug-detection experiment (C3).
+#pragma once
+
+#include <vector>
+
+#include "verif/testbench.h"
+
+namespace crve::verif {
+
+TestSpec t01_basic_write_read();
+TestSpec t02_random_all_opcodes();
+TestSpec t03_out_of_order();
+TestSpec t04_latency_arbitration();
+TestSpec t05_chunked_traffic();
+TestSpec t06_size_sweep();
+TestSpec t07_target_contention();
+TestSpec t08_programmable_priority();
+TestSpec t09_backpressure();
+TestSpec t10_decode_errors();
+TestSpec t11_bandwidth_limits();
+TestSpec t12_locked_atomics();
+
+// All twelve, in order.
+std::vector<TestSpec> catg_test_suite();
+
+// The "past flow" harness (see header comment).
+TestSpec old_flow_write_read();
+
+}  // namespace crve::verif

@@ -1,0 +1,62 @@
+#include "verif/toggle_coverage.h"
+
+namespace crve::verif {
+
+void ToggleCoverage::sample(std::uint64_t /*cycle*/,
+                            const std::vector<sim::SignalBase*>& signals) {
+  if (!initialized_) {
+    initialized_ = true;
+    entries_.reserve(signals.size());
+    for (const auto* s : signals) {
+      Entry e;
+      e.signal = s;
+      e.prev = s->vcd_value();
+      e.bits.resize(static_cast<std::size_t>(s->width()));
+      entries_.push_back(std::move(e));
+    }
+    return;
+  }
+  for (auto& e : entries_) {
+    const std::string now = e.signal->vcd_value();
+    if (now == e.prev) continue;
+    // MSB-first strings; bit index irrelevant for the metric.
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      if (now[i] == e.prev[i]) continue;
+      if (now[i] == '1') {
+        e.bits[i].rose = true;
+      } else {
+        e.bits[i].fell = true;
+      }
+    }
+    e.prev = now;
+  }
+}
+
+ToggleCoverage::Report ToggleCoverage::report() const {
+  Report r;
+  for (const auto& e : entries_) {
+    SignalReport sr;
+    sr.name = e.signal->name();
+    sr.bits = static_cast<int>(e.bits.size());
+    for (const auto& b : e.bits) {
+      sr.rose += b.rose ? 1 : 0;
+      sr.fell += b.fell ? 1 : 0;
+      sr.covered += (b.rose && b.fell) ? 1 : 0;
+    }
+    r.bits_total += sr.bits;
+    r.bits_covered += sr.covered;
+    r.signals.push_back(std::move(sr));
+  }
+  r.percent = r.bits_total > 0 ? 100.0 * r.bits_covered / r.bits_total : 0.0;
+  return r;
+}
+
+std::vector<std::string> ToggleCoverage::stuck_signals() const {
+  std::vector<std::string> out;
+  for (const auto& sr : report().signals) {
+    if (sr.covered < sr.bits) out.push_back(sr.name);
+  }
+  return out;
+}
+
+}  // namespace crve::verif

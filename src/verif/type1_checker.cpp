@@ -1,0 +1,67 @@
+#include "verif/type1_checker.h"
+
+namespace crve::verif {
+
+using stbus::RspOpcode;
+
+Type1Checker::Type1Checker(sim::Context& ctx, std::string name,
+                           const stbus::PortPins& pins)
+    : name_(std::move(name)), ctx_(ctx), pins_(pins) {
+  ctx.add_clocked("t1chk." + name_, [this] { sample(); });
+}
+
+void Type1Checker::report(std::uint64_t cycle, const std::string& rule,
+                          const std::string& message) {
+  ++count_;
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back({cycle, name_, rule, message});
+  }
+}
+
+void Type1Checker::sample() {
+  const std::uint64_t cycle = ctx_.cycle() - 1;
+  const bool req = pins_.req.read();
+  const bool gnt = pins_.gnt.read();
+
+  if (req) {
+    const stbus::RequestCell cell = pins_.sample_request();
+    const int size = stbus::size_bytes(cell.opc);
+    if (size > pins_.bus_bytes) {
+      report(cycle, "T1_SIZE",
+             stbus::to_string(cell.opc) + " wider than the " +
+                 std::to_string(pins_.bus_bytes * 8) + "-bit port");
+    } else if (!stbus::aligned(cell.opc, cell.add)) {
+      report(cycle, "T1_ALIGN", "address unaligned for " +
+                                    stbus::to_string(cell.opc));
+    }
+    // Payload must hold while ungranted.
+    if (prev_valid_ && prev_req_ && !prev_gnt_) {
+      const stbus::RequestCell& p = prev_cell_;
+      if (cell.opc != p.opc || cell.add != p.add || !(cell.data == p.data)) {
+        report(cycle, "T1_HOLD", "payload changed while waiting for ack");
+      }
+    }
+    prev_cell_ = cell;
+  } else if (prev_valid_ && prev_req_ && !prev_gnt_) {
+    report(cycle, "T1_HOLD", "request retracted before the ack");
+  }
+
+  if (gnt) {
+    if (!prev_valid_ || !prev_req_) {
+      report(cycle, "T1_ACK_SPUR", "ack with no pending request");
+    }
+    if (prev_valid_ && prev_gnt_) {
+      report(cycle, "T1_ACK_WIDE", "ack held for more than one cycle");
+    }
+    const auto opc = static_cast<RspOpcode>(pins_.r_opc.read());
+    if (opc != RspOpcode::kOk && opc != RspOpcode::kError) {
+      report(cycle, "T1_OPC", "illegal r_opc during ack");
+    }
+  }
+
+  prev_valid_ = true;
+  prev_req_ = req;
+  prev_gnt_ = gnt;
+}
+
+}  // namespace crve::verif

@@ -1,0 +1,56 @@
+// Type1 protocol checker.
+//
+// Type1 is the simple synchronous handshake used for register access and
+// slow peripherals (and the node's programming port): the master holds
+// req with a stable payload until the slave pulses gnt for one cycle;
+// read data and the response status are valid during the gnt cycle; the
+// next operation may start the cycle after the pulse.
+//
+// Rules:
+//   T1_HOLD      payload changed or req retracted while waiting for gnt
+//   T1_SIZE      operation wider than the port (Type1 is single-cell)
+//   T1_ALIGN     address not naturally aligned for the operation size
+//   T1_ACK_SPUR  gnt pulsed with no request pending in the previous cycle
+//   T1_ACK_WIDE  gnt held for more than one cycle
+//   T1_OPC       illegal r_opc encoding during the ack cycle
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/context.h"
+#include "stbus/packet.h"
+#include "stbus/pins.h"
+#include "verif/protocol_checker.h"
+
+namespace crve::verif {
+
+class Type1Checker {
+ public:
+  Type1Checker(sim::Context& ctx, std::string name,
+               const stbus::PortPins& pins);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t violation_count() const { return count_; }
+  bool clean() const { return count_ == 0; }
+
+ private:
+  void sample();
+  void report(std::uint64_t cycle, const std::string& rule,
+              const std::string& message);
+
+  std::string name_;
+  sim::Context& ctx_;
+  const stbus::PortPins& pins_;
+
+  bool prev_valid_ = false;
+  bool prev_req_ = false;
+  bool prev_gnt_ = false;
+  stbus::RequestCell prev_cell_;
+
+  std::vector<Violation> violations_;
+  std::uint64_t count_ = 0;
+  static constexpr std::size_t kMaxStored = 100;
+};
+
+}  // namespace crve::verif

@@ -1,0 +1,86 @@
+// Signal-level wrapper emulating the paper's VHDL-around-SystemC plumbing.
+//
+// In the paper (Fig. 3) the BCA SystemC model is plugged into the VHDL
+// testbench through a generated VHDL wrapper, and every pin crosses a
+// simulator/type-conversion boundary — which "loses the advantage of having
+// a fast SystemC simulator". make_port_wrapper() reproduces that cost: it
+// inserts a relay pair between the environment-side bundle and a DUT-side
+// bundle, with each crossing converting the value through its textual VCD
+// form (the analog of std_logic_vector <-> sc_uint conversion).
+#pragma once
+
+#include <string>
+
+#include "sim/context.h"
+#include "stbus/pins.h"
+
+namespace crve::verif {
+
+// Adds combinational relay processes copying environment-driven fields to
+// the DUT bundle and DUT-driven fields back.
+// `dut_receives_requests` selects the direction map: true for initiator
+// ports (the DUT grants requests), false for target ports (the DUT issues
+// requests toward the environment's target BFM).
+inline void make_port_wrapper(sim::Context& ctx, const std::string& name,
+                              stbus::PortPins& env, stbus::PortPins& dut,
+                              bool dut_receives_requests) {
+  auto conv_bits = [](const crve::Bits& b) {
+    // Emulated language-boundary conversion: value -> text -> value.
+    return crve::Bits::from_bin_string(b.to_bin_string());
+  };
+  // Fields driven by the request-issuing side.
+  auto fwd = [&env, &dut, conv_bits] {
+    dut.req.write(env.req.read());
+    dut.opc.write(env.opc.read());
+    dut.add.write(env.add.read());
+    dut.data.write(conv_bits(env.data.read()));
+    dut.be.write(conv_bits(env.be.read()));
+    dut.eop.write(env.eop.read());
+    dut.lck.write(env.lck.read());
+    dut.src.write(env.src.read());
+    dut.tid.write(env.tid.read());
+    dut.r_gnt.write(env.r_gnt.read());
+  };
+  // Fields driven by the request-receiving side.
+  auto bwd = [&env, &dut, conv_bits] {
+    env.gnt.write(dut.gnt.read());
+    env.r_req.write(dut.r_req.read());
+    env.r_opc.write(dut.r_opc.read());
+    env.r_data.write(conv_bits(dut.r_data.read()));
+    env.r_eop.write(dut.r_eop.read());
+    env.r_src.write(dut.r_src.read());
+    env.r_tid.write(dut.r_tid.read());
+  };
+  // For target-side ports the DUT issues requests: same relays, with the
+  // bundles swapped.
+  auto fwd_t = [&env, &dut, conv_bits] {
+    env.req.write(dut.req.read());
+    env.opc.write(dut.opc.read());
+    env.add.write(dut.add.read());
+    env.data.write(conv_bits(dut.data.read()));
+    env.be.write(conv_bits(dut.be.read()));
+    env.eop.write(dut.eop.read());
+    env.lck.write(dut.lck.read());
+    env.src.write(dut.src.read());
+    env.tid.write(dut.tid.read());
+    env.r_gnt.write(dut.r_gnt.read());
+  };
+  auto bwd_t = [&env, &dut, conv_bits] {
+    dut.gnt.write(env.gnt.read());
+    dut.r_req.write(env.r_req.read());
+    dut.r_opc.write(env.r_opc.read());
+    dut.r_data.write(conv_bits(env.r_data.read()));
+    dut.r_eop.write(env.r_eop.read());
+    dut.r_src.write(env.r_src.read());
+    dut.r_tid.write(env.r_tid.read());
+  };
+  if (dut_receives_requests) {
+    ctx.add_comb(name + ".fwd", fwd);
+    ctx.add_comb(name + ".bwd", bwd);
+  } else {
+    ctx.add_comb(name + ".fwd", fwd_t);
+    ctx.add_comb(name + ".bwd", bwd_t);
+  }
+}
+
+}  // namespace crve::verif

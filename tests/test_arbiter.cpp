@@ -1,0 +1,188 @@
+// Unit tests for the RTL arbitration policy engine, plus differential tests
+// proving the BCA view's independently implemented ArbState makes identical
+// decisions (the node-level alignment depends on it).
+#include <gtest/gtest.h>
+
+#include "bca/node.h"
+#include "common/rng.h"
+#include "rtl/arbiter.h"
+
+namespace crve {
+namespace {
+
+using rtl::Arbiter;
+using stbus::ArbPolicy;
+using stbus::NodeConfig;
+
+NodeConfig cfg_with(ArbPolicy p, int n = 4) {
+  NodeConfig cfg;
+  cfg.n_initiators = n;
+  cfg.n_targets = 2;
+  cfg.arb = p;
+  cfg.validate_and_normalize();
+  return cfg;
+}
+
+TEST(Arbiter, EmptyMaskPicksNobody) {
+  Arbiter a(cfg_with(ArbPolicy::kFixedPriority), 0);
+  EXPECT_EQ(a.pick(0), -1);
+}
+
+TEST(Arbiter, FixedPriorityHighestWins) {
+  NodeConfig cfg = cfg_with(ArbPolicy::kFixedPriority);
+  cfg.priorities = {1, 9, 3, 9};
+  Arbiter a(cfg, 0);
+  EXPECT_EQ(a.pick(0b1111), 1);  // tie between 1 and 3 -> lower index
+  EXPECT_EQ(a.pick(0b1101), 3);
+  EXPECT_EQ(a.pick(0b0101), 2);
+  EXPECT_EQ(a.pick(0b0001), 0);
+}
+
+TEST(Arbiter, RoundRobinRotates) {
+  Arbiter a(cfg_with(ArbPolicy::kRoundRobin), 0);
+  EXPECT_EQ(a.pick(0b1111), 0);
+  a.on_edge(1, 0, 0b1111);
+  EXPECT_EQ(a.pick(0b1111), 1);
+  a.on_edge(2, 1, 0b1111);
+  EXPECT_EQ(a.pick(0b1111), 2);
+  a.on_edge(3, 2, 0b1111);
+  // Pointer at 3; only 0 and 1 request -> wraps to 0.
+  EXPECT_EQ(a.pick(0b0011), 0);
+}
+
+TEST(Arbiter, LruLeastRecentWins) {
+  Arbiter a(cfg_with(ArbPolicy::kLru), 0);
+  // Initially index order; grant 0, then 0 becomes most recent.
+  EXPECT_EQ(a.pick(0b1111), 0);
+  a.on_edge(1, 0, 0b1111);
+  EXPECT_EQ(a.pick(0b1111), 1);
+  a.on_edge(2, 1, 0b1111);
+  EXPECT_EQ(a.pick(0b0011), 0);  // among {0,1}, 0 is older now
+  a.on_edge(3, 0, 0b0011);
+  EXPECT_EQ(a.pick(0b0011), 1);
+}
+
+TEST(Arbiter, LatencyUrgencyGrowsWithWaiting) {
+  NodeConfig cfg = cfg_with(ArbPolicy::kLatencyBased, 2);
+  cfg.latency_deadline = {4, 2};  // initiator 1 has the tighter deadline
+  Arbiter a(cfg, 0);
+  // Nobody has waited: urgency -4 vs -2, so 1 wins.
+  EXPECT_EQ(a.pick(0b11), 1);
+  // Serve 1 repeatedly; 0 keeps waiting and its urgency overtakes.
+  for (int c = 1; c <= 4; ++c) {
+    a.on_edge(static_cast<std::uint64_t>(c), 1, 0b11);
+  }
+  // waited(0)=4 -> urgency 0; waited(1)=0 -> urgency -2.
+  EXPECT_EQ(a.pick(0b11), 0);
+}
+
+TEST(Arbiter, BandwidthQuotaExhausts) {
+  NodeConfig cfg = cfg_with(ArbPolicy::kBandwidthLimited, 2);
+  cfg.bandwidth_quota = {2, 0};  // initiator 0 limited to 2 grants/window
+  cfg.bandwidth_window = 100;
+  Arbiter a(cfg, 0);
+  // Scan pointer starts at 0: 0 wins while it has tokens.
+  EXPECT_EQ(a.pick(0b11), 0);
+  a.on_edge(1, 0, 0b11);
+  // Pointer moved to 1; 1 is unlimited.
+  EXPECT_EQ(a.pick(0b11), 1);
+  a.on_edge(2, 1, 0b11);
+  EXPECT_EQ(a.pick(0b11), 0);  // second token
+  a.on_edge(3, 0, 0b11);
+  // Tokens exhausted for 0: 1 wins even when the pointer favours 0.
+  EXPECT_EQ(a.pick(0b11), 1);
+  a.on_edge(4, 1, 0b11);
+  EXPECT_EQ(a.pick(0b11), 1);
+  // Work conserving: 0 alone still granted without tokens.
+  EXPECT_EQ(a.pick(0b01), 0);
+}
+
+TEST(Arbiter, BandwidthWindowRefills) {
+  NodeConfig cfg = cfg_with(ArbPolicy::kBandwidthLimited, 2);
+  cfg.bandwidth_quota = {1, 0};
+  cfg.bandwidth_window = 4;
+  Arbiter a(cfg, 0);
+  EXPECT_EQ(a.pick(0b11), 0);  // pointer 0, token available
+  a.on_edge(1, 0, 0b11);       // token spent, pointer -> 1
+  EXPECT_EQ(a.pick(0b11), 1);  // 0 out of tokens
+  a.on_edge(2, 1, 0b11);       // pointer -> 0
+  EXPECT_EQ(a.pick(0b11), 1);  // still out of tokens, pool = {1}
+  a.on_edge(3, 1, 0b11);       // pointer -> 0
+  a.on_edge(4, -1, 0);         // cycle 4 % 4 == 0 -> refill
+  EXPECT_EQ(a.pick(0b11), 0);  // token restored, pointer favours 0
+}
+
+TEST(Arbiter, ProgrammablePriorityUpdates) {
+  Arbiter a(cfg_with(ArbPolicy::kProgrammable), 0);
+  // Default priorities = index, so 3 wins.
+  EXPECT_EQ(a.pick(0b1111), 3);
+  a.set_priority(0, 50);
+  EXPECT_EQ(a.pick(0b1111), 0);
+  EXPECT_EQ(a.priority(0), 50);
+  EXPECT_THROW(a.set_priority(7, 1), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: rtl::Arbiter vs bca::ArbState under random request streams.
+// ---------------------------------------------------------------------------
+
+class ArbDifferential : public ::testing::TestWithParam<ArbPolicy> {};
+
+TEST_P(ArbDifferential, IdenticalDecisionsUnderRandomTraffic) {
+  NodeConfig cfg;
+  cfg.n_initiators = 5;
+  cfg.n_targets = 2;
+  cfg.arb = GetParam();
+  cfg.priorities = {3, 1, 4, 1, 5};
+  cfg.latency_deadline = {4, 8, 12, 16, 20};
+  cfg.bandwidth_quota = {3, 0, 2, 0, 1};
+  cfg.bandwidth_window = 16;
+  cfg.validate_and_normalize();
+
+  Arbiter rtl_arb(cfg, 0);
+  bca::ArbState bca_arb(cfg);
+  bca::Faults no_faults;
+  Rng rng(GetParam() == ArbPolicy::kLru ? 77 : 78);
+
+  for (std::uint64_t cycle = 1; cycle <= 2000; ++cycle) {
+    const auto mask = static_cast<std::uint32_t>(rng.range(0, 31));
+    const int a = rtl_arb.pick(mask);
+    const int b = bca_arb.choose(mask);
+    ASSERT_EQ(a, b) << "policy " << to_string(GetParam()) << " cycle "
+                    << cycle << " mask " << mask;
+    const bool locks = rng.chance(1, 4);
+    rtl_arb.on_edge(cycle, a, mask);
+    bca_arb.update(cycle, b, mask, locks, no_faults);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ArbDifferential,
+    ::testing::Values(ArbPolicy::kFixedPriority, ArbPolicy::kRoundRobin,
+                      ArbPolicy::kLru, ArbPolicy::kLatencyBased,
+                      ArbPolicy::kBandwidthLimited, ArbPolicy::kProgrammable));
+
+TEST(ArbDifferentialFault, LruStaleOnChunkDiverges) {
+  NodeConfig cfg = cfg_with(ArbPolicy::kLru, 4);
+  Arbiter rtl_arb(cfg, 0);
+  bca::ArbState bca_arb(cfg);
+  bca::Faults faults;
+  faults.lru_stale_on_chunk = true;
+  Rng rng(5);
+  bool diverged = false;
+  for (std::uint64_t cycle = 1; cycle <= 500 && !diverged; ++cycle) {
+    const auto mask = static_cast<std::uint32_t>(rng.range(1, 15));
+    const int a = rtl_arb.pick(mask);
+    const int b = bca_arb.choose(mask);
+    if (a != b) {
+      diverged = true;
+      break;
+    }
+    rtl_arb.on_edge(cycle, a, mask);
+    bca_arb.update(cycle, b, mask, /*locks=*/true, faults);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace crve

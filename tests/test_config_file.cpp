@@ -1,0 +1,126 @@
+// Tests for the regression tool's configuration-file front end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "regress/config_file.h"
+
+namespace crve::regress {
+namespace {
+
+using stbus::ArbPolicy;
+using stbus::Architecture;
+using stbus::ProtocolType;
+
+TEST(ConfigFile, ParsesFullConfig) {
+  std::istringstream is(R"(
+# a node configuration
+name = node_a
+n_initiators = 3
+n_targets    = 2
+bus_bytes    = 8
+type         = 3
+arch         = partial
+arb          = latency
+programming_port = 1
+priorities   = 5, 3, 1
+latency_deadline = 4,10,16
+bandwidth_quota = 8,0,0
+bandwidth_window = 32
+xbar_group   = 0,0
+)");
+  const auto cfg = parse_config(is, "test");
+  EXPECT_EQ(cfg.name, "node_a");
+  EXPECT_EQ(cfg.n_initiators, 3);
+  EXPECT_EQ(cfg.n_targets, 2);
+  EXPECT_EQ(cfg.bus_bytes, 8);
+  EXPECT_EQ(cfg.type, ProtocolType::kType3);
+  EXPECT_EQ(cfg.arch, Architecture::kPartialCrossbar);
+  EXPECT_EQ(cfg.arb, ArbPolicy::kLatencyBased);
+  EXPECT_TRUE(cfg.programming_port);
+  EXPECT_EQ(cfg.priorities, (std::vector<int>{5, 3, 1}));
+  EXPECT_EQ(cfg.bandwidth_window, 32);
+  EXPECT_EQ(cfg.xbar_group, (std::vector<int>{0, 0}));
+}
+
+TEST(ConfigFile, DefaultsWhenKeysOmitted) {
+  std::istringstream is("n_initiators = 2\nn_targets = 2\n");
+  const auto cfg = parse_config(is, "test");
+  EXPECT_EQ(cfg.bus_bytes, 4);
+  EXPECT_EQ(cfg.type, ProtocolType::kType2);
+  EXPECT_EQ(cfg.address_map.size(), 2u);
+}
+
+TEST(ConfigFile, RejectsUnknownKey) {
+  std::istringstream is("bogus = 1\n");
+  EXPECT_THROW(parse_config(is, "test"), std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsMalformedLine) {
+  std::istringstream is("just some text\n");
+  EXPECT_THROW(parse_config(is, "test"), std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsBadEnumValues) {
+  {
+    std::istringstream is("arch = diagonal\n");
+    EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+  }
+  {
+    std::istringstream is("arb = coinflip\n");
+    EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+  }
+  {
+    std::istringstream is("type = 1\n");
+    EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+  }
+}
+
+TEST(ConfigFile, ErrorMessagesCarryLineNumbers) {
+  std::istringstream is("name = x\nbogus = 1\n");
+  try {
+    parse_config(is, "myfile.cfg");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("myfile.cfg:2"), std::string::npos);
+  }
+}
+
+TEST(ConfigFile, RoundTripsThroughFormat) {
+  std::istringstream is(
+      "name = rt\nn_initiators = 4\nn_targets = 3\nbus_bytes = 16\n"
+      "type = 3\narch = shared\narb = bandwidth\n"
+      "bandwidth_quota = 1,2,3,4\n");
+  const auto cfg = parse_config(is, "t");
+  std::istringstream is2(format_config(cfg));
+  const auto cfg2 = parse_config(is2, "t2");
+  EXPECT_EQ(cfg2.name, cfg.name);
+  EXPECT_EQ(cfg2.n_initiators, cfg.n_initiators);
+  EXPECT_EQ(cfg2.n_targets, cfg.n_targets);
+  EXPECT_EQ(cfg2.bus_bytes, cfg.bus_bytes);
+  EXPECT_EQ(cfg2.type, cfg.type);
+  EXPECT_EQ(cfg2.arch, cfg.arch);
+  EXPECT_EQ(cfg2.arb, cfg.arb);
+  EXPECT_EQ(cfg2.bandwidth_quota, cfg.bandwidth_quota);
+}
+
+TEST(ConfigFile, LoadsDirectorySorted) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "crve_cfg_test";
+  fs::create_directories(dir);
+  {
+    std::ofstream(dir / "b_node.cfg") << "name = bbb\n";
+    std::ofstream(dir / "a_node.cfg") << "name = aaa\n";
+    std::ofstream(dir / "ignored.txt") << "name = nope\n";
+  }
+  const auto cfgs = configs_from_dir(dir.string());
+  ASSERT_EQ(cfgs.size(), 2u);
+  EXPECT_EQ(cfgs[0].name, "aaa");
+  EXPECT_EQ(cfgs[1].name, "bbb");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crve::regress

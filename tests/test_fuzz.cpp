@@ -1,0 +1,100 @@
+// Randomized configuration/profile fuzzing: for each fuzz seed, a node
+// configuration and a traffic profile are drawn at random (within the
+// architecture's legal space) and the dual-view regression must sign off —
+// both views pass, coverage identical, 100% alignment. This is the
+// wide-net version of the structured matrix in test_property.cpp.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+stbus::NodeConfig random_config(Rng& rng) {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = static_cast<int>(rng.range(1, 6));
+  cfg.n_targets = static_cast<int>(rng.range(1, 5));
+  cfg.bus_bytes = 1 << rng.range(0, 5);  // 1..32 bytes
+  cfg.type = rng.chance(1, 2) ? stbus::ProtocolType::kType2
+                              : stbus::ProtocolType::kType3;
+  cfg.arch = static_cast<stbus::Architecture>(rng.range(0, 2));
+  cfg.arb = static_cast<stbus::ArbPolicy>(rng.range(0, 5));
+  for (int i = 0; i < cfg.n_initiators; ++i) {
+    cfg.priorities.push_back(static_cast<int>(rng.range(0, 15)));
+    cfg.latency_deadline.push_back(static_cast<int>(rng.range(1, 32)));
+    cfg.bandwidth_quota.push_back(
+        rng.chance(1, 3) ? static_cast<int>(rng.range(2, 16)) : 0);
+  }
+  cfg.bandwidth_window = static_cast<int>(rng.range(16, 128));
+  if (cfg.arch == stbus::Architecture::kPartialCrossbar) {
+    for (int t = 0; t < cfg.n_targets; ++t) {
+      cfg.xbar_group.push_back(static_cast<int>(
+          rng.range(0, static_cast<std::uint64_t>(cfg.n_targets - 1))));
+    }
+  }
+  return cfg;
+}
+
+verif::TestSpec random_traffic(Rng& rng) {
+  verif::TestSpec s;
+  s.name = "fuzz_traffic";
+  const auto chunk = rng.range(0, 400);
+  const auto idle = rng.range(0, 400);
+  const auto stall = rng.range(0, 250);
+  const auto err = rng.range(0, 150);
+  const int outstanding = static_cast<int>(rng.range(1, 8));
+  const int max_size = 1 << rng.range(0, 6);
+  const auto tgt_stall = rng.range(0, 250);
+  const auto tgt_latmax = rng.range(0, 6);
+  s.profile = [=](const stbus::NodeConfig& cfg, int) {
+    verif::InitiatorProfile p;
+    for (const auto& r : cfg.address_map) {
+      auto w = r;
+      w.size = std::min(w.size, 0x1000u);
+      p.windows.push_back(w);
+    }
+    p.chunk_permille = static_cast<std::uint32_t>(chunk);
+    p.idle_permille = static_cast<std::uint32_t>(idle);
+    p.rsp_stall_permille = static_cast<std::uint32_t>(stall);
+    p.decode_error_permille = static_cast<std::uint32_t>(err);
+    p.error_window = stbus::AddressRange{0xE0000000u, 0x10000u, 0};
+    p.max_outstanding = outstanding;
+    p.max_size_bytes = std::max(1, max_size);
+    return p;
+  };
+  s.target = [=](const stbus::NodeConfig&, int t) {
+    verif::TargetProfile p;
+    p.fixed_latency = 1 + (t % 4);
+    p.gnt_stall_permille = static_cast<std::uint32_t>(tgt_stall);
+    p.extra_latency_max = static_cast<std::uint32_t>(tgt_latmax);
+    return p;
+  };
+  return s;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, RandomConfigAndTrafficSignsOff) {
+  Rng rng(GetParam() * 0x9e3779b9u + 12345);
+  regress::RunPlan plan;
+  plan.cfg = random_config(rng);
+  plan.tests = {random_traffic(rng)};
+  plan.seeds = {rng.next_u64() | 1};
+  plan.n_transactions = 30;
+  plan.max_cycles = 150000;
+  const auto res = regress::Regression::run(plan);
+  EXPECT_TRUE(res.rtl_passed)
+      << plan.cfg.summary() << "\n" << res.summary();
+  EXPECT_TRUE(res.bca_passed)
+      << plan.cfg.summary() << "\n" << res.summary();
+  EXPECT_TRUE(res.coverage_match) << plan.cfg.summary();
+  EXPECT_DOUBLE_EQ(res.min_alignment, 1.0)
+      << plan.cfg.summary() << "\n" << res.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace crve

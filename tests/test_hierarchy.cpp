@@ -1,0 +1,220 @@
+// Hierarchical dual-view verification: the Fig.-1 interconnect (two nodes,
+// a t2/t3 type converter, a 64/32 size converter) is built twice — once
+// from RTL-view IPs, once from BCA-view IPs — driven with identical seeds,
+// and the STBA alignment comparison must hold at every external port.
+// This exercises environment reuse beyond a single node, across composed
+// components.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bca/bridge.h"
+#include "bca/node.h"
+#include "common/rng.h"
+#include "rtl/node.h"
+#include "rtl/size_converter.h"
+#include "rtl/type_converter.h"
+#include "stba/analyzer.h"
+#include "vcd/writer.h"
+#include "verif/bfm_initiator.h"
+#include "verif/bfm_target.h"
+#include "verif/protocol_checker.h"
+
+namespace crve {
+namespace {
+
+using stbus::AddressRange;
+using stbus::NodeConfig;
+using stbus::PortPins;
+using stbus::ProtocolType;
+
+enum class View { kRtl, kBca };
+
+struct Hierarchy {
+  sim::Context ctx;
+  std::vector<std::unique_ptr<PortPins>> pins;
+  std::vector<std::unique_ptr<verif::InitiatorBfm>> bfms;
+  std::vector<std::unique_ptr<verif::TargetBfm>> targets;
+  std::vector<std::unique_ptr<verif::ProtocolChecker>> checkers;
+  std::unique_ptr<rtl::Node> rtlA, rtlB;
+  std::unique_ptr<bca::Node> bcaA, bcaB;
+  std::unique_ptr<rtl::SizeConverter> rtl_conv;
+  std::unique_ptr<rtl::TypeConverter> rtl_bridge;
+  std::unique_ptr<bca::Bridge> bca_conv, bca_bridge;
+  std::unique_ptr<vcd::Writer> vcd;
+
+  PortPins& pin(int i) { return *pins[static_cast<std::size_t>(i)]; }
+};
+
+// Pin indices in creation order (stable across views -> comparable VCDs).
+enum {
+  kI0, kI1, kI2, kI3 /*64-bit*/, kI3Dn, kT1, kT2, kBUp, kBDn, kT3, kT4
+};
+
+std::unique_ptr<Hierarchy> build(View view, std::ostream* wave,
+                                 bca::Faults faults = {}) {
+  auto h = std::make_unique<Hierarchy>();
+  auto& ctx = h->ctx;
+
+  NodeConfig cfgA;
+  cfgA.name = "nodeA";
+  cfgA.n_initiators = 4;
+  cfgA.n_targets = 3;
+  cfgA.bus_bytes = 4;
+  cfgA.type = ProtocolType::kType2;
+  cfgA.arb = stbus::ArbPolicy::kLru;
+  cfgA.address_map = {{0x00000, 0x10000, 0},
+                      {0x10000, 0x10000, 1},
+                      {0x20000, 0x20000, 2}};
+  NodeConfig cfgB;
+  cfgB.name = "nodeB";
+  cfgB.n_initiators = 1;
+  cfgB.n_targets = 2;
+  cfgB.bus_bytes = 4;
+  cfgB.type = ProtocolType::kType3;
+  cfgB.address_map = {{0x20000, 0x10000, 0}, {0x30000, 0x10000, 1}};
+
+  const char* names[] = {"tb.init0", "tb.init1", "tb.init2", "tb.init3",
+                         "tb.conv.dn", "tb.targ1", "tb.targ2",
+                         "tb.bridge.up", "tb.bridge.dn", "tb.targ3",
+                         "tb.targ4"};
+  for (int i = 0; i < 11; ++i) {
+    const int width = i == kI3 ? 8 : 4;
+    h->pins.push_back(std::make_unique<PortPins>(ctx, names[i], width));
+  }
+
+  const std::vector<PortPins*> a_iports = {&h->pin(kI0), &h->pin(kI1),
+                                           &h->pin(kI2), &h->pin(kI3Dn)};
+  const std::vector<PortPins*> a_tports = {&h->pin(kT1), &h->pin(kT2),
+                                           &h->pin(kBUp)};
+  const std::vector<PortPins*> b_iports = {&h->pin(kBDn)};
+  const std::vector<PortPins*> b_tports = {&h->pin(kT3), &h->pin(kT4)};
+
+  if (view == View::kRtl) {
+    h->rtl_conv = std::make_unique<rtl::SizeConverter>(
+        ctx, "conv", h->pin(kI3), h->pin(kI3Dn), ProtocolType::kType2);
+    h->rtl_bridge = std::make_unique<rtl::TypeConverter>(
+        ctx, "bridge", h->pin(kBUp), ProtocolType::kType2, h->pin(kBDn),
+        ProtocolType::kType3);
+    h->rtlA = std::make_unique<rtl::Node>(ctx, cfgA, a_iports, a_tports);
+    h->rtlB = std::make_unique<rtl::Node>(ctx, cfgB, b_iports, b_tports);
+  } else {
+    h->bca_conv = std::make_unique<bca::Bridge>(
+        ctx, "conv", h->pin(kI3), ProtocolType::kType2, h->pin(kI3Dn),
+        ProtocolType::kType2, faults);
+    h->bca_bridge = std::make_unique<bca::Bridge>(
+        ctx, "bridge", h->pin(kBUp), ProtocolType::kType2, h->pin(kBDn),
+        ProtocolType::kType3, faults);
+    h->bcaA = std::make_unique<bca::Node>(ctx, cfgA, a_iports, a_tports,
+                                          nullptr, faults);
+    h->bcaB = std::make_unique<bca::Node>(ctx, cfgB, b_iports, b_tports,
+                                          nullptr, faults);
+  }
+
+  // Environment: identical construction order across views.
+  Rng master(777);
+  verif::InitiatorProfile prof;
+  prof.windows = {AddressRange{0x00000, 0x1000, 0},
+                  AddressRange{0x10000, 0x1000, 1},
+                  AddressRange{0x20000, 0x1000, 0},
+                  AddressRange{0x30000, 0x1000, 1}};
+  prof.max_size_bytes = 8;
+  prof.max_outstanding = 1;
+  prof.idle_permille = 150;
+  prof.n_transactions = 60;
+
+  const int ext_init[] = {kI0, kI1, kI2, kI3};
+  for (int i = 0; i < 4; ++i) {
+    h->bfms.push_back(std::make_unique<verif::InitiatorBfm>(
+        ctx, "init" + std::to_string(i), h->pin(ext_init[i]),
+        ProtocolType::kType2, i, cfgA, prof, master.fork()));
+  }
+  verif::TargetProfile tp;
+  tp.fixed_latency = 1;
+  const int tgt_pins[] = {kT1, kT2, kT3, kT4};
+  const ProtocolType tgt_type[] = {ProtocolType::kType2, ProtocolType::kType2,
+                                   ProtocolType::kType3,
+                                   ProtocolType::kType3};
+  for (int t = 0; t < 4; ++t) {
+    h->targets.push_back(std::make_unique<verif::TargetBfm>(
+        ctx, "targ" + std::to_string(t + 1), h->pin(tgt_pins[t]),
+        tgt_type[t], tp, master.fork()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    h->checkers.push_back(std::make_unique<verif::ProtocolChecker>(
+        ctx, "init" + std::to_string(i), h->pin(ext_init[i]),
+        ProtocolType::kType2, verif::ProtocolChecker::Role::kInitiatorPort,
+        i));
+  }
+  if (wave != nullptr) {
+    h->vcd = std::make_unique<vcd::Writer>(*wave);
+    ctx.attach_tracer(h->vcd.get());
+  }
+  return h;
+}
+
+// Runs to quiescence; returns protocol violations.
+std::uint64_t run(Hierarchy& h) {
+  h.ctx.initialize();
+  while (h.ctx.cycle() < 300000) {
+    h.ctx.step();
+    bool done = true;
+    for (auto& b : h.bfms) done &= b->done();
+    for (auto& t : h.targets) done &= t->idle();
+    if (done) break;
+  }
+  h.ctx.step(4);
+  std::uint64_t v = 0;
+  for (auto& c : h.checkers) {
+    c->end_of_test();
+    v += c->violation_count();
+  }
+  return v;
+}
+
+std::vector<std::string> external_ports() {
+  return {"tb.init0", "tb.init1", "tb.init2", "tb.init3",
+          "tb.targ1", "tb.targ2", "tb.targ3", "tb.targ4"};
+}
+
+TEST(Hierarchy, BothViewsCleanAndFullyAligned) {
+  std::ostringstream wave_rtl, wave_bca;
+  auto rtl = build(View::kRtl, &wave_rtl);
+  auto bca = build(View::kBca, &wave_bca);
+  EXPECT_EQ(run(*rtl), 0u);
+  EXPECT_EQ(run(*bca), 0u);
+  EXPECT_EQ(rtl->ctx.cycle(), bca->ctx.cycle());
+
+  std::istringstream a(wave_rtl.str()), b(wave_bca.str());
+  const vcd::Trace ta = vcd::Trace::parse(a);
+  const vcd::Trace tb = vcd::Trace::parse(b);
+  const auto rep = stba::Analyzer::compare(ta, tb, external_ports());
+  EXPECT_TRUE(rep.signed_off(0.999999)) << rep.summary();
+}
+
+TEST(Hierarchy, ConverterEndiannessBugLocalisedToWideInitiator) {
+  std::ostringstream wave_rtl, wave_bca;
+  bca::Faults faults;
+  faults.size_conv_endianness = true;  // lives in the BCA size converter
+  auto rtl = build(View::kRtl, &wave_rtl);
+  auto bca = build(View::kBca, &wave_bca, faults);
+  EXPECT_EQ(run(*rtl), 0u);
+  run(*bca);  // checkers at init3 may or may not fire; data diverges anyway
+
+  std::istringstream a(wave_rtl.str()), b(wave_bca.str());
+  const vcd::Trace ta = vcd::Trace::parse(a);
+  const vcd::Trace tb = vcd::Trace::parse(b);
+  const auto rep = stba::Analyzer::compare(ta, tb, external_ports());
+  EXPECT_FALSE(rep.signed_off()) << rep.summary();
+  // The divergence must hit the size-converted initiator port.
+  bool init3_diverged = false;
+  for (const auto& p : rep.ports) {
+    if (p.port == "tb.init3" && p.diverged()) init3_diverged = true;
+  }
+  EXPECT_TRUE(init3_diverged) << rep.summary();
+}
+
+}  // namespace
+}  // namespace crve

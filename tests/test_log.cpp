@@ -1,0 +1,50 @@
+// Tests for the severity-filtered logger.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace crve {
+namespace {
+
+struct CerrCapture {
+  std::streambuf* old;
+  std::ostringstream buf;
+  CerrCapture() : old(std::cerr.rdbuf(buf.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old); }
+};
+
+struct ThresholdGuard {
+  LogLevel saved = log_threshold();
+  ~ThresholdGuard() { log_threshold() = saved; }
+};
+
+TEST(Log, ThresholdFilters) {
+  ThresholdGuard guard;
+  log_threshold() = LogLevel::kWarn;
+  CerrCapture cap;
+  log_info() << "hidden";
+  log_warn() << "visible";
+  const std::string out = cap.buf.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+  EXPECT_NE(out.find("[warn "), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  ThresholdGuard guard;
+  log_threshold() = LogLevel::kOff;
+  CerrCapture cap;
+  log_error() << "nope";
+  EXPECT_TRUE(cap.buf.str().empty());
+}
+
+TEST(Log, StreamsArbitraryTypes) {
+  ThresholdGuard guard;
+  log_threshold() = LogLevel::kDebug;
+  CerrCapture cap;
+  log_debug() << "x=" << 42 << " y=" << 1.5;
+  EXPECT_NE(cap.buf.str().find("x=42 y=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crve

@@ -1,0 +1,267 @@
+// Behavioural tests of the node views: routing, latency, decode errors,
+// programming port, architecture constraints — checked on the RTL view and
+// mirrored on the BCA view where the behaviour is contractual.
+#include <gtest/gtest.h>
+
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+using stbus::NodeConfig;
+using stbus::Opcode;
+using stbus::Request;
+using verif::ModelKind;
+using verif::RunResult;
+using verif::Testbench;
+using verif::TestbenchOptions;
+using verif::TestSpec;
+
+NodeConfig base_cfg() {
+  NodeConfig cfg;
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kFixedPriority;
+  return cfg;
+}
+
+// A directed single-initiator spec issuing the given requests from init 0
+// and nothing from the others.
+TestSpec directed_spec(std::vector<Request> reqs) {
+  TestSpec s;
+  s.name = "directed";
+  s.n_transactions = static_cast<int>(reqs.size());
+  s.profile = [](const NodeConfig&, int) {
+    verif::InitiatorProfile p;
+    p.max_outstanding = 1;
+    p.keep_history = true;
+    return p;
+  };
+  s.directed = [reqs](const NodeConfig&, int i) {
+    return i == 0 ? reqs : std::vector<Request>{};
+  };
+  s.target = [](const NodeConfig&, int) {
+    verif::TargetProfile p;
+    p.fixed_latency = 1;
+    return p;
+  };
+  return s;
+}
+
+RunResult run_directed(ModelKind model, const NodeConfig& cfg,
+                       std::vector<Request> reqs, Testbench** out_tb,
+                       std::uint64_t seed = 1) {
+  static std::unique_ptr<Testbench> keeper;
+  TestbenchOptions opts;
+  opts.model = model;
+  opts.seed = seed;
+  opts.keep_history = true;
+  keeper = std::make_unique<Testbench>(cfg, directed_spec(std::move(reqs)),
+                                       opts);
+  if (out_tb) *out_tb = keeper.get();
+  return keeper->run();
+}
+
+Request ld4(std::uint32_t add) {
+  Request r;
+  r.opc = Opcode::kLd4;
+  r.add = add;
+  return r;
+}
+
+Request st4(std::uint32_t add, std::uint32_t v) {
+  Request r;
+  r.opc = Opcode::kSt4;
+  r.add = add;
+  for (int i = 0; i < 4; ++i) {
+    r.wdata.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  return r;
+}
+
+class NodeViews : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(NodeViews, StoreThenLoadReturnsWrittenData) {
+  Testbench* tb = nullptr;
+  const auto r = run_directed(GetParam(), base_cfg(),
+                              {st4(0x100, 0xdeadbeef), ld4(0x100)}, &tb);
+  ASSERT_TRUE(r.passed()) << r.checker_violations << " violations, "
+                          << r.scoreboard_errors << " sb errors";
+  const auto& hist = tb->initiator(0).history();
+  ASSERT_EQ(hist.size(), 2u);
+  ASSERT_EQ(hist[1].rdata.size(), 4u);
+  EXPECT_EQ(hist[1].rdata[0], 0xef);
+  EXPECT_EQ(hist[1].rdata[3], 0xde);
+}
+
+TEST_P(NodeViews, RoutesToSecondTarget) {
+  NodeConfig cfg = base_cfg();
+  Testbench* tb = nullptr;
+  // Target 1 owns [0x10000, 0x20000) under the default even map.
+  const auto r = run_directed(GetParam(), cfg,
+                              {st4(0x10040, 0x11223344), ld4(0x10040)}, &tb);
+  ASSERT_TRUE(r.passed());
+  EXPECT_EQ(tb->target_monitor(1).stats().request_packets, 2u);
+  EXPECT_EQ(tb->target_monitor(0).stats().request_packets, 0u);
+  EXPECT_EQ(tb->target(1).peek(0x10040), 0x44);
+}
+
+TEST_P(NodeViews, DecodeErrorAnsweredByNode) {
+  Testbench* tb = nullptr;
+  const auto r =
+      run_directed(GetParam(), base_cfg(), {ld4(0xdead0000)}, &tb);
+  ASSERT_TRUE(r.passed());  // error responses are the *correct* behaviour
+  const auto& hist = tb->initiator(0).history();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].status, stbus::RspOpcode::kError);
+  // No target saw the packet.
+  EXPECT_EQ(tb->target_monitor(0).stats().request_packets, 0u);
+  EXPECT_EQ(tb->target_monitor(1).stats().request_packets, 0u);
+}
+
+TEST_P(NodeViews, MinimumLatencyThroughNode) {
+  Testbench* tb = nullptr;
+  const auto r = run_directed(GetParam(), base_cfg(), {ld4(0x0)}, &tb);
+  ASSERT_TRUE(r.passed());
+  const auto& tx = tb->initiator(0).history().front();
+  // 1 cycle to the target port + target latency 1 + response cell offered
+  // next cycle + 1 cycle back through the node = issue + 4.
+  EXPECT_EQ(tx.done_cycle - tx.issue_cycle, 4u);
+}
+
+TEST_P(NodeViews, MultiCellPacketKeepsAllocation) {
+  NodeConfig cfg = base_cfg();
+  cfg.bus_bytes = 4;
+  Testbench* tb = nullptr;
+  Request st16;
+  st16.opc = Opcode::kSt16;
+  st16.add = 0x40;
+  for (int i = 0; i < 16; ++i) {
+    st16.wdata.push_back(static_cast<std::uint8_t>(i));
+  }
+  const auto r = run_directed(GetParam(), cfg, {st16, ld4(0x40)}, &tb);
+  ASSERT_TRUE(r.passed());
+  // 4 request cells for the store + 1 for the load at the target port.
+  EXPECT_EQ(tb->target_monitor(0).stats().request_cells, 5u);
+  EXPECT_EQ(tb->target(0).peek(0x4f), 0x0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothViews, NodeViews,
+                         ::testing::Values(ModelKind::kRtl, ModelKind::kBca),
+                         [](const auto& info) {
+                           return verif::to_string(info.param);
+                         });
+
+TEST(NodeProgPort, PriorityWriteTakesEffect) {
+  NodeConfig cfg = base_cfg();
+  cfg.arb = stbus::ArbPolicy::kProgrammable;
+  TestSpec spec = verif::t08_programmable_priority();
+  spec.n_transactions = 60;
+  TestbenchOptions opts;
+  opts.model = ModelKind::kRtl;
+  opts.seed = 3;
+  Testbench tb(cfg, spec, opts);
+  const auto r = tb.run();
+  ASSERT_TRUE(r.passed()) << r.checker_violations << "/"
+                          << r.scoreboard_errors;
+  ASSERT_NE(tb.prog_initiator(), nullptr);
+  const auto& ops = tb.prog_initiator()->results();
+  ASSERT_GE(ops.size(), 4u);
+  EXPECT_FALSE(ops[0].error);           // write accepted
+  EXPECT_EQ(ops[1].read_value, 100u);   // read back what was written
+  EXPECT_EQ(ops[3].read_value, 200u);
+  // Final schedule resets everything to 5.
+  EXPECT_EQ(tb.rtl_node()->priority(0), 5);
+}
+
+TEST(NodeProgPort, OutOfRangeIndexErrors) {
+  NodeConfig cfg = base_cfg();
+  cfg.arb = stbus::ArbPolicy::kProgrammable;
+  TestSpec spec;
+  spec.name = "prog_oob";
+  spec.n_transactions = 1;
+  spec.directed = [](const NodeConfig&, int) {
+    return std::vector<Request>{};
+  };
+  spec.profile = [](const NodeConfig&, int) {
+    verif::InitiatorProfile p;
+    p.n_transactions = 0;
+    return p;
+  };
+  spec.prog = [](const NodeConfig& c) {
+    std::vector<verif::ProgOp> ops;
+    ops.push_back({5, true, c.n_initiators + 3, 1});  // out of range
+    ops.push_back({20, false, 0, 0});                 // valid read
+    return ops;
+  };
+  TestbenchOptions opts;
+  Testbench tb(cfg, spec, opts);
+  tb.run();
+  const auto& ops = tb.prog_initiator()->results();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0].error);
+  EXPECT_FALSE(ops[1].error);
+}
+
+TEST(NodeArch, SharedBusSerializesTransfers) {
+  // Saturating traffic spread over both targets: the shared bus must take
+  // longer than the crossbars, which move cells to distinct targets
+  // concurrently.
+  auto run_arch = [](stbus::Architecture arch) {
+    NodeConfig cfg = base_cfg();
+    cfg.n_initiators = 4;
+    cfg.arch = arch;
+    TestSpec spec;
+    spec.name = "saturate";
+    spec.n_transactions = 100;
+    spec.profile = [](const NodeConfig&, int i) {
+      verif::InitiatorProfile p;
+      p.opcode_weights.assign(stbus::kNumOpcodes, 0);
+      p.opcode_weights[static_cast<std::size_t>(Opcode::kLd4)] = 1;
+      p.idle_permille = 0;
+      p.max_outstanding = 8;
+      // Initiators pinned to alternating targets so both resources are hot.
+      p.windows = {stbus::AddressRange{
+          static_cast<std::uint32_t>((i % 2) * 0x10000), 0x1000, i % 2}};
+      return p;
+    };
+    spec.target = [](const NodeConfig&, int) {
+      verif::TargetProfile p;
+      p.fixed_latency = 0;
+      return p;
+    };
+    TestbenchOptions opts;
+    opts.seed = 11;
+    Testbench tb(cfg, spec, opts);
+    const auto r = tb.run();
+    EXPECT_TRUE(r.passed());
+    return r.cycles;
+  };
+  const auto shared = run_arch(stbus::Architecture::kSharedBus);
+  const auto full = run_arch(stbus::Architecture::kFullCrossbar);
+  const auto partial = run_arch(stbus::Architecture::kPartialCrossbar);
+  EXPECT_GT(shared, full);
+  EXPECT_GE(shared, partial);
+  EXPECT_GE(partial, full);
+}
+
+TEST(NodeStats, GrantsAccumulatePerInitiator) {
+  NodeConfig cfg = base_cfg();
+  TestSpec spec = verif::t07_target_contention();
+  spec.n_transactions = 30;
+  TestbenchOptions opts;
+  Testbench tb(cfg, spec, opts);
+  ASSERT_TRUE(tb.run().passed());
+  const auto& st = tb.rtl_node()->stats();
+  EXPECT_GT(st.request_cells, 0u);
+  EXPECT_EQ(st.request_cells, st.response_cells);
+  EXPECT_GT(st.grants[0], 0u);
+  EXPECT_GT(st.grants[1], 0u);
+}
+
+}  // namespace
+}  // namespace crve

@@ -1,0 +1,65 @@
+// Integration tests for the regression runner and STBA alignment flow.
+#include <gtest/gtest.h>
+
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+stbus::NodeConfig cfg32() {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+  return cfg;
+}
+
+TEST(Regression, CleanModelsSignOff) {
+  regress::RunPlan plan;
+  plan.cfg = cfg32();
+  plan.tests = {verif::t02_random_all_opcodes(), verif::t05_chunked_traffic()};
+  plan.seeds = {1, 2};
+  plan.n_transactions = 40;
+  const auto res = regress::Regression::run(plan);
+  EXPECT_TRUE(res.rtl_passed) << res.summary();
+  EXPECT_TRUE(res.bca_passed) << res.summary();
+  EXPECT_TRUE(res.coverage_match) << res.summary();
+  // Bug-free views must be cycle-identical at every port.
+  EXPECT_DOUBLE_EQ(res.min_alignment, 1.0) << res.summary();
+  EXPECT_TRUE(res.signed_off) << res.summary();
+}
+
+TEST(Regression, LockFaultBreaksAlignmentAndChecks) {
+  regress::RunPlan plan;
+  plan.cfg = cfg32();
+  plan.tests = {verif::t05_chunked_traffic()};
+  plan.seeds = {3};
+  plan.n_transactions = 60;
+  plan.faults.grant_during_lock = true;
+  const auto res = regress::Regression::run(plan);
+  EXPECT_TRUE(res.rtl_passed) << res.summary();
+  // The fault must be visible somewhere: failed BCA checks, diverging
+  // coverage, or a sub-99% alignment rate.
+  EXPECT_FALSE(res.signed_off) << res.summary();
+  EXPECT_LT(res.min_alignment, 1.0) << res.summary();
+}
+
+TEST(Regression, ByteEnableFaultCaughtByEnvironment) {
+  regress::RunPlan plan;
+  plan.cfg = cfg32();
+  plan.tests = {verif::t02_random_all_opcodes()};
+  plan.seeds = {4};
+  plan.n_transactions = 80;
+  plan.faults.byte_enable_dropped = true;
+  const auto res = regress::Regression::run(plan);
+  EXPECT_TRUE(res.rtl_passed) << res.summary();
+  EXPECT_FALSE(res.bca_passed) << res.summary();
+  EXPECT_FALSE(res.signed_off) << res.summary();
+}
+
+}  // namespace
+}  // namespace crve

@@ -1,0 +1,117 @@
+// Unit tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crve {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values reached
+}
+
+TEST(Rng, RangeSingleValue) {
+  Rng r(7);
+  EXPECT_EQ(r.range(9, 9), 9u);
+}
+
+TEST(Rng, RangeRejectsInverted) {
+  Rng r(7);
+  EXPECT_THROW(r.range(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, IndexCoversAll) {
+  Rng r(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(r.chance(10, 10));
+    EXPECT_FALSE(r.chance(0, 10));
+  }
+  EXPECT_THROW(r.chance(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.chance(250, 1000)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, WeightedRespectsZeroWeight) {
+  Rng r(9);
+  const std::uint32_t w[] = {0, 5, 0, 5};
+  for (int i = 0; i < 200; ++i) {
+    const int pick = r.weighted(w);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(Rng, WeightedRejectsAllZero) {
+  Rng r(9);
+  const std::uint32_t w[] = {0, 0};
+  EXPECT_THROW(r.weighted(w), std::invalid_argument);
+}
+
+TEST(Rng, WeightedProportions) {
+  Rng r(13);
+  const std::uint32_t w[] = {1, 3};
+  int ones = 0;
+  for (int i = 0; i < 8000; ++i) {
+    if (r.weighted(w) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones, 6000, 300);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng master(21);
+  Rng a = master.fork();
+  Rng b = master.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng m1(21), m2(21);
+  Rng f1 = m1.fork(), f2 = m2.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+}  // namespace
+}  // namespace crve

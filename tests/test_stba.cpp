@@ -1,0 +1,142 @@
+// Tests for the STBus Analyzer: alignment rates, divergence localisation,
+// transaction extraction.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stba/analyzer.h"
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+using stba::Analyzer;
+
+// Builds a VCD dump with one port whose req/gnt toggle as scripted.
+std::string synth_dump(const std::vector<std::pair<bool, bool>>& req_gnt,
+                       std::uint64_t add_value = 0x40) {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module tb $end\n"
+     << "$scope module p0 $end\n";
+  const char* names[] = {"req", "gnt", "opc", "add", "data", "be", "eop",
+                         "lck", "src", "tid", "r_req", "r_gnt", "r_opc",
+                         "r_data", "r_eop", "r_src", "r_tid"};
+  const int widths[] = {1, 1, 6, 32, 32, 4, 1, 1, 6, 8, 1, 1, 2, 32, 1, 6, 8};
+  for (int i = 0; i < 17; ++i) {
+    os << "$var wire " << widths[i] << " " << static_cast<char>('!' + i)
+       << " " << names[i] << " $end\n";
+  }
+  os << "$upscope $end\n$upscope $end\n$enddefinitions $end\n";
+  for (std::size_t t = 0; t < req_gnt.size(); ++t) {
+    os << "#" << t << "\n";
+    os << (req_gnt[t].first ? "1" : "0") << "!\n";
+    os << (req_gnt[t].second ? "1" : "0") << "\"\n";
+    if (t == 0) {
+      os << "b" << crve::Bits(32, add_value).to_bin_string() << " $\n";
+      os << "b1 '\n";  // eop
+    }
+  }
+  return os.str();
+}
+
+vcd::Trace parse(const std::string& s) {
+  std::istringstream is(s);
+  return vcd::Trace::parse(is);
+}
+
+TEST(Stba, IdenticalDumpsFullyAligned) {
+  const std::string d = synth_dump({{false, false}, {true, true}, {false, false}});
+  const auto a = parse(d);
+  const auto b = parse(d);
+  const auto rep = Analyzer::compare(a, b, {"tb.p0"});
+  ASSERT_EQ(rep.ports.size(), 1u);
+  EXPECT_EQ(rep.ports[0].aligned_cycles, rep.ports[0].total_cycles);
+  EXPECT_DOUBLE_EQ(rep.ports[0].rate(), 1.0);
+  EXPECT_FALSE(rep.ports[0].diverged());
+  EXPECT_TRUE(rep.signed_off());
+  EXPECT_EQ(rep.ports[0].cells_a, rep.ports[0].cells_matching);
+}
+
+TEST(Stba, DivergenceLocatedAndRated) {
+  const auto a =
+      parse(synth_dump({{false, false}, {true, true}, {false, false},
+                        {false, false}}));
+  const auto b =
+      parse(synth_dump({{false, false}, {false, false}, {true, true},
+                        {false, false}}));
+  const auto rep = Analyzer::compare(a, b, {"tb.p0"});
+  const auto& p = rep.ports[0];
+  EXPECT_EQ(p.total_cycles, 4u);
+  EXPECT_EQ(p.aligned_cycles, 2u);  // cycles 0 and 3 agree
+  EXPECT_EQ(p.first_divergence, 1u);
+  ASSERT_FALSE(p.diverged_signals.empty());
+  EXPECT_EQ(p.diverged_signals[0], "tb.p0.req");
+  EXPECT_FALSE(rep.signed_off());
+  // Transaction content still matches (one granted cell in each).
+  EXPECT_EQ(p.cells_a, 1u);
+  EXPECT_EQ(p.cells_b, 1u);
+  EXPECT_EQ(p.cells_matching, 1u);
+}
+
+TEST(Stba, ContentDifferenceCaughtInCellDiff) {
+  const auto a = parse(synth_dump({{true, true}}, 0x40));
+  const auto b = parse(synth_dump({{true, true}}, 0x80));
+  const auto rep = Analyzer::compare(a, b, {"tb.p0"});
+  EXPECT_EQ(rep.ports[0].cells_matching, 0u);
+  EXPECT_LT(rep.ports[0].rate(), 1.0);
+}
+
+TEST(Stba, MissingSignalThrows) {
+  const auto a = parse(synth_dump({{false, false}}));
+  EXPECT_THROW(Analyzer::compare(a, a, {"tb.nosuch"}), std::runtime_error);
+}
+
+TEST(Stba, ExtractRecoversCells) {
+  const auto a = parse(synth_dump(
+      {{false, false}, {true, false}, {true, true}, {false, false}}));
+  const auto cells = Analyzer::extract(a, "tb.p0");
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].cycle, 2u);  // only the granted cycle counts
+  EXPECT_FALSE(cells[0].response);
+  EXPECT_TRUE(cells[0].eop);
+}
+
+TEST(Stba, ThresholdSweep) {
+  // 1 diverging cycle out of 200 -> 99.5%: signs off at 99% but not 99.9%.
+  std::vector<std::pair<bool, bool>> x(200, {false, false});
+  auto y = x;
+  y[100] = {true, true};
+  const auto rep =
+      Analyzer::compare(parse(synth_dump(x)), parse(synth_dump(y)),
+                        {"tb.p0"});
+  EXPECT_NEAR(rep.ports[0].rate(), 0.995, 1e-9);
+  EXPECT_TRUE(rep.signed_off(0.99));
+  EXPECT_FALSE(rep.signed_off(0.999));
+}
+
+// End-to-end: real testbench dumps through the real analyzer.
+TEST(Stba, EndToEndIdenticalViews) {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  std::ostringstream rtl_os, bca_os;
+  for (int m = 0; m < 2; ++m) {
+    verif::TestbenchOptions opts;
+    opts.model = m == 0 ? verif::ModelKind::kRtl : verif::ModelKind::kBca;
+    opts.seed = 9;
+    opts.vcd_stream = m == 0 ? &rtl_os : &bca_os;
+    verif::TestSpec spec = verif::t02_random_all_opcodes();
+    spec.n_transactions = 30;
+    verif::Testbench tb(cfg, spec, opts);
+    ASSERT_TRUE(tb.run().passed());
+  }
+  const auto rep = Analyzer::compare(
+      parse(rtl_os.str()), parse(bca_os.str()),
+      {"tb.init0", "tb.init1", "tb.targ0", "tb.targ1"});
+  EXPECT_TRUE(rep.signed_off(0.999999)) << rep.summary();
+}
+
+}  // namespace
+}  // namespace crve

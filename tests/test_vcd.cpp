@@ -1,0 +1,145 @@
+// Unit tests for the VCD writer/parser pair.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/context.h"
+#include "vcd/parser.h"
+#include "vcd/writer.h"
+
+namespace crve::vcd {
+namespace {
+
+TEST(VcdWriter, IdCodes) {
+  EXPECT_EQ(Writer::id_code(0), "!");
+  EXPECT_EQ(Writer::id_code(93), "~");
+  EXPECT_EQ(Writer::id_code(94), "!\"");
+  EXPECT_NE(Writer::id_code(94 * 94), Writer::id_code(94));
+}
+
+TEST(VcdRoundTrip, SignalsRecoverable) {
+  sim::Context ctx;
+  sim::SignalBool req(ctx, "tb.p0.req");
+  sim::SignalU64 add(ctx, "tb.p0.add", 16);
+  sim::SignalBits data(ctx, "tb.p0.data", 32);
+  std::ostringstream os;
+  {
+    Writer w(os);
+    ctx.attach_tracer(&w);
+    ctx.add_clocked("drv", [&] {
+      const auto c = ctx.cycle();
+      req.write(c % 2 == 1);
+      add.write(c * 0x111);
+      data.write(crve::Bits(32, 0xa0000000u + c));
+    });
+    ctx.step(5);
+  }
+  std::istringstream is(os.str());
+  const Trace t = Trace::parse(is);
+  ASSERT_EQ(t.vars().size(), 3u);
+  const int vreq = *t.find("tb.p0.req");
+  const int vadd = *t.find("tb.p0.add");
+  const int vdata = *t.find("tb.p0.data");
+  EXPECT_EQ(t.value_at(vreq, 0), "0");
+  EXPECT_EQ(t.value_at(vreq, 1), "1");
+  EXPECT_EQ(t.value_at(vreq, 2), "0");
+  EXPECT_EQ(t.value_at(vadd, 3), crve::Bits(16, 3 * 0x111).to_bin_string());
+  EXPECT_EQ(t.value_at(vdata, 5),
+            crve::Bits(32, 0xa0000005u).to_bin_string());
+  EXPECT_EQ(t.max_time(), 5u);
+}
+
+TEST(VcdRoundTrip, HoldsLastValueBetweenChanges) {
+  sim::Context ctx;
+  sim::SignalU64 v(ctx, "tb.v", 8);
+  std::ostringstream os;
+  {
+    Writer w(os);
+    ctx.attach_tracer(&w);
+    ctx.add_clocked("drv", [&] {
+      if (ctx.cycle() == 2) v.write(7);  // single change at cycle 2
+    });
+    ctx.step(6);
+  }
+  std::istringstream is(os.str());
+  const Trace t = Trace::parse(is);
+  const int vi = *t.find("tb.v");
+  EXPECT_EQ(t.value_at(vi, 0), "00000000");
+  EXPECT_EQ(t.value_at(vi, 1), "00000000");
+  EXPECT_EQ(t.value_at(vi, 2), "00000111");
+  EXPECT_EQ(t.value_at(vi, 5), "00000111");
+  EXPECT_EQ(t.value_at(vi, 100), "00000111");  // beyond max_time
+}
+
+TEST(VcdParser, ScopesRebuildDottedNames) {
+  const char* dump =
+      "$timescale 1ns $end\n"
+      "$scope module tb $end\n"
+      "$scope module sub $end\n"
+      "$var wire 1 ! sig $end\n"
+      "$upscope $end\n"
+      "$var wire 4 \" other $end\n"
+      "$upscope $end\n"
+      "$enddefinitions $end\n"
+      "#0\n1!\nb1010 \"\n";
+  std::istringstream is(dump);
+  const Trace t = Trace::parse(is);
+  ASSERT_EQ(t.vars().size(), 2u);
+  EXPECT_EQ(t.vars()[0].name, "tb.sub.sig");
+  EXPECT_EQ(t.vars()[1].name, "tb.other");
+  EXPECT_EQ(t.value_at(0, 0), "1");
+  EXPECT_EQ(t.value_at(1, 0), "1010");
+}
+
+TEST(VcdParser, NormalizesWidthAndXZ) {
+  const char* dump =
+      "$enddefinitions $end\n"
+      "#0\nbxz1 !\n";
+  // Variable declared out-of-band is an error; declare it first.
+  const std::string full = std::string("$var wire 6 ! v $end\n") + dump;
+  std::istringstream is(full);
+  const Trace t = Trace::parse(is);
+  EXPECT_EQ(t.value_at(0, 0), "000001");
+}
+
+TEST(VcdParser, FindRejectsAmbiguousSuffix) {
+  const char* dump =
+      "$scope module a $end\n"
+      "$var wire 1 ! req $end\n"
+      "$upscope $end\n"
+      "$scope module b $end\n"
+      "$var wire 1 \" req $end\n"
+      "$upscope $end\n"
+      "$enddefinitions $end\n";
+  std::istringstream is(dump);
+  const Trace t = Trace::parse(is);
+  EXPECT_FALSE(t.find("req").has_value());
+  EXPECT_TRUE(t.find("a.req").has_value());
+}
+
+TEST(VcdParser, UnknownIdThrows) {
+  const char* dump =
+      "$var wire 1 ! v $end\n"
+      "$enddefinitions $end\n"
+      "#0\n1?\n";
+  std::istringstream is(dump);
+  EXPECT_THROW(Trace::parse(is), std::runtime_error);
+}
+
+TEST(VcdWriter, EmitsOnlyChanges) {
+  sim::Context ctx;
+  sim::SignalBool s(ctx, "tb.s");
+  std::ostringstream os;
+  {
+    Writer w(os);
+    ctx.attach_tracer(&w);
+    ctx.step(10);  // signal never changes after init
+  }
+  const std::string text = os.str();
+  // One time marker (cycle 0 initial dump) and no further change lines.
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_EQ(text.find("#5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crve::vcd
