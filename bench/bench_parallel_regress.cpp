@@ -1,0 +1,81 @@
+// Parallel regression engine: serial vs N-worker wall time on a
+// multi-configuration sign-off matrix.
+//
+// The regression campaign is embarrassingly parallel — every (config, test,
+// seed, view) job owns its testbench and RNG stream — so sharding it across
+// workers should scale near-linearly until the hardware runs out of cores
+// (the acceptance bar is >= 2x at 4 workers on a 4-core host). The jobs=1
+// case is the exact serial engine, so the measured ratio is the true
+// speedup, not a comparison of two different code paths.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+
+std::vector<stbus::NodeConfig> matrix_configs() {
+  std::vector<stbus::NodeConfig> out;
+  int idx = 0;
+  for (auto arch : {stbus::Architecture::kSharedBus,
+                    stbus::Architecture::kFullCrossbar}) {
+    for (auto arb : {stbus::ArbPolicy::kFixedPriority, stbus::ArbPolicy::kLru,
+                     stbus::ArbPolicy::kLatencyBased}) {
+      stbus::NodeConfig cfg;
+      cfg.name = "cfg" + std::to_string(idx++);
+      cfg.n_initiators = 3;
+      cfg.n_targets = 2;
+      cfg.bus_bytes = 4;
+      cfg.arch = arch;
+      cfg.arb = arb;
+      out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+regress::RunPlan base_plan(unsigned jobs) {
+  regress::RunPlan plan;
+  plan.tests = {verif::t02_random_all_opcodes(), verif::t05_chunked_traffic(),
+                verif::t07_target_contention()};
+  plan.seeds = {11};
+  plan.n_transactions = 30;
+  plan.max_cycles = 120000;
+  plan.jobs = jobs;
+  return plan;
+}
+
+void BM_MatrixRegression(benchmark::State& state) {
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  const auto configs = matrix_configs();
+  for (auto _ : state) {
+    const auto res =
+        regress::Regression::run_matrix(configs, base_plan(jobs));
+    benchmark::DoNotOptimize(res.all_signed_off);
+    if (!res.all_signed_off) state.SkipWithError("matrix not signed off");
+  }
+  state.SetLabel(std::to_string(configs.size()) +
+                 " configs x 3 tests x 2 views, jobs=" + std::to_string(jobs));
+}
+
+BENCHMARK(BM_MatrixRegression)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,10 +1,24 @@
 #include "common/log.h"
 
+#include <mutex>
+
 namespace crve {
 
 LogLevel& log_threshold() {
   static LogLevel level = LogLevel::kWarn;
   return level;
 }
+
+namespace detail {
+
+void emit(const std::string& line) {
+  // One guarded write per line: concurrent testbenches (parallel regression
+  // workers) must not interleave their messages mid-line.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << line;
+}
+
+}  // namespace detail
 
 }  // namespace crve

@@ -14,13 +14,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel& log_threshold();
 
 namespace detail {
+// Writes one complete line to the sink (std::cerr) under the sink mutex, so
+// lines from concurrent regression workers never interleave mid-line.
+void emit(const std::string& line);
+
 class LogLine {
  public:
   LogLine(LogLevel level, const char* tag) : level_(level) {
     os_ << "[" << tag << "] ";
   }
   ~LogLine() {
-    if (level_ >= log_threshold()) std::cerr << os_.str() << "\n";
+    if (level_ >= log_threshold()) {
+      os_ << "\n";
+      emit(os_.str());
+    }
   }
   template <typename T>
   LogLine& operator<<(const T& v) {

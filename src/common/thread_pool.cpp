@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace crve {
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  const unsigned n = resolve_jobs(n_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (size() <= 1 || n == 1) {
+    // Serial fast path: identical observable behaviour, no queueing.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t live = 0;
+    std::exception_ptr err;
+  };
+  auto state = std::make_shared<ForState>();
+
+  const std::size_t n_tasks = std::min<std::size_t>(size(), n);
+  state->live = n_tasks;
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    submit([state, n, &fn] {
+      for (;;) {
+        const std::size_t i =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->err) state->err = std::current_exception();
+          state->next.store(n, std::memory_order_relaxed);  // abandon rest
+          break;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->live;
+      }
+      state->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->live == 0; });
+  if (state->err) std::rethrow_exception(state->err);
+}
+
+}  // namespace crve

@@ -1,0 +1,60 @@
+// Small fixed-size thread pool for sharding independent regression jobs.
+//
+// The regression flow runs the same (test, seed) matrix on both views; every
+// job owns its testbench, RNG stream and artifact files, so jobs are
+// embarrassingly parallel. The pool hands indices out dynamically (work
+// sharing via an atomic cursor), which keeps long jobs from gating short
+// ones, and the caller writes each result into a pre-sized slot so the
+// reduction order — and therefore every report — is independent of the
+// worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crve {
+
+// Resolves a `--jobs` style request: 0 = one per hardware thread, minimum 1.
+unsigned resolve_jobs(unsigned requested);
+
+class ThreadPool {
+ public:
+  // Spawns `n_threads` workers (0 = one per hardware thread).
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues one task. Exceptions escaping a submitted task terminate (catch
+  // inside the task, or use parallel_for which forwards the first one).
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void wait();
+
+  // Runs fn(0) .. fn(n-1) across the workers and blocks until all are done.
+  // Indices are claimed dynamically. Rethrows the first exception any
+  // invocation raised (remaining indices are abandoned once one throws).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace crve

@@ -17,6 +17,9 @@
 //   --threshold P      alignment sign-off threshold        (default: 0.99)
 //   --fault NAME       inject a named BCA fault (see bca/faults.h)
 //   --no-alignment     skip VCD dump + STBA comparison
+//   --jobs N           worker threads for the (config,test,seed,view)
+//                      matrix (default: 0 = one per hardware thread)
+//   --json FILE        also write the batch JSON report to FILE
 //
 // Exit status: 0 when every configuration signs off.
 #include <cstdio>
@@ -40,6 +43,7 @@ int usage() {
                "usage: crve_regress --configs DIR [--out DIR] [--seeds a,b]\n"
                "                    [--tests t02,t05] [--tx N] [--threshold P]\n"
                "                    [--fault NAME] [--no-alignment]\n"
+               "                    [--jobs N] [--json FILE]\n"
                "       crve_regress --sample-configs DIR\n");
   return 2;
 }
@@ -114,14 +118,16 @@ std::vector<std::string> split_csv(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string config_dir, out_dir, sample_dir;
+  std::string config_dir, out_dir, sample_dir, json_path;
   std::vector<std::uint64_t> seeds = {1};
   std::vector<std::string> test_filter;
   int tx = 60;
   double threshold = 0.99;
   bca::Faults faults;
   bool alignment = true;
+  unsigned jobs = 0;  // 0 = one worker per hardware thread
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -164,9 +170,22 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-alignment") {
       alignment = false;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return usage();
+      jobs = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return usage();
+      json_path = v;
     } else {
       return usage();
     }
+  }
+  } catch (const std::exception&) {
+    // std::stoi/stoul/stod reject malformed numeric arguments.
+    std::fprintf(stderr, "invalid numeric argument\n");
+    return usage();
   }
 
   if (!sample_dir.empty()) {
@@ -205,27 +224,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  bool all_ok = true;
+  regress::RunPlan base;
+  base.tests = tests;
+  base.seeds = seeds;
+  base.n_transactions = tx;
+  base.run_alignment = alignment;
+  base.alignment_threshold = threshold;
+  base.faults = faults;
+  base.out_dir = out_dir;
+  base.jobs = jobs;
+
   for (const auto& cfg : configs) {
-    regress::RunPlan plan;
-    plan.cfg = cfg;
-    plan.tests = tests;
-    plan.seeds = seeds;
-    plan.n_transactions = tx;
-    plan.run_alignment = alignment;
-    plan.alignment_threshold = threshold;
-    plan.faults = faults;
-    if (!out_dir.empty()) plan.out_dir = out_dir + "/" + cfg.name;
     std::printf("=== %s ===\n", cfg.summary().c_str());
-    try {
-      const auto res = regress::Regression::run(plan);
-      std::printf("%s\n", res.summary().c_str());
-      all_ok = all_ok && res.signed_off;
-    } catch (const std::exception& e) {
-      std::printf("  exception: %s\n", e.what());
-      all_ok = false;
-    }
   }
-  std::printf("overall: %s\n", all_ok ? "ALL SIGNED OFF" : "NOT signed off");
-  return all_ok ? 0 : 1;
+  try {
+    const auto mres = regress::Regression::run_matrix(configs, base);
+    for (const auto& res : mres.results) {
+      std::printf("--- %s ---\n%s\n", res.config_name.c_str(),
+                  res.summary().c_str());
+    }
+    std::printf("%s", mres.summary().c_str());
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      os << mres.json();
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+    }
+    return mres.all_signed_off ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,158 @@
+#include "regress/report.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "regress/runner.h"
+
+namespace crve::regress {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "\"0x%llx\"",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+namespace {
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+// Stable lowercase view identifiers for machine consumption.
+const char* view_str(verif::ModelKind m) {
+  switch (m) {
+    case verif::ModelKind::kRtl:
+      return "rtl";
+    case verif::ModelKind::kBca:
+      return "bca";
+    case verif::ModelKind::kBcaWrapped:
+      return "bca_wrapped";
+  }
+  return "unknown";
+}
+
+// Writes one RegressionResult as a JSON object at the given indent depth.
+void write_result(std::ostream& os, const RegressionResult& r,
+                  bool with_timing, const std::string& in) {
+  const std::string in1 = in + "  ";
+  const std::string in2 = in1 + "  ";
+  os << "{\n";
+  os << in1 << "\"config\": \"" << json_escape(r.config_name) << "\",\n";
+  os << in1 << "\"rtl_passed\": " << bool_str(r.rtl_passed) << ",\n";
+  os << in1 << "\"bca_passed\": " << bool_str(r.bca_passed) << ",\n";
+  os << in1 << "\"coverage_match\": " << bool_str(r.coverage_match) << ",\n";
+  os << in1 << "\"mean_coverage_rtl\": " << json_number(r.mean_coverage_rtl)
+     << ",\n";
+  os << in1 << "\"min_alignment\": " << json_number(r.min_alignment) << ",\n";
+  os << in1 << "\"alignment_threshold\": "
+     << json_number(r.alignment_threshold) << ",\n";
+  os << in1 << "\"signed_off\": " << bool_str(r.signed_off) << ",\n";
+  if (with_timing) {
+    os << in1 << "\"wall_ms\": " << json_number(r.wall_ms) << ",\n";
+  }
+  os << in1 << "\"runs\": [";
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    const TestOutcome& o = r.outcomes[i];
+    os << (i == 0 ? "\n" : ",\n") << in2 << "{\"test\": \""
+       << json_escape(o.test) << "\", \"seed\": " << o.seed
+       << ", \"view\": \"" << view_str(o.model) << "\""
+       << ", \"passed\": " << bool_str(o.result.passed())
+       << ", \"completed\": " << bool_str(o.result.completed)
+       << ", \"cycles\": " << o.result.cycles
+       << ", \"evaluations\": " << o.result.evaluations
+       << ", \"checker_violations\": " << o.result.checker_violations
+       << ", \"scoreboard_errors\": " << o.result.scoreboard_errors
+       << ", \"reference_mismatches\": " << o.result.reference_mismatches
+       << ", \"coverage_percent\": " << json_number(o.result.coverage_percent)
+       << ", \"coverage_digest\": " << json_hex(o.result.coverage_digest);
+    if (o.result.toggle_percent >= 0.0) {
+      os << ", \"toggle_percent\": " << json_number(o.result.toggle_percent);
+    }
+    if (with_timing) os << ", \"wall_ms\": " << json_number(o.wall_ms);
+    os << "}";
+  }
+  os << (r.outcomes.empty() ? "]" : "\n" + in1 + "]") << ",\n";
+  os << in1 << "\"alignments\": [";
+  for (std::size_t i = 0; i < r.alignments.size(); ++i) {
+    const AlignmentOutcome& a = r.alignments[i];
+    os << (i == 0 ? "\n" : ",\n") << in2 << "{\"test\": \""
+       << json_escape(a.test) << "\", \"seed\": " << a.seed
+       << ", \"min_rate\": " << json_number(a.report.min_rate())
+       << ", \"mean_rate\": " << json_number(a.report.mean_rate())
+       << ", \"signed_off\": "
+       << bool_str(a.report.signed_off(r.alignment_threshold));
+    if (with_timing) os << ", \"wall_ms\": " << json_number(a.wall_ms);
+    os << "}";
+  }
+  os << (r.alignments.empty() ? "]" : "\n" + in1 + "]") << "\n";
+  os << in << "}";
+}
+
+}  // namespace
+
+std::string RegressionResult::json(bool with_timing) const {
+  std::ostringstream os;
+  write_result(os, *this, with_timing, "");
+  os << "\n";
+  return os.str();
+}
+
+std::string MatrixResult::json(bool with_timing) const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"all_signed_off\": " << bool_str(all_signed_off) << ",\n";
+  if (with_timing) {
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"wall_ms\": " << json_number(wall_ms) << ",\n";
+  }
+  os << "  \"configs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_result(os, results[i], with_timing, "    ");
+  }
+  os << (results.empty() ? "]" : "\n  ]") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace crve::regress

@@ -1,0 +1,26 @@
+// Machine-readable regression reports.
+//
+// RegressionResult::json / MatrixResult::json (declared in runner.h, schema
+// documented in DESIGN.md) are implemented here, together with the small
+// JSON formatting helpers they rely on. The reports are consumed by CI, so
+// everything outside the opt-in timing fields must serialize
+// deterministically: doubles use the shortest round-trip form and 64-bit
+// digests are emitted as hex strings (JSON numbers lose precision past
+// 2^53).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crve::regress {
+
+// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(const std::string& s);
+
+// Shortest round-trip decimal form of a finite double (locale-independent).
+std::string json_number(double v);
+
+// 64-bit value as a quoted hex literal, e.g. "0x1f".
+std::string json_hex(std::uint64_t v);
+
+}  // namespace crve::regress

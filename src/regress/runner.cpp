@@ -1,10 +1,12 @@
 #include "regress/runner.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace crve::regress {
 
@@ -15,6 +17,12 @@ using verif::TestbenchOptions;
 using verif::TestSpec;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
 
 // Environment-side port prefixes to align for a given (config, test).
 std::vector<std::string> alignment_ports(stbus::NodeConfig cfg,
@@ -63,112 +71,246 @@ std::string run_report(const TestOutcome& o) {
   return os.str();
 }
 
-}  // namespace
+// One configuration's expanded campaign while its jobs are in flight.
+//
+// Pair p = test_index * n_seeds + seed_index and unit u = 2*p + view
+// (view 0 = RTL, 1 = BCA) — exactly the serial visit order. Every job
+// writes into its own pre-sized slot, so the reduction reads results in
+// serial order no matter which worker ran what.
+struct Campaign {
+  RunPlan plan;
+  std::vector<TestSpec> tests;
+  std::size_t n_pairs = 0;
+  std::vector<TestOutcome> outcomes;    // one slot per unit
+  std::vector<std::string> waves;       // in-memory VCD text per unit
+  std::vector<std::string> wave_paths;  // on-disk VCD path per unit
+  std::vector<AlignmentOutcome> aligns;  // one slot per pair
 
-RegressionResult Regression::run(const RunPlan& plan) {
-  RegressionResult res;
-  std::vector<TestSpec> tests =
-      plan.tests.empty() ? verif::catg_test_suite() : plan.tests;
-
-  const bool to_disk = !plan.out_dir.empty();
-  if (to_disk) std::filesystem::create_directories(plan.out_dir);
-
-  res.rtl_passed = true;
-  res.bca_passed = true;
-  res.coverage_match = true;
-  double cov_sum = 0.0;
-  int cov_n = 0;
-
-  for (const auto& spec : tests) {
-    for (std::uint64_t seed : plan.seeds) {
-      std::uint64_t digest[2] = {0, 0};
-      bool run_ok[2] = {false, false};
-      // In-memory waveforms when no artifact directory is given.
-      std::ostringstream wave[2];
-      std::string wave_path[2];
-
-      for (int m = 0; m < 2; ++m) {
-        const ModelKind model = m == 0 ? ModelKind::kRtl : ModelKind::kBca;
-        TestbenchOptions opts;
-        opts.model = model;
-        opts.seed = seed;
-        opts.max_cycles = plan.max_cycles;
-        if (model != ModelKind::kRtl) opts.faults = plan.faults;
-        if (plan.run_alignment || to_disk) {
-          if (to_disk) {
-            wave_path[m] = plan.out_dir + "/" + spec.name + "_s" +
-                           std::to_string(seed) + "_" +
-                           (m == 0 ? "rtl" : "bca") + ".vcd";
-            opts.vcd_path = wave_path[m];
-          } else {
-            opts.vcd_stream = &wave[m];
-          }
-        }
-        TestSpec s = spec;
-        if (plan.n_transactions > 0) s.n_transactions = plan.n_transactions;
-        Testbench tb(plan.cfg, s, opts);
-        const RunResult r = tb.run();
-        log_info() << plan.cfg.name << ": " << spec.name << " seed " << seed
-                   << " " << to_string(model) << " -> "
-                   << (r.passed() ? "pass" : "FAIL") << " (" << r.cycles
-                   << " cycles)";
-
-        TestOutcome out;
-        out.test = spec.name;
-        out.seed = seed;
-        out.model = model;
-        out.result = r;
-        if (to_disk) {
-          write_text(plan.out_dir + "/report_" + spec.name + "_s" +
-                         std::to_string(seed) + "_" +
-                         (m == 0 ? "rtl" : "bca") + ".txt",
-                     run_report(out));
-        }
-        digest[m] = r.coverage_digest;
-        run_ok[m] = r.passed();
-        if (m == 0) {
-          res.rtl_passed = res.rtl_passed && r.passed();
-          cov_sum += r.coverage_percent;
-          ++cov_n;
-        } else {
-          res.bca_passed = res.bca_passed && r.passed();
-        }
-        res.outcomes.push_back(std::move(out));
-      }
-
-      if (digest[0] != digest[1]) res.coverage_match = false;
-
-      // Bus-accurate comparison (Fig. 4: after both views verified).
-      if (plan.run_alignment) {
-        const auto ports = alignment_ports(plan.cfg, spec);
-        stba::AlignmentReport rep;
-        if (to_disk) {
-          rep = stba::Analyzer::compare_files(wave_path[0], wave_path[1],
-                                              ports);
-        } else {
-          std::istringstream a(wave[0].str());
-          std::istringstream b(wave[1].str());
-          const vcd::Trace ta = vcd::Trace::parse(a);
-          const vcd::Trace tb2 = vcd::Trace::parse(b);
-          rep = stba::Analyzer::compare(ta, tb2, ports);
-        }
-        res.min_alignment = std::min(res.min_alignment, rep.min_rate());
-        if (to_disk) {
-          write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
-                         std::to_string(seed) + ".txt",
-                     rep.summary());
-        }
-        res.alignments.push_back({spec.name, seed, std::move(rep)});
-      }
-      (void)run_ok;
+  void prepare() {
+    tests = plan.tests.empty() ? verif::catg_test_suite() : plan.tests;
+    n_pairs = tests.size() * plan.seeds.size();
+    outcomes.resize(2 * n_pairs);
+    waves.resize(2 * n_pairs);
+    wave_paths.resize(2 * n_pairs);
+    if (plan.run_alignment) aligns.resize(n_pairs);
+    if (!plan.out_dir.empty()) {
+      std::filesystem::create_directories(plan.out_dir);
     }
   }
 
-  res.mean_coverage_rtl = cov_n > 0 ? cov_sum / cov_n : 0.0;
-  res.signed_off = res.rtl_passed && res.bca_passed && res.coverage_match &&
-                   res.min_alignment >= plan.alignment_threshold;
-  if (to_disk) write_text(plan.out_dir + "/summary.txt", res.summary());
+  const TestSpec& spec_of(std::size_t pair) const {
+    return tests[pair / plan.seeds.size()];
+  }
+  std::uint64_t seed_of(std::size_t pair) const {
+    return plan.seeds[pair % plan.seeds.size()];
+  }
+
+  // Runs one (test, seed, view) job into its slot.
+  void run_unit(std::size_t unit) {
+    const std::size_t pair = unit / 2;
+    const int m = static_cast<int>(unit % 2);
+    const TestSpec& spec = spec_of(pair);
+    const std::uint64_t seed = seed_of(pair);
+    const bool to_disk = !plan.out_dir.empty();
+    const ModelKind model = m == 0 ? ModelKind::kRtl : ModelKind::kBca;
+
+    TestbenchOptions opts;
+    opts.model = model;
+    opts.seed = seed;
+    opts.max_cycles = plan.max_cycles;
+    if (model != ModelKind::kRtl) opts.faults = plan.faults;
+    std::ostringstream wave;
+    if (plan.run_alignment || to_disk) {
+      if (to_disk) {
+        wave_paths[unit] = plan.out_dir + "/" + spec.name + "_s" +
+                           std::to_string(seed) + "_" +
+                           (m == 0 ? "rtl" : "bca") + ".vcd";
+        opts.vcd_path = wave_paths[unit];
+      } else {
+        opts.vcd_stream = &wave;
+      }
+    }
+    TestSpec s = spec;
+    if (plan.n_transactions > 0) s.n_transactions = plan.n_transactions;
+
+    const auto t0 = Clock::now();
+    Testbench tb(plan.cfg, s, opts);
+    const RunResult r = tb.run();
+    log_info() << plan.cfg.name << ": " << spec.name << " seed " << seed
+               << " " << to_string(model) << " -> "
+               << (r.passed() ? "pass" : "FAIL") << " (" << r.cycles
+               << " cycles)";
+
+    TestOutcome& out = outcomes[unit];
+    out.test = spec.name;
+    out.seed = seed;
+    out.model = model;
+    out.result = r;
+    out.wall_ms = ms_since(t0);
+    if (to_disk) {
+      write_text(plan.out_dir + "/report_" + spec.name + "_s" +
+                     std::to_string(seed) + "_" + (m == 0 ? "rtl" : "bca") +
+                     ".txt",
+                 run_report(out));
+    } else if (plan.run_alignment) {
+      waves[unit] = wave.str();
+    }
+  }
+
+  // Bus-accurate comparison (Fig. 4: after both views of the pair ran).
+  void run_alignment(std::size_t pair) {
+    const TestSpec& spec = spec_of(pair);
+    const std::uint64_t seed = seed_of(pair);
+    const bool to_disk = !plan.out_dir.empty();
+    const auto ports = alignment_ports(plan.cfg, spec);
+
+    const auto t0 = Clock::now();
+    stba::AlignmentReport rep;
+    if (to_disk) {
+      rep = stba::Analyzer::compare_files(wave_paths[2 * pair],
+                                          wave_paths[2 * pair + 1], ports);
+    } else {
+      std::istringstream a(waves[2 * pair]);
+      std::istringstream b(waves[2 * pair + 1]);
+      const vcd::Trace ta = vcd::Trace::parse(a);
+      const vcd::Trace tb = vcd::Trace::parse(b);
+      rep = stba::Analyzer::compare(ta, tb, ports);
+    }
+    if (to_disk) {
+      write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
+                     std::to_string(seed) + ".txt",
+                 rep.summary());
+    }
+    AlignmentOutcome& out = aligns[pair];
+    out.test = spec.name;
+    out.seed = seed;
+    out.report = std::move(rep);
+    out.wall_ms = ms_since(t0);
+  }
+
+  // Serial, order-deterministic aggregation over the filled slots.
+  RegressionResult reduce() {
+    RegressionResult res;
+    res.config_name = plan.cfg.name;
+    res.alignment_threshold = plan.alignment_threshold;
+    res.rtl_passed = true;
+    res.bca_passed = true;
+    res.coverage_match = true;
+    double cov_sum = 0.0;
+    int cov_n = 0;
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+      const RunResult& rtl = outcomes[2 * p].result;
+      const RunResult& bca = outcomes[2 * p + 1].result;
+      res.rtl_passed = res.rtl_passed && rtl.passed();
+      res.bca_passed = res.bca_passed && bca.passed();
+      cov_sum += rtl.coverage_percent;
+      ++cov_n;
+      if (rtl.coverage_digest != bca.coverage_digest) {
+        res.coverage_match = false;
+      }
+      if (plan.run_alignment) {
+        res.min_alignment =
+            std::min(res.min_alignment, aligns[p].report.min_rate());
+      }
+    }
+    res.outcomes = std::move(outcomes);
+    res.alignments = std::move(aligns);
+    res.mean_coverage_rtl = cov_n > 0 ? cov_sum / cov_n : 0.0;
+    res.signed_off = res.rtl_passed && res.bca_passed && res.coverage_match &&
+                     res.min_alignment >= plan.alignment_threshold;
+    return res;
+  }
+};
+
+void write_campaign_artifacts(const RunPlan& plan,
+                              const RegressionResult& res) {
+  if (plan.out_dir.empty()) return;
+  write_text(plan.out_dir + "/summary.txt", res.summary());
+  write_text(plan.out_dir + "/report.json", res.json());
+}
+
+}  // namespace
+
+RegressionResult Regression::run(const RunPlan& plan) {
+  const auto t0 = Clock::now();
+  Campaign camp;
+  camp.plan = plan;
+  camp.prepare();
+
+  ThreadPool pool(resolve_jobs(plan.jobs));
+  pool.parallel_for(2 * camp.n_pairs,
+                    [&](std::size_t u) { camp.run_unit(u); });
+  if (plan.run_alignment) {
+    pool.parallel_for(camp.n_pairs,
+                      [&](std::size_t p) { camp.run_alignment(p); });
+  }
+
+  RegressionResult res = camp.reduce();
+  res.wall_ms = ms_since(t0);
+  write_campaign_artifacts(plan, res);
   return res;
+}
+
+MatrixResult Regression::run_matrix(
+    const std::vector<stbus::NodeConfig>& configs, const RunPlan& base) {
+  const auto t0 = Clock::now();
+  MatrixResult mres;
+  mres.jobs = resolve_jobs(base.jobs);
+
+  std::vector<Campaign> camps(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    camps[i].plan = base;
+    camps[i].plan.cfg = configs[i];
+    if (!base.out_dir.empty()) {
+      camps[i].plan.out_dir = base.out_dir + "/" + configs[i].name;
+    }
+    camps[i].prepare();
+  }
+
+  // Flatten every campaign's units into one global job list so a slow
+  // configuration keeps all workers busy instead of gating the batch.
+  struct Ref {
+    std::size_t camp;
+    std::size_t idx;
+  };
+  std::vector<Ref> units;
+  std::vector<Ref> pairs;
+  for (std::size_t i = 0; i < camps.size(); ++i) {
+    for (std::size_t u = 0; u < 2 * camps[i].n_pairs; ++u) {
+      units.push_back({i, u});
+    }
+    if (camps[i].plan.run_alignment) {
+      for (std::size_t p = 0; p < camps[i].n_pairs; ++p) {
+        pairs.push_back({i, p});
+      }
+    }
+  }
+
+  ThreadPool pool(mres.jobs);
+  pool.parallel_for(units.size(), [&](std::size_t k) {
+    camps[units[k].camp].run_unit(units[k].idx);
+  });
+  pool.parallel_for(pairs.size(), [&](std::size_t k) {
+    camps[pairs[k].camp].run_alignment(pairs[k].idx);
+  });
+
+  mres.all_signed_off = true;
+  mres.results.reserve(camps.size());
+  for (auto& camp : camps) {
+    RegressionResult res = camp.reduce();
+    // Batch mode: per-config wall is the summed job time (the configs ran
+    // interleaved, so a per-config elapsed time would be meaningless).
+    for (const auto& o : res.outcomes) res.wall_ms += o.wall_ms;
+    for (const auto& a : res.alignments) res.wall_ms += a.wall_ms;
+    write_campaign_artifacts(camp.plan, res);
+    mres.all_signed_off = mres.all_signed_off && res.signed_off;
+    mres.results.push_back(std::move(res));
+  }
+  mres.wall_ms = ms_since(t0);
+  if (!base.out_dir.empty()) {
+    write_text(base.out_dir + "/report.json", mres.json());
+  }
+  return mres;
 }
 
 std::string RegressionResult::summary() const {
@@ -191,6 +333,24 @@ std::string RegressionResult::summary() const {
          << (o.result.completed ? "completed" : "TIMEOUT") << ")\n";
     }
   }
+  return os.str();
+}
+
+std::string MatrixResult::summary() const {
+  std::ostringstream os;
+  std::size_t runs = 0;
+  for (const auto& r : results) runs += r.outcomes.size();
+  os << "batch: " << results.size() << " configurations, " << runs
+     << " runs, jobs=" << jobs << "\n";
+  for (const auto& r : results) {
+    os << "  " << r.config_name << ": "
+       << (r.signed_off ? "signed off" : "NOT signed off") << " (RTL "
+       << (r.rtl_passed ? "PASS" : "FAIL") << ", BCA "
+       << (r.bca_passed ? "PASS" : "FAIL") << ", min alignment "
+       << 100.0 * r.min_alignment << "%)\n";
+  }
+  os << "overall: " << (all_signed_off ? "ALL SIGNED OFF" : "NOT signed off")
+     << "\n";
   return os.str();
 }
 

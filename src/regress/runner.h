@@ -7,6 +7,13 @@
 // bus-accurate comparison. The sign-off criteria are the paper's: all
 // checks green on both views, identical functional coverage, and >= 99%
 // alignment at every port.
+//
+// The (test, seed, view) job matrix is sharded across a thread pool
+// (RunPlan::jobs workers). Every job owns its testbench, RNG stream and
+// artifact files, and writes its result into a pre-sized slot, so the
+// outcome order, every aggregate and the JSON report are bit-identical to
+// the serial run. Regression::run_matrix batches several configurations
+// (e.g. a whole configs/ directory) through one shared pool.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,9 @@ struct RunPlan {
   double alignment_threshold = 0.99;
   bca::Faults faults;  // injected into the BCA runs
   std::uint64_t max_cycles = 500000;
+  // Worker threads the (test, seed, view) jobs are sharded across.
+  // 1 = serial (the default), 0 = one worker per hardware thread.
+  unsigned jobs = 1;
 };
 
 struct TestOutcome {
@@ -39,15 +49,18 @@ struct TestOutcome {
   std::uint64_t seed = 0;
   verif::ModelKind model{};
   verif::RunResult result;
+  double wall_ms = 0.0;  // wall-clock time of this one job
 };
 
 struct AlignmentOutcome {
   std::string test;
   std::uint64_t seed = 0;
   stba::AlignmentReport report;
+  double wall_ms = 0.0;  // wall-clock time of the STBA comparison
 };
 
 struct RegressionResult {
+  std::string config_name;
   std::vector<TestOutcome> outcomes;
   std::vector<AlignmentOutcome> alignments;
   bool rtl_passed = false;
@@ -55,14 +68,39 @@ struct RegressionResult {
   bool coverage_match = false;  // per-(test,seed) digests equal across views
   double min_alignment = 1.0;
   double mean_coverage_rtl = 0.0;
+  double alignment_threshold = 0.99;
   bool signed_off = false;
+  double wall_ms = 0.0;  // whole-campaign wall clock
 
   std::string summary() const;
+  // Machine-readable report (schema in DESIGN.md). with_timing=false omits
+  // every wall-clock field; everything that remains is deterministic, so the
+  // report is byte-identical for any RunPlan::jobs value.
+  std::string json(bool with_timing = true) const;
+};
+
+// Result of a multi-configuration batch (Regression::run_matrix).
+struct MatrixResult {
+  std::vector<RegressionResult> results;  // one per config, input order
+  bool all_signed_off = false;
+  unsigned jobs = 1;      // resolved worker count the batch ran with
+  double wall_ms = 0.0;   // whole-batch wall clock
+
+  std::string summary() const;
+  std::string json(bool with_timing = true) const;
 };
 
 class Regression {
  public:
   static RegressionResult run(const RunPlan& plan);
+
+  // Batch entry point: runs `base` against every configuration, sharding
+  // the whole (config, test, seed, view) matrix across one pool of
+  // base.jobs workers. base.cfg is ignored; when base.out_dir is set each
+  // configuration gets an isolated `<out_dir>/<config name>` artifact
+  // directory and the batch report is written to `<out_dir>/report.json`.
+  static MatrixResult run_matrix(const std::vector<stbus::NodeConfig>& configs,
+                                 const RunPlan& base);
 };
 
 }  // namespace crve::regress

@@ -7,8 +7,10 @@ namespace crve {
 namespace {
 
 struct CerrCapture {
-  std::streambuf* old;
+  // `buf` must be declared (and so constructed) before `old`: the `old`
+  // initializer reads buf.rdbuf().
   std::ostringstream buf;
+  std::streambuf* old;
   CerrCapture() : old(std::cerr.rdbuf(buf.rdbuf())) {}
   ~CerrCapture() { std::cerr.rdbuf(old); }
 };

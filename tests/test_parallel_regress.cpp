@@ -1,0 +1,198 @@
+// The parallel regression engine: sharding the (test, seed, view) matrix
+// across workers must be observationally identical to the serial run —
+// same outcome order, same digests, same aggregates, byte-identical JSON —
+// and the batch entry point must isolate per-config artifacts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+namespace fs = std::filesystem;
+
+stbus::NodeConfig cfg32() {
+  stbus::NodeConfig cfg;
+  cfg.name = "node_a";
+  cfg.n_initiators = 3;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.type = stbus::ProtocolType::kType2;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+  return cfg;
+}
+
+stbus::NodeConfig cfg_shared() {
+  stbus::NodeConfig cfg;
+  cfg.name = "node_b";
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.arch = stbus::Architecture::kSharedBus;
+  cfg.arb = stbus::ArbPolicy::kRoundRobin;
+  return cfg;
+}
+
+regress::RunPlan small_plan() {
+  regress::RunPlan plan;
+  plan.cfg = cfg32();
+  plan.tests = {verif::t02_random_all_opcodes(), verif::t05_chunked_traffic()};
+  plan.seeds = {1, 2};
+  plan.n_transactions = 30;
+  return plan;
+}
+
+void expect_identical(const regress::RegressionResult& a,
+                      const regress::RegressionResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const auto& oa = a.outcomes[i];
+    const auto& ob = b.outcomes[i];
+    EXPECT_EQ(oa.test, ob.test) << i;
+    EXPECT_EQ(oa.seed, ob.seed) << i;
+    EXPECT_EQ(oa.model, ob.model) << i;
+    EXPECT_EQ(oa.result.completed, ob.result.completed) << i;
+    EXPECT_EQ(oa.result.cycles, ob.result.cycles) << i;
+    EXPECT_EQ(oa.result.evaluations, ob.result.evaluations) << i;
+    EXPECT_EQ(oa.result.checker_violations, ob.result.checker_violations);
+    EXPECT_EQ(oa.result.scoreboard_errors, ob.result.scoreboard_errors);
+    EXPECT_EQ(oa.result.coverage_digest, ob.result.coverage_digest) << i;
+    EXPECT_DOUBLE_EQ(oa.result.coverage_percent, ob.result.coverage_percent);
+  }
+  ASSERT_EQ(a.alignments.size(), b.alignments.size());
+  for (std::size_t i = 0; i < a.alignments.size(); ++i) {
+    EXPECT_EQ(a.alignments[i].test, b.alignments[i].test) << i;
+    EXPECT_EQ(a.alignments[i].seed, b.alignments[i].seed) << i;
+    EXPECT_DOUBLE_EQ(a.alignments[i].report.min_rate(),
+                     b.alignments[i].report.min_rate())
+        << i;
+  }
+  EXPECT_EQ(a.rtl_passed, b.rtl_passed);
+  EXPECT_EQ(a.bca_passed, b.bca_passed);
+  EXPECT_EQ(a.coverage_match, b.coverage_match);
+  EXPECT_DOUBLE_EQ(a.min_alignment, b.min_alignment);
+  EXPECT_DOUBLE_EQ(a.mean_coverage_rtl, b.mean_coverage_rtl);
+  EXPECT_EQ(a.signed_off, b.signed_off);
+  // The timing-free JSON report must be byte-identical.
+  EXPECT_EQ(a.json(/*with_timing=*/false), b.json(/*with_timing=*/false));
+}
+
+TEST(ParallelRegress, WorkerCountDoesNotChangeResults) {
+  regress::RunPlan plan = small_plan();
+  plan.jobs = 1;
+  const auto serial = regress::Regression::run(plan);
+  EXPECT_TRUE(serial.signed_off) << serial.summary();
+
+  plan.jobs = 4;
+  const auto parallel = regress::Regression::run(plan);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelRegress, WorkerCountDoesNotChangeFaultDetection) {
+  regress::RunPlan plan = small_plan();
+  plan.tests = {verif::t05_chunked_traffic()};
+  plan.seeds = {3};
+  plan.n_transactions = 60;
+  plan.faults.grant_during_lock = true;
+  plan.jobs = 1;
+  const auto serial = regress::Regression::run(plan);
+  EXPECT_FALSE(serial.signed_off) << serial.summary();
+
+  plan.jobs = 4;
+  const auto parallel = regress::Regression::run(plan);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelRegress, MatrixMatchesPerConfigRuns) {
+  regress::RunPlan base = small_plan();
+  base.tests = {verif::t02_random_all_opcodes()};
+  base.seeds = {7};
+  const std::vector<stbus::NodeConfig> configs = {cfg32(), cfg_shared()};
+
+  base.jobs = 1;
+  const auto serial = regress::Regression::run_matrix(configs, base);
+  base.jobs = 4;
+  const auto parallel = regress::Regression::run_matrix(configs, base);
+
+  ASSERT_EQ(serial.results.size(), 2u);
+  ASSERT_EQ(parallel.results.size(), 2u);
+  EXPECT_EQ(serial.results[0].config_name, "node_a");
+  EXPECT_EQ(serial.results[1].config_name, "node_b");
+  EXPECT_TRUE(serial.all_signed_off) << serial.summary();
+  EXPECT_TRUE(parallel.all_signed_off) << parallel.summary();
+  for (std::size_t i = 0; i < 2; ++i) {
+    expect_identical(serial.results[i], parallel.results[i]);
+  }
+  EXPECT_EQ(serial.json(false), parallel.json(false));
+
+  // Per-config runs through the single-plan entry point agree too.
+  for (std::size_t i = 0; i < 2; ++i) {
+    regress::RunPlan plan = base;
+    plan.cfg = configs[i];
+    plan.jobs = 2;
+    expect_identical(serial.results[i], regress::Regression::run(plan));
+  }
+}
+
+TEST(ParallelRegress, JsonReportShape) {
+  regress::RunPlan plan = small_plan();
+  plan.tests = {verif::t02_random_all_opcodes()};
+  plan.seeds = {1};
+  plan.jobs = 2;
+  const auto res = regress::Regression::run(plan);
+
+  const std::string timed = res.json();
+  EXPECT_NE(timed.find("\"config\": \"node_a\""), std::string::npos);
+  EXPECT_NE(timed.find("\"runs\": ["), std::string::npos);
+  EXPECT_NE(timed.find("\"view\": \"rtl\""), std::string::npos);
+  EXPECT_NE(timed.find("\"view\": \"bca\""), std::string::npos);
+  EXPECT_NE(timed.find("\"coverage_digest\": \"0x"), std::string::npos);
+  EXPECT_NE(timed.find("\"alignments\": ["), std::string::npos);
+  EXPECT_NE(timed.find("\"signed_off\": true"), std::string::npos);
+  EXPECT_NE(timed.find("\"wall_ms\":"), std::string::npos);
+
+  const std::string untimed = res.json(/*with_timing=*/false);
+  EXPECT_EQ(untimed.find("\"wall_ms\":"), std::string::npos);
+}
+
+TEST(ParallelRegress, MatrixWritesIsolatedArtifactDirs) {
+  const fs::path dir = fs::temp_directory_path() / "crve_parallel_matrix";
+  fs::remove_all(dir);
+
+  regress::RunPlan base = small_plan();
+  base.tests = {verif::t02_random_all_opcodes()};
+  base.seeds = {5};
+  base.n_transactions = 20;
+  base.out_dir = dir.string();
+  base.jobs = 4;
+  const auto mres =
+      regress::Regression::run_matrix({cfg32(), cfg_shared()}, base);
+  ASSERT_TRUE(mres.all_signed_off) << mres.summary();
+
+  for (const char* node : {"node_a", "node_b"}) {
+    EXPECT_TRUE(fs::exists(dir / node / "summary.txt")) << node;
+    EXPECT_TRUE(fs::exists(dir / node / "report.json")) << node;
+    EXPECT_TRUE(
+        fs::exists(dir / node / "t02_random_all_opcodes_s5_rtl.vcd"))
+        << node;
+    EXPECT_TRUE(
+        fs::exists(dir / node / "alignment_t02_random_all_opcodes_s5.txt"))
+        << node;
+  }
+  std::ifstream is(dir / "report.json");
+  std::ostringstream os;
+  os << is.rdbuf();
+  EXPECT_NE(os.str().find("\"all_signed_off\": true"), std::string::npos);
+  EXPECT_NE(os.str().find("\"config\": \"node_b\""), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crve

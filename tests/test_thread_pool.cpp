@@ -1,0 +1,83 @@
+// Tests for the regression job scheduler (common/thread_pool.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace crve {
+namespace {
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(3), 3u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_GE(resolve_jobs(0), 1u);  // hardware concurrency, at least one
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForSerialPool) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(8, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // inline on the caller: in order
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("job 5 died");
+                          ran.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed parallel_for.
+  std::atomic<int> after{0};
+  pool.parallel_for(16, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(ThreadPool, ManyMoreJobsThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 10000L * 9999L / 2);
+}
+
+}  // namespace
+}  // namespace crve
