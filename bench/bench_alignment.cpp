@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/bits.h"
 #include "regress/runner.h"
 #include "stba/analyzer.h"
 #include "verif/tests.h"
@@ -112,6 +113,59 @@ void BM_StbaCompare(benchmark::State& state) {
 }
 
 BENCHMARK(BM_StbaCompare)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// Long sparse trace: many cycles, few changes. This is the shape the
+// change-driven merge is built for — the per-cycle scan it replaced walked
+// every one of the `cycles` x 17 field values through a binary search,
+// while the merge visits only the change events. One single-cycle granted
+// pulse every `stride` cycles.
+std::string sparse_dump(std::uint64_t cycles, std::uint64_t stride) {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module tb $end\n$scope module p0 $end\n";
+  const char* names[] = {"req", "gnt", "opc", "add", "data", "be", "eop",
+                         "lck", "src", "tid", "r_req", "r_gnt", "r_opc",
+                         "r_data", "r_eop", "r_src", "r_tid"};
+  const int widths[] = {1, 1, 6, 32, 32, 4, 1, 1, 6, 8, 1, 1, 2, 32, 1, 6, 8};
+  for (int i = 0; i < 17; ++i) {
+    os << "$var wire " << widths[i] << " " << static_cast<char>('!' + i)
+       << " " << names[i] << " $end\n";
+  }
+  os << "$upscope $end\n$upscope $end\n$enddefinitions $end\n";
+  for (std::uint64_t t = 0; t + 1 < cycles; t += stride) {
+    os << "#" << t << "\n1!\n1\"\n";
+    os << "b" << crve::Bits(32, t).to_bin_string() << " $\n";
+    os << "#" << (t + 1) << "\n0!\n0\"\n";
+  }
+  os << "#" << (cycles - 1) << "\n";
+  return os.str();
+}
+
+void BM_StbaCompareSparse(benchmark::State& state) {
+  const auto cycles = static_cast<std::uint64_t>(state.range(0));
+  const auto stride = static_cast<std::uint64_t>(state.range(1));
+  const std::string d = sparse_dump(cycles, stride);
+  std::istringstream ia(d), ib(d);
+  const vcd::Trace a = vcd::Trace::parse(ia);
+  const vcd::Trace b = vcd::Trace::parse(ib);
+  for (auto _ : state) {
+    const auto rep = stba::Analyzer::compare(a, b, {"tb.p0"});
+    benchmark::DoNotOptimize(rep.ports.front().aligned_cycles);
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+  std::uint64_t n_changes = 0;
+  for (std::size_t v = 0; v < a.vars().size(); ++v) {
+    n_changes += a.changes(static_cast<int>(v)).size();
+  }
+  state.counters["changes"] = static_cast<double>(n_changes);
+}
+
+// 100k cycles with a pulse every 1000 (sparse) and every 100 (denser);
+// 1M cycles as the scaling point.
+BENCHMARK(BM_StbaCompareSparse)
+    ->Args({100000, 1000})
+    ->Args({100000, 100})
+    ->Args({1000000, 1000})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

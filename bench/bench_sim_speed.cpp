@@ -12,8 +12,14 @@
 // cycle (the work metric that explains the rate).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "vcd/writer.h"
 #include "verif/testbench.h"
 #include "verif/tests.h"
+#include "verif/toggle_coverage.h"
 
 namespace {
 
@@ -101,6 +107,63 @@ BENCHMARK(BM_Bca)->Apply(shapes);
 BENCHMARK(BM_BcaNoMemo)->Apply(shapes);
 BENCHMARK(BM_Rtl)->Apply(shapes);
 BENCHMARK(BM_BcaWrapped)->Apply(shapes);
+
+// Long sparse trace through the full tracer stack (VCD writer + toggle
+// coverage): `n_signals` registered signals, only `n_active` of them
+// written per cycle. The change-driven kernel hands tracers just the
+// changed indices, so the per-cycle tracing cost scales with n_active, not
+// n_signals — the fast path this PR introduced. Before it, every tracer
+// materialized a string per signal per cycle.
+void BM_TracedSimSparse(benchmark::State& state) {
+  const int n_signals = static_cast<int>(state.range(0));
+  const int n_active = static_cast<int>(state.range(1));
+  constexpr int kCycles = 5000;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Context ctx;
+    std::vector<std::unique_ptr<sim::SignalU64>> sigs;
+    sigs.reserve(static_cast<std::size_t>(n_signals));
+    for (int i = 0; i < n_signals; ++i) {
+      sigs.push_back(std::make_unique<sim::SignalU64>(
+          ctx, "tb.s" + std::to_string(i), 16));
+    }
+    ctx.add_clocked("drv", [&] {
+      // A rotating window of n_active signals changes each cycle.
+      const auto c = ctx.cycle();
+      for (int k = 0; k < n_active; ++k) {
+        auto& s = *sigs[static_cast<std::size_t>(
+            (c * static_cast<std::uint64_t>(n_active) +
+             static_cast<std::uint64_t>(k)) %
+            static_cast<std::uint64_t>(n_signals))];
+        s.write(s.read() + 1);
+      }
+    });
+    std::ostringstream os;
+    vcd::Writer w(os);
+    verif::ToggleCoverage tc;
+    ctx.attach_tracer(&w);
+    ctx.attach_tracer(&tc);
+    state.ResumeTiming();
+
+    ctx.step(kCycles);
+    w.finish();
+    benchmark::DoNotOptimize(os.tellp());
+    benchmark::DoNotOptimize(tc.percent());
+    cycles += kCycles;
+  }
+  state.counters["cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["signals"] = static_cast<double>(n_signals);
+  state.counters["active_per_cycle"] = static_cast<double>(n_active);
+}
+
+BENCHMARK(BM_TracedSimSparse)
+    ->Args({200, 2})
+    ->Args({200, 50})
+    ->Args({1000, 2})
+    ->Args({1000, 100})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

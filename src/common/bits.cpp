@@ -118,11 +118,18 @@ void Bits::set_byte_slice(int lo, const Bits& v) {
 }
 
 std::string Bits::to_bin_string() const {
-  std::string s(static_cast<std::size_t>(width_), '0');
-  for (int i = 0; i < width_; ++i) {
-    if (bit(i)) s[static_cast<std::size_t>(width_ - 1 - i)] = '1';
-  }
+  std::string s;
+  s.reserve(static_cast<std::size_t>(width_));
+  append_bin(s);
   return s;
+}
+
+void Bits::append_bin(std::string& out) const {
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(width_), '0');
+  for (int i = 0; i < width_; ++i) {
+    if (bit(i)) out[base + static_cast<std::size_t>(width_ - 1 - i)] = '1';
+  }
 }
 
 std::string Bits::to_hex_string() const {

@@ -64,6 +64,9 @@ class Bits {
 
   // MSB-first binary string, exactly `width()` characters.
   std::string to_bin_string() const;
+  // Appends the same `width()` characters to `out` without allocating a
+  // temporary (trace hot path).
+  void append_bin(std::string& out) const;
   // Hex string, no prefix, (width+3)/4 digits.
   std::string to_hex_string() const;
 

@@ -28,10 +28,24 @@ bool Context::commit_dirty() {
     if (s->commit()) {
       s->set_stamp(++change_stamp_);
       changed = true;
+      if (!s->in_changed_set_) {
+        s->in_changed_set_ = true;
+        changed_.push_back(s->index_);
+      }
     }
   }
   dirty_.clear();
   return changed;
+}
+
+void Context::sample_tracers() {
+  // Ascending index order so tracer output is independent of commit order.
+  std::sort(changed_.begin(), changed_.end());
+  for (Tracer* t : tracers_) t->sample(cycle_, signals_, changed_);
+  for (const int i : changed_) {
+    signals_[static_cast<std::size_t>(i)]->in_changed_set_ = false;
+  }
+  changed_.clear();
 }
 
 void Context::settle() {
@@ -54,7 +68,16 @@ void Context::initialize() {
   initialized_ = true;
   commit_dirty();  // writes made during construction
   settle();
-  for (Tracer* t : tracers_) t->sample(cycle_, signals_);
+  // First sample: every signal is "changed" so tracers take a full snapshot.
+  for (const int i : changed_) {
+    signals_[static_cast<std::size_t>(i)]->in_changed_set_ = false;
+  }
+  changed_.clear();
+  changed_.reserve(signals_.size());
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    changed_.push_back(static_cast<int>(i));
+  }
+  sample_tracers();
 }
 
 void Context::step(int n) {
@@ -67,7 +90,7 @@ void Context::step(int n) {
     }
     commit_dirty();
     settle();
-    for (Tracer* t : tracers_) t->sample(cycle_, signals_);
+    sample_tracers();
   }
 }
 

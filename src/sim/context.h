@@ -18,11 +18,21 @@
 namespace crve::sim {
 
 // Observer sampling settled signal values once per cycle (e.g. VCD writer).
+//
+// `changed` holds the indices (into `signals`, ascending) of the signals
+// whose visible value changed during this cycle's commits — the kernel
+// already knows this from commit(), so tracers never have to rescan the
+// full signal list. On the very first sample of a run the kernel reports
+// every signal as changed, giving tracers a full initial snapshot. A value
+// that changes and reverts within one cycle's delta settling may appear in
+// `changed` with its final value equal to the previous sample; tracers that
+// care must compare against their own last-seen state.
 class Tracer {
  public:
   virtual ~Tracer() = default;
   virtual void sample(std::uint64_t cycle,
-                      const std::vector<SignalBase*>& signals) = 0;
+                      const std::vector<SignalBase*>& signals,
+                      const std::vector<int>& changed) = 0;
 };
 
 class SimError : public std::runtime_error {
@@ -62,12 +72,17 @@ class Context {
 
  private:
   friend class SignalBase;
-  void register_signal(SignalBase* s) { signals_.push_back(s); }
+  void register_signal(SignalBase* s) {
+    s->index_ = static_cast<int>(signals_.size());
+    signals_.push_back(s);
+  }
   void mark_dirty(SignalBase* s) { dirty_.push_back(s); }
 
   // Commits pending writes; returns whether any visible value changed.
   bool commit_dirty();
   void settle();
+  // Sorts the cycle's changed-set, hands it to every tracer, resets it.
+  void sample_tracers();
 
   struct Process {
     std::string name;
@@ -76,6 +91,7 @@ class Context {
 
   std::vector<SignalBase*> signals_;
   std::vector<SignalBase*> dirty_;
+  std::vector<int> changed_;  // indices changed since the last sample
   std::vector<Process> clocked_;
   std::vector<Process> comb_;
   std::vector<Tracer*> tracers_;

@@ -36,37 +36,59 @@ class SignalBase {
   std::uint64_t stamp() const { return stamp_; }
   void set_stamp(std::uint64_t s) { stamp_ = s; }
 
+  // Position in Context::signals(), fixed at registration. Tracers use it
+  // to address per-signal state from the kernel's changed-set.
+  int index() const { return index_; }
+
   // Moves the pending next value into the current one. Returns whether the
   // visible value changed. Called by the kernel only.
   virtual bool commit() = 0;
 
+  // Appends the current value to `out` as MSB-first binary, exactly
+  // width() chars, without allocating. Hot tracers format into a reusable
+  // buffer through this instead of materializing per-cycle strings.
+  virtual void append_vcd(std::string& out) const = 0;
+
   // Current value as an MSB-first binary string of exactly width() chars.
-  virtual std::string vcd_value() const = 0;
+  // Convenience wrapper over append_vcd() for cold paths and tests.
+  std::string vcd_value() const {
+    std::string s;
+    s.reserve(static_cast<std::size_t>(width_));
+    append_vcd(s);
+    return s;
+  }
 
  protected:
   void mark_dirty();
 
  private:
+  friend class Context;
   Context& ctx_;
   std::string name_;
   int width_;
+  int index_ = -1;
   std::uint64_t stamp_ = 0;
+  // Scratch flag owned by Context: true while the signal sits in the
+  // current cycle's changed-set (dedupes multiple commits per cycle).
+  bool in_changed_set_ = false;
 };
 
 namespace detail {
 
-inline std::string to_vcd(bool v, int /*width*/) { return v ? "1" : "0"; }
-
-inline std::string to_vcd(std::uint64_t v, int width) {
-  std::string s(static_cast<std::size_t>(width), '0');
-  for (int i = 0; i < width; ++i) {
-    if ((v >> i) & 1u) s[static_cast<std::size_t>(width - 1 - i)] = '1';
-  }
-  return s;
+inline void append_vcd(std::string& out, bool v, int /*width*/) {
+  out.push_back(v ? '1' : '0');
 }
 
-inline std::string to_vcd(const Bits& v, int /*width*/) {
-  return v.to_bin_string();
+inline void append_vcd(std::string& out, std::uint64_t v, int width) {
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i) {
+    if ((v >> i) & 1u) out[base + static_cast<std::size_t>(width - 1 - i)] = '1';
+  }
+}
+
+inline void append_vcd(std::string& out, const Bits& v, int /*width*/) {
+  v.append_bin(out);
 }
 
 inline std::uint64_t masked(std::uint64_t v, int width) {
@@ -91,7 +113,9 @@ class SignalBool : public SignalBase {
     cur_ = next_;
     return changed;
   }
-  std::string vcd_value() const override { return detail::to_vcd(cur_, 1); }
+  void append_vcd(std::string& out) const override {
+    detail::append_vcd(out, cur_, 1);
+  }
 
  private:
   bool cur_ = false;
@@ -118,8 +142,8 @@ class SignalU64 : public SignalBase {
     cur_ = next_;
     return changed;
   }
-  std::string vcd_value() const override {
-    return detail::to_vcd(cur_, width());
+  void append_vcd(std::string& out) const override {
+    detail::append_vcd(out, cur_, width());
   }
 
  private:
@@ -149,7 +173,7 @@ class SignalBits : public SignalBase {
     cur_ = next_;
     return changed;
   }
-  std::string vcd_value() const override { return cur_.to_bin_string(); }
+  void append_vcd(std::string& out) const override { cur_.append_bin(out); }
 
  private:
   Bits cur_;

@@ -29,46 +29,89 @@ std::vector<int> resolve_port(const vcd::Trace& t, const std::string& port) {
   return idx;
 }
 
+std::vector<vcd::Trace::Cursor> port_cursors(const vcd::Trace& t,
+                                             const std::vector<int>& idx) {
+  std::vector<vcd::Trace::Cursor> cur;
+  cur.reserve(idx.size());
+  for (const int i : idx) cur.push_back(t.cursor(i));
+  return cur;
+}
+
+// Earliest pending change time across a port's field cursors (kNoChange
+// when every list is exhausted). The merge advances in one hop from event
+// to event instead of cycle by cycle.
+std::uint64_t next_event(const std::vector<vcd::Trace::Cursor>& cur) {
+  std::uint64_t next = vcd::Trace::Cursor::kNoChange;
+  for (const auto& c : cur) next = std::min(next, c.next_change_time());
+  return next;
+}
+
+bool port_has_activity(const vcd::Trace& t, const std::vector<int>& idx) {
+  for (const int i : idx) {
+    if (!t.changes(i).empty()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::vector<ExtractedCell> Analyzer::extract(const vcd::Trace& t,
                                              const std::string& port) {
   const std::vector<int> idx = resolve_port(t, port);
-  auto field = [&](int f, std::uint64_t cyc) -> const std::string& {
-    return t.value_at(idx[static_cast<std::size_t>(f)], cyc);
-  };
   // Field order mirrors port_fields().
   enum {
     kReq, kGnt, kOpc, kAdd, kData, kBe, kEop, kLck, kSrc, kTid,
-    kRReq, kRGnt, kROpc, kRData, kREop, kRSrc, kRTid
+    kRReq, kRGnt, kROpc, kRData, kREop, kRSrc, kRTid, kNumFields
+  };
+  std::vector<vcd::Trace::Cursor> cur = port_cursors(t, idx);
+  auto field = [&](int f, std::uint64_t cyc) -> const std::string& {
+    return cur[static_cast<std::size_t>(f)].value_at(cyc);
   };
   std::vector<ExtractedCell> cells;
-  for (std::uint64_t c = 0; c <= t.max_time(); ++c) {
-    if (field(kReq, c) == "1" && field(kGnt, c) == "1") {
-      ExtractedCell cell;
-      cell.cycle = c;
-      cell.response = false;
-      cell.opc = field(kOpc, c);
-      cell.add = field(kAdd, c);
-      cell.data = field(kData, c);
-      cell.be = field(kBe, c);
-      cell.eop = field(kEop, c) == "1";
-      cell.lck = field(kLck, c) == "1";
-      cell.src = field(kSrc, c);
-      cell.tid = field(kTid, c);
-      cells.push_back(std::move(cell));
+  const std::uint64_t end = t.max_time() + 1;
+  std::uint64_t c = 0;
+  // Merge over the field change lists: between events every field is
+  // constant, so the granted state and cell content hold for the whole run
+  // and only the cycle stamp varies.
+  while (c < end) {
+    const bool req_granted = field(kReq, c) == "1" && field(kGnt, c) == "1";
+    const bool rsp_granted = field(kRReq, c) == "1" && field(kRGnt, c) == "1";
+    // Settle every remaining cursor at c so next_event() looks past it.
+    for (int f = 0; f < kNumFields; ++f) field(f, c);
+    const std::uint64_t run_end = std::min(next_event(cur), end);
+    if (req_granted || rsp_granted) {
+      ExtractedCell req_cell, rsp_cell;
+      if (req_granted) {
+        req_cell.response = false;
+        req_cell.opc = field(kOpc, c);
+        req_cell.add = field(kAdd, c);
+        req_cell.data = field(kData, c);
+        req_cell.be = field(kBe, c);
+        req_cell.eop = field(kEop, c) == "1";
+        req_cell.lck = field(kLck, c) == "1";
+        req_cell.src = field(kSrc, c);
+        req_cell.tid = field(kTid, c);
+      }
+      if (rsp_granted) {
+        rsp_cell.response = true;
+        rsp_cell.opc = field(kROpc, c);
+        rsp_cell.data = field(kRData, c);
+        rsp_cell.eop = field(kREop, c) == "1";
+        rsp_cell.src = field(kRSrc, c);
+        rsp_cell.tid = field(kRTid, c);
+      }
+      for (std::uint64_t cyc = c; cyc < run_end; ++cyc) {
+        if (req_granted) {
+          req_cell.cycle = cyc;
+          cells.push_back(req_cell);
+        }
+        if (rsp_granted) {
+          rsp_cell.cycle = cyc;
+          cells.push_back(rsp_cell);
+        }
+      }
     }
-    if (field(kRReq, c) == "1" && field(kRGnt, c) == "1") {
-      ExtractedCell cell;
-      cell.cycle = c;
-      cell.response = true;
-      cell.opc = field(kROpc, c);
-      cell.data = field(kRData, c);
-      cell.eop = field(kREop, c) == "1";
-      cell.src = field(kRSrc, c);
-      cell.tid = field(kRTid, c);
-      cells.push_back(std::move(cell));
-    }
+    c = run_end;
   }
   return cells;
 }
@@ -83,30 +126,49 @@ AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
     pa.total_cycles = total;
     const std::vector<int> ia = resolve_port(a, port);
     const std::vector<int> ib = resolve_port(b, port);
-    for (std::uint64_t c = 0; c < total; ++c) {
+    const bool a_active = port_has_activity(a, ia);
+    const bool b_active = port_has_activity(b, ib);
+    if (!a_active && !b_active) {
+      pa.note = "no activity on this port in either dump; rate is vacuous";
+    } else if (!a_active) {
+      pa.note = "dump A has no activity on this port; rate compares B "
+                "against all-zeros";
+    } else if (!b_active) {
+      pa.note = "dump B has no activity on this port; rate compares A "
+                "against all-zeros";
+    }
+    // k-way merge over the 2x17 field change lists: between events every
+    // field is constant on both sides, so alignment holds for whole runs.
+    std::vector<vcd::Trace::Cursor> ca = port_cursors(a, ia);
+    std::vector<vcd::Trace::Cursor> cb = port_cursors(b, ib);
+    std::uint64_t c = 0;
+    while (c < total) {
       bool aligned = true;
       for (std::size_t f = 0; f < ia.size(); ++f) {
-        if (a.value_at(ia[f], c) != b.value_at(ib[f], c)) {
+        if (ca[f].value_at(c) != cb[f].value_at(c)) {
           aligned = false;
           if (!pa.diverged()) {
             pa.diverged_signals.push_back(port + "." + port_fields()[f]);
           }
         }
       }
+      const std::uint64_t run_end =
+          std::min(std::min(next_event(ca), next_event(cb)), total);
       if (aligned) {
-        ++pa.aligned_cycles;
+        pa.aligned_cycles += run_end - c;
       } else if (!pa.diverged()) {
         pa.first_divergence = c;
       }
+      c = run_end;
     }
     // Transaction-level diff (content compare, cycle-independent).
-    const auto ca = extract(a, port);
-    const auto cb = extract(b, port);
-    pa.cells_a = ca.size();
-    pa.cells_b = cb.size();
-    const std::size_t n = std::min(ca.size(), cb.size());
+    const auto cells_a = extract(a, port);
+    const auto cells_b = extract(b, port);
+    pa.cells_a = cells_a.size();
+    pa.cells_b = cells_b.size();
+    const std::size_t n = std::min(cells_a.size(), cells_b.size());
     for (std::size_t i = 0; i < n; ++i) {
-      if (ca[i].same_content(cb[i])) ++pa.cells_matching;
+      if (cells_a[i].same_content(cells_b[i])) ++pa.cells_matching;
     }
     report.ports.push_back(std::move(pa));
   }
@@ -150,6 +212,7 @@ std::string AlignmentReport::summary() const {
       os << " first divergence @" << p.first_divergence << " on";
       for (const auto& s : p.diverged_signals) os << " " << s;
     }
+    if (!p.note.empty()) os << " [" << p.note << "]";
     os << "\n";
   }
   os << "min rate " << 100.0 * min_rate() << "%, "

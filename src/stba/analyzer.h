@@ -46,6 +46,10 @@ struct PortAlignment {
   // First cycle the port differs; ~0ull when fully aligned.
   std::uint64_t first_divergence = ~std::uint64_t{0};
   std::vector<std::string> diverged_signals;  // at the first divergence
+  // Set when the rate is not meaningful — e.g. one dump has no activity at
+  // all on this port, so the comparison runs against an all-zeros baseline
+  // over max(a,b)+1 cycles. Empty for healthy comparisons.
+  std::string note;
 
   // Cell streams compared content-wise (cycle-independent).
   std::uint64_t cells_a = 0;
@@ -77,6 +81,12 @@ class Analyzer {
 
   // Cycle-level + transaction-level comparison of the given ports (each a
   // dotted prefix such as "tb.init0") between two dumps.
+  //
+  // Implemented as a k-way merge over the two traces' change lists: the
+  // alignment status of a port is constant between change events, so whole
+  // runs of unchanged cycles are credited at once. O(total changes) instead
+  // of O(cycles x fields x log changes), with results identical to the
+  // per-cycle scan (tests/test_trace_path.cpp holds the equivalence).
   static AlignmentReport compare(const vcd::Trace& a, const vcd::Trace& b,
                                  const std::vector<std::string>& ports);
 

@@ -38,7 +38,8 @@ class Trace {
   std::optional<int> find(const std::string& suffix) const;
 
   // Settled value of variable `var` at time `t` (last change at or before t).
-  // Before the first change the value is all-zeros.
+  // Before the first change the value is all-zeros. O(log changes) random
+  // access; for monotone scans prefer cursor().
   const std::string& value_at(int var, std::uint64_t t) const;
 
   const std::vector<Change>& changes(int var) const {
@@ -46,6 +47,45 @@ class Trace {
   }
 
   std::uint64_t max_time() const { return max_time_; }
+
+  // Forward iterator over one variable's change list. value_at(t) with
+  // non-decreasing t is amortized O(1) per call over a full sweep — the
+  // trace-analysis fast path (STBA's merge walks one cursor per field).
+  class Cursor {
+   public:
+    // Sentinel returned by next_change_time() when no change lies ahead.
+    static constexpr std::uint64_t kNoChange = ~std::uint64_t{0};
+
+    // Settled value at time `t`. Calls must use non-decreasing `t`;
+    // rewinding requires a fresh cursor.
+    const std::string& value_at(std::uint64_t t) {
+      while (pos_ < changes_->size() && (*changes_)[pos_].time <= t) ++pos_;
+      return pos_ == 0 ? *zero_ : (*changes_)[pos_ - 1].value;
+    }
+
+    // Time of the next change strictly after the last value_at() query
+    // (or of the first change, before any query); kNoChange when exhausted.
+    std::uint64_t next_change_time() const {
+      return pos_ < changes_->size() ? (*changes_)[pos_].time : kNoChange;
+    }
+
+    // Number of changes at or before the last queried time.
+    std::size_t consumed() const { return pos_; }
+
+   private:
+    friend class Trace;
+    Cursor(const std::vector<Change>& ch, const std::string& zero)
+        : changes_(&ch), zero_(&zero) {}
+
+    const std::vector<Change>* changes_;
+    const std::string* zero_;  // all-zero value for t < first change
+    std::size_t pos_ = 0;      // changes applied so far
+  };
+
+  Cursor cursor(int var) const {
+    return Cursor(changes_[static_cast<std::size_t>(var)],
+                  zeros_[static_cast<std::size_t>(var)]);
+  }
 
  private:
   std::vector<Var> vars_;

@@ -1,21 +1,39 @@
 #include "vcd/writer.h"
 
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
 namespace crve::vcd {
 
-Writer::Writer(std::ostream& os) : os_(os) {}
+namespace {
+
+// Staged-output flush threshold. Large enough that the stream sees a few
+// big writes per run instead of one per change line.
+constexpr std::size_t kFlushAt = 64 * 1024;
+
+}  // namespace
+
+Writer::Writer(std::ostream& os) : os_(os) { buf_.reserve(kFlushAt + 1024); }
 
 Writer::Writer(const std::string& path)
     : owned_(std::make_unique<std::ofstream>(path)), os_(*owned_) {
   if (!*owned_) throw std::runtime_error("vcd::Writer: cannot open " + path);
+  buf_.reserve(kFlushAt + 1024);
 }
 
 Writer::~Writer() { finish(); }
 
-void Writer::finish() { os_.flush(); }
+void Writer::flush_buffer() {
+  if (!buf_.empty()) {
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+}
+
+void Writer::finish() {
+  flush_buffer();
+  os_.flush();
+}
 
 std::string Writer::id_code(int index) {
   // Base-94 over the printable ASCII range '!'..'~'.
@@ -45,9 +63,14 @@ std::pair<std::vector<std::string>, std::string> split_name(
 }  // namespace
 
 void Writer::write_header(const std::vector<sim::SignalBase*>& signals) {
-  os_ << "$date crve $end\n";
-  os_ << "$version crve vcd writer $end\n";
-  os_ << "$timescale 1ns $end\n";
+  buf_ += "$date crve $end\n";
+  buf_ += "$version crve vcd writer $end\n";
+  buf_ += "$timescale 1ns $end\n";
+
+  ids_.reserve(signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    ids_.push_back(id_code(static_cast<int>(i)));
+  }
 
   // Emit $scope/$upscope transitions between consecutive signals' paths.
   std::vector<std::string> open;
@@ -59,50 +82,84 @@ void Writer::write_header(const std::vector<sim::SignalBase*>& signals) {
       ++common;
     }
     for (std::size_t j = open.size(); j > common; --j) {
-      os_ << "$upscope $end\n";
+      buf_ += "$upscope $end\n";
     }
     open.resize(common);
     for (std::size_t j = common; j < scopes.size(); ++j) {
-      os_ << "$scope module " << scopes[j] << " $end\n";
+      buf_ += "$scope module ";
+      buf_ += scopes[j];
+      buf_ += " $end\n";
       open.push_back(scopes[j]);
     }
-    os_ << "$var wire " << signals[i]->width() << " "
-        << id_code(static_cast<int>(i)) << " " << leaf << " $end\n";
+    buf_ += "$var wire ";
+    buf_ += std::to_string(signals[i]->width());
+    buf_ += " ";
+    buf_ += ids_[i];
+    buf_ += " ";
+    buf_ += leaf;
+    buf_ += " $end\n";
   }
-  for (std::size_t j = open.size(); j > 0; --j) os_ << "$upscope $end\n";
-  os_ << "$enddefinitions $end\n";
+  for (std::size_t j = open.size(); j > 0; --j) buf_ += "$upscope $end\n";
+  buf_ += "$enddefinitions $end\n";
+
   last_.assign(signals.size(), std::string());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    last_[i].reserve(static_cast<std::size_t>(signals[i]->width()));
+  }
+  scratch_.reserve(256);
 }
 
-void Writer::emit(int index, const std::string& value) {
-  if (value.size() == 1) {
-    os_ << value << id_code(index) << "\n";
+void Writer::emit_if_changed(std::uint64_t cycle, int index,
+                             const sim::SignalBase& sig, bool& time_emitted) {
+  const auto ui = static_cast<std::size_t>(index);
+  scratch_.clear();
+  sig.append_vcd(scratch_);
+  if (scratch_ == last_[ui]) return;
+  if (!time_emitted) {
+    buf_ += "#";
+    buf_ += std::to_string(cycle);
+    buf_ += "\n";
+    time_emitted = true;
+  }
+  if (scratch_.size() == 1) {
+    buf_ += scratch_;
+    buf_ += ids_[ui];
+    buf_ += "\n";
   } else {
     // Canonical VCD truncates leading zeros but keeps at least one digit.
-    std::size_t first = value.find('1');
-    const std::string trimmed =
-        first == std::string::npos ? "0" : value.substr(first);
-    os_ << "b" << trimmed << " " << id_code(index) << "\n";
+    std::size_t first = scratch_.find('1');
+    buf_ += "b";
+    if (first == std::string::npos) {
+      buf_ += "0";
+    } else {
+      buf_.append(scratch_, first, std::string::npos);
+    }
+    buf_ += " ";
+    buf_ += ids_[ui];
+    buf_ += "\n";
   }
+  last_[ui].assign(scratch_);
 }
 
 void Writer::sample(std::uint64_t cycle,
-                    const std::vector<sim::SignalBase*>& signals) {
+                    const std::vector<sim::SignalBase*>& signals,
+                    const std::vector<int>& changed) {
+  bool time_emitted = false;
   if (!header_done_) {
     write_header(signals);
     header_done_ = true;
-  }
-  bool time_emitted = false;
-  for (std::size_t i = 0; i < signals.size(); ++i) {
-    const std::string v = signals[i]->vcd_value();
-    if (v == last_[i]) continue;
-    if (!time_emitted) {
-      os_ << "#" << cycle << "\n";
-      time_emitted = true;
+    // Initial snapshot: every signal, regardless of the changed-set (the
+    // writer may be attached after the kernel's first sample).
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      emit_if_changed(cycle, static_cast<int>(i), *signals[i], time_emitted);
     }
-    emit(static_cast<int>(i), v);
-    last_[i] = v;
+  } else {
+    for (const int i : changed) {
+      emit_if_changed(cycle, i, *signals[static_cast<std::size_t>(i)],
+                      time_emitted);
+    }
   }
+  if (buf_.size() >= kFlushAt) flush_buffer();
 }
 
 }  // namespace crve::vcd

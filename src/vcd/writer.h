@@ -1,8 +1,15 @@
 // VCD (Value Change Dump, IEEE 1364) writer.
 //
 // Implements sim::Tracer: after each settled cycle it emits value changes
-// for every registered signal. The regression tool dumps one VCD per
-// (model view, test, seed) run; STBA later diffs the RTL and BCA dumps.
+// for the signals the kernel reports as changed. The regression tool dumps
+// one VCD per (model view, test, seed) run; STBA later diffs the RTL and
+// BCA dumps.
+//
+// The emit path is change-driven and allocation-free per cycle: id codes
+// are precomputed at header time, values are formatted into a reusable
+// scratch buffer via SignalBase::append_vcd, and output is staged in a
+// write buffer flushed in large chunks. The byte stream is identical to a
+// naive per-cycle full-scan writer (tests/test_trace_path.cpp checks this).
 #pragma once
 
 #include <fstream>
@@ -27,9 +34,11 @@ class Writer : public sim::Tracer {
   Writer& operator=(const Writer&) = delete;
 
   void sample(std::uint64_t cycle,
-              const std::vector<sim::SignalBase*>& signals) override;
+              const std::vector<sim::SignalBase*>& signals,
+              const std::vector<int>& changed) override;
 
-  // Flushes the underlying stream (done automatically on destruction).
+  // Flushes the write buffer and the underlying stream (done automatically
+  // on destruction).
   void finish();
 
   // VCD identifier code for the i-th declared variable.
@@ -37,12 +46,19 @@ class Writer : public sim::Tracer {
 
  private:
   void write_header(const std::vector<sim::SignalBase*>& signals);
-  void emit(int index, const std::string& value);
+  // Emits signal `index` if its current value differs from the last
+  // emitted one; lazily writes the `#cycle` marker first.
+  void emit_if_changed(std::uint64_t cycle, int index,
+                       const sim::SignalBase& sig, bool& time_emitted);
+  void flush_buffer();
 
   std::unique_ptr<std::ofstream> owned_;
   std::ostream& os_;
   bool header_done_ = false;
+  std::string buf_;                // staged output, flushed in chunks
+  std::string scratch_;            // reusable value-formatting buffer
   std::vector<std::string> last_;  // last emitted value per signal
+  std::vector<std::string> ids_;   // cached id_code per signal index
 };
 
 }  // namespace crve::vcd

@@ -3,7 +3,8 @@
 namespace crve::verif {
 
 void ToggleCoverage::sample(std::uint64_t /*cycle*/,
-                            const std::vector<sim::SignalBase*>& signals) {
+                            const std::vector<sim::SignalBase*>& signals,
+                            const std::vector<int>& changed) {
   if (!initialized_) {
     initialized_ = true;
     entries_.reserve(signals.size());
@@ -16,19 +17,21 @@ void ToggleCoverage::sample(std::uint64_t /*cycle*/,
     }
     return;
   }
-  for (auto& e : entries_) {
-    const std::string now = e.signal->vcd_value();
-    if (now == e.prev) continue;
+  for (const int idx : changed) {
+    Entry& e = entries_[static_cast<std::size_t>(idx)];
+    scratch_.clear();
+    e.signal->append_vcd(scratch_);
+    if (scratch_ == e.prev) continue;  // changed-and-reverted within a cycle
     // MSB-first strings; bit index irrelevant for the metric.
-    for (std::size_t i = 0; i < now.size(); ++i) {
-      if (now[i] == e.prev[i]) continue;
-      if (now[i] == '1') {
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      if (scratch_[i] == e.prev[i]) continue;
+      if (scratch_[i] == '1') {
         e.bits[i].rose = true;
       } else {
         e.bits[i].fell = true;
       }
     }
-    e.prev = now;
+    e.prev.assign(scratch_);
   }
 }
 

@@ -22,8 +22,12 @@ class ToggleCoverage : public sim::Tracer {
  public:
   ToggleCoverage() = default;
 
+  // Change-driven: only the signals the kernel reports as changed are
+  // re-formatted and diffed against their previous value; quiet signals
+  // cost nothing per cycle.
   void sample(std::uint64_t cycle,
-              const std::vector<sim::SignalBase*>& signals) override;
+              const std::vector<sim::SignalBase*>& signals,
+              const std::vector<int>& changed) override;
 
   struct SignalReport {
     std::string name;
@@ -56,6 +60,7 @@ class ToggleCoverage : public sim::Tracer {
     std::vector<BitState> bits;
   };
   std::vector<Entry> entries_;
+  std::string scratch_;  // reusable value-formatting buffer
   bool initialized_ = false;
 };
 

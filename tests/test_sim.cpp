@@ -133,10 +133,12 @@ TEST(Context, EvaluationsCountProcessRuns) {
 struct CountingTracer : Tracer {
   int samples = 0;
   std::uint64_t last_cycle = 0;
-  void sample(std::uint64_t cycle,
-              const std::vector<SignalBase*>&) override {
+  std::vector<std::vector<int>> changed_sets;
+  void sample(std::uint64_t cycle, const std::vector<SignalBase*>&,
+              const std::vector<int>& changed) override {
     ++samples;
     last_cycle = cycle;
+    changed_sets.push_back(changed);
   }
 };
 
