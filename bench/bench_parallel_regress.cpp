@@ -7,12 +7,20 @@
 // (the acceptance bar is >= 2x at 4 workers on a 4-core host). The jobs=1
 // case is the exact serial engine, so the measured ratio is the true
 // speedup, not a comparison of two different code paths.
+// The second benchmark axis is the observability layer (obs=0/1): the same
+// matrix with metrics collection and span tracing enabled must cost only a
+// few percent, and with them disabled (the default) the instrumentation is
+// a relaxed atomic load per touch point — compare the obs=0 numbers against
+// a pre-instrumentation checkout to verify the <2% guarantee end to end.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "regress/runner.h"
 #include "verif/tests.h"
 
@@ -53,21 +61,38 @@ regress::RunPlan base_plan(unsigned jobs) {
 
 void BM_MatrixRegression(benchmark::State& state) {
   const auto jobs = static_cast<unsigned>(state.range(0));
+  const bool obs_on = state.range(1) != 0;
   const auto configs = matrix_configs();
   for (auto _ : state) {
+    if (obs_on) {
+      obs::registry().reset();
+      obs::set_metrics_enabled(true);
+      obs::trace_begin();
+    }
     const auto res =
         regress::Regression::run_matrix(configs, base_plan(jobs));
     benchmark::DoNotOptimize(res.all_signed_off);
+    if (obs_on) {
+      state.PauseTiming();
+      obs::set_metrics_enabled(false);
+      std::ostringstream sink;
+      obs::trace_end(sink);
+      benchmark::DoNotOptimize(sink.tellp());
+      state.ResumeTiming();
+    }
     if (!res.all_signed_off) state.SkipWithError("matrix not signed off");
   }
   state.SetLabel(std::to_string(configs.size()) +
-                 " configs x 3 tests x 2 views, jobs=" + std::to_string(jobs));
+                 " configs x 3 tests x 2 views, jobs=" + std::to_string(jobs) +
+                 (obs_on ? ", metrics+trace ON" : ", obs disabled"));
 }
 
 BENCHMARK(BM_MatrixRegression)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

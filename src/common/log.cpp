@@ -1,22 +1,117 @@
 #include "common/log.h"
 
-#include <mutex>
+#include <algorithm>
+#include <utility>
 
 namespace crve {
+
+namespace {
+
+// Sink/recorder globals, guarded by the sink mutex for installation and
+// emission. Reads of the recorder pointer on the LogLine fast path are
+// deliberately unsynchronised, matching the existing log_threshold()
+// convention: install sinks/recorders before spawning workers.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // nullptr = default std::cerr
+  return sink;
+}
+
+FlightRecorder*& recorder_slot() {
+  static FlightRecorder* fr = nullptr;
+  return fr;
+}
+
+LogLevel& recorder_level() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+}  // namespace
 
 LogLevel& log_threshold() {
   static LogLevel level = LogLevel::kWarn;
   return level;
 }
 
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  LogSink prev = std::move(sink_slot());
+  sink_slot() = std::move(sink);
+  return prev;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::push(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = std::move(line);
+  next_ = (next_ + 1) % capacity_;
+  count_ = std::min(count_ + 1, capacity_);
+}
+
+std::vector<std::string> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(count_);
+  // Oldest line sits at next_ once the ring has wrapped.
+  const std::size_t start = count_ == capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump() const {
+  std::string out;
+  for (const auto& line : snapshot()) out += line;
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  count_ = 0;
+}
+
+FlightRecorder* set_flight_recorder(FlightRecorder* fr, LogLevel capture) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  FlightRecorder* prev = recorder_slot();
+  recorder_slot() = fr;
+  recorder_level() = fr ? capture : LogLevel::kOff;
+  return prev;
+}
+
+FlightRecorder* flight_recorder() { return recorder_slot(); }
+
 namespace detail {
 
-void emit(const std::string& line) {
+LogLevel capture_threshold() {
+  return std::min(log_threshold(), recorder_level());
+}
+
+void emit(LogLevel level, const std::string& line) {
   // One guarded write per line: concurrent testbenches (parallel regression
   // workers) must not interleave their messages mid-line.
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  std::cerr << line;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (FlightRecorder* fr = recorder_slot();
+      fr != nullptr && level >= recorder_level()) {
+    fr->push(line);
+  }
+  if (level >= log_threshold()) {
+    if (sink_slot()) {
+      sink_slot()(level, line);
+    } else {
+      std::cerr << line;
+    }
+  }
 }
 
 }  // namespace detail

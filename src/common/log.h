@@ -1,43 +1,111 @@
 // Minimal severity-filtered logger shared by the kernel, the verification
 // environment and the regression tool.
+//
+// Three layers, all optional and all process-wide:
+//   * console threshold (`log_threshold()`): lines below it never reach the
+//     console sink;
+//   * injectable sink (`set_log_sink`): where console-visible lines go —
+//     std::cerr by default, a capture callback in tests;
+//   * flight recorder (`set_flight_recorder`): a ring buffer that keeps the
+//     last N lines at or above its own capture level, even below the
+//     console threshold, so a failing regression job can dump the context
+//     that led up to it.
+//
+// A LogLine checks the effective capture threshold at construction and
+// skips ALL formatting work when nobody would see the line — streaming into
+// a disabled line costs one branch per operator<<, not an ostringstream.
 #pragma once
 
+#include <functional>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace crve {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Process-wide log threshold; messages below it are dropped.
+// Process-wide console threshold; messages below it are not printed (but
+// may still be captured by an installed flight recorder).
 LogLevel& log_threshold();
 
+// Console sink: receives one complete line (trailing '\n' included) under
+// the sink mutex, so concurrent regression workers never interleave
+// mid-line. Default (nullptr) writes to std::cerr.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+// Installs a sink, returning the previous one (nullptr = default cerr).
+LogSink set_log_sink(LogSink sink);
+
+// Fixed-capacity ring of the most recent log lines (oldest dropped first).
+// Thread-safe; push comes from the logger's emit path once installed.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 64);
+
+  std::size_t capacity() const { return capacity_; }
+  void push(std::string line);
+  // Recorded lines, oldest first.
+  std::vector<std::string> snapshot() const;
+  // snapshot() joined into one block (lines keep their trailing '\n').
+  std::string dump() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;   // ring write position
+  std::size_t count_ = 0;  // lines currently stored (<= capacity_)
+};
+
+// Installs `fr` as the process-wide flight recorder capturing lines at or
+// above `capture` (nullptr uninstalls). Returns the previous recorder. The
+// recorder must outlive its installation.
+FlightRecorder* set_flight_recorder(FlightRecorder* fr,
+                                    LogLevel capture = LogLevel::kDebug);
+// Currently installed recorder (nullptr when none).
+FlightRecorder* flight_recorder();
+
 namespace detail {
-// Writes one complete line to the sink (std::cerr) under the sink mutex, so
-// lines from concurrent regression workers never interleave mid-line.
-void emit(const std::string& line);
+
+// Lowest level anyone would observe: min(console threshold, recorder
+// capture level). LogLine formats only at or above this.
+LogLevel capture_threshold();
+
+// Routes one complete line: to the flight recorder if one is installed and
+// captures `level`, and to the console sink if `level` passes the console
+// threshold. Serialised under the sink mutex.
+void emit(LogLevel level, const std::string& line);
 
 class LogLine {
  public:
   LogLine(LogLevel level, const char* tag) : level_(level) {
-    os_ << "[" << tag << "] ";
+    if (level_ >= capture_threshold()) {
+      os_.emplace();
+      *os_ << "[" << tag << "] ";
+    }
   }
   ~LogLine() {
-    if (level_ >= log_threshold()) {
-      os_ << "\n";
-      emit(os_.str());
+    if (os_) {
+      *os_ << "\n";
+      emit(level_, os_->str());
     }
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    os_ << v;
+    if (os_) *os_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream os_;
+  // Engaged only when the line is observable — a dropped line never pays
+  // for the ostringstream, let alone the formatting.
+  std::optional<std::ostringstream> os_;
 };
 }  // namespace detail
 

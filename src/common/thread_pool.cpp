@@ -3,6 +3,9 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace crve {
 
@@ -16,7 +19,7 @@ ThreadPool::ThreadPool(unsigned n_threads) {
   const unsigned n = resolve_jobs(n_threads);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -30,9 +33,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  Task t{std::move(task), 0};
+  if (obs::metrics_enabled()) t.enqueued_ns = obs::now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(t));
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -43,9 +48,20 @@ void ThreadPool::wait() {
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_index) {
+  // Per-worker timing metrics (kTiming: wall-clock derived, worker-count
+  // dependent — never part of the deterministic metrics view). Handles are
+  // resolved once per worker; updates are dropped while collection is off.
+  const std::string w = "pool.worker" + std::to_string(worker_index);
+  const obs::Counter busy_ns =
+      obs::counter(w + ".busy_ns", obs::MetricClass::kTiming);
+  const obs::Counter tasks =
+      obs::counter(w + ".tasks", obs::MetricClass::kTiming);
+  const obs::Histogram queue_wait =
+      obs::histogram("pool.queue_wait_ns", obs::MetricClass::kTiming);
+
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -53,7 +69,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (task.enqueued_ns != 0 && obs::metrics_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      queue_wait.observe(t0 - task.enqueued_ns);
+      task.fn();
+      busy_ns.add(obs::now_ns() - t0);
+      tasks.inc();
+    } else {
+      task.fn();
+    }
+    // Metric writes above happen before this release of in_flight_, so a
+    // caller returning from wait() reads fully settled per-thread cells.
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

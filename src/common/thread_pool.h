@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -43,13 +44,24 @@ class ThreadPool {
   // Runs fn(0) .. fn(n-1) across the workers and blocks until all are done.
   // Indices are claimed dynamically. Rethrows the first exception any
   // invocation raised (remaining indices are abandoned once one throws).
+  // Returns as soon as the last fn body finishes; a worker may still be
+  // publishing its own pool.* timing metrics at that point. Call wait()
+  // before merging the obs registry (obs::Registry::snapshot/json).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  // A queued task plus its enqueue timestamp (0 when metrics are off), so
+  // workers can report queue-wait time without a clock read per submit in
+  // the uninstrumented case.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueued_ns = 0;
+  };
+
+  void worker_loop(unsigned worker_index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;

@@ -1,0 +1,279 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+
+namespace crve::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct Descriptor {
+  std::string name;
+  MetricClass cls;
+};
+
+struct HistCell {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t buckets[kHistBuckets] = {};
+};
+
+// One thread's private shard. Vectors are grown lazily to the touched slot,
+// so a thread that never observes a metric stores nothing for it.
+struct CellBlock {
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint64_t> gauges;
+  std::vector<HistCell> hists;
+};
+
+// Registry internals. Leaked on purpose: thread_local cells fold themselves
+// in at thread exit, which may happen after function-local statics are
+// destroyed — a leaked singleton sidesteps the destruction-order race.
+struct State {
+  std::mutex mu;
+  std::vector<Descriptor> counter_desc;
+  std::vector<Descriptor> gauge_desc;
+  std::vector<Descriptor> hist_desc;
+  std::vector<CellBlock*> live;  // one per thread currently alive
+  CellBlock retired;             // folded cells of exited threads
+};
+
+State& state() {
+  static State* s = new State;
+  return *s;
+}
+
+void fold_into(CellBlock& into, const CellBlock& from) {
+  if (into.counters.size() < from.counters.size()) {
+    into.counters.resize(from.counters.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.counters.size(); ++i) {
+    into.counters[i] += from.counters[i];
+  }
+  if (into.gauges.size() < from.gauges.size()) {
+    into.gauges.resize(from.gauges.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.gauges.size(); ++i) {
+    into.gauges[i] = std::max(into.gauges[i], from.gauges[i]);
+  }
+  if (into.hists.size() < from.hists.size()) {
+    into.hists.resize(from.hists.size());
+  }
+  for (std::size_t i = 0; i < from.hists.size(); ++i) {
+    into.hists[i].count += from.hists[i].count;
+    into.hists[i].sum += from.hists[i].sum;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      into.hists[i].buckets[b] += from.hists[i].buckets[b];
+    }
+  }
+}
+
+struct TlsCells {
+  CellBlock block;
+  TlsCells() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.live.push_back(&block);
+  }
+  ~TlsCells() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    fold_into(s.retired, block);
+    s.live.erase(std::find(s.live.begin(), s.live.end(), &block));
+  }
+};
+
+CellBlock& tls_block() {
+  thread_local TlsCells cells;
+  return cells.block;
+}
+
+std::uint32_t find_or_create(std::vector<Descriptor>& descs,
+                             const std::string& name, MetricClass cls) {
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    if (descs[i].name == name) return static_cast<std::uint32_t>(i);
+  }
+  descs.push_back({name, cls});
+  return static_cast<std::uint32_t>(descs.size() - 1);
+}
+
+int bucket_of(std::uint64_t v) {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+// Metric names are code-controlled identifiers; escape defensively anyway.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Counter::add(std::uint64_t n) const {
+  if (!metrics_enabled()) return;
+  CellBlock& b = tls_block();
+  if (b.counters.size() <= slot_) b.counters.resize(slot_ + 1, 0);
+  b.counters[slot_] += n;
+}
+
+void Gauge::observe_max(std::uint64_t v) const {
+  if (!metrics_enabled()) return;
+  CellBlock& b = tls_block();
+  if (b.gauges.size() <= slot_) b.gauges.resize(slot_ + 1, 0);
+  b.gauges[slot_] = std::max(b.gauges[slot_], v);
+}
+
+void Histogram::observe(std::uint64_t v) const {
+  if (!metrics_enabled()) return;
+  CellBlock& b = tls_block();
+  if (b.hists.size() <= slot_) b.hists.resize(slot_ + 1);
+  HistCell& h = b.hists[slot_];
+  ++h.count;
+  h.sum += v;
+  ++h.buckets[bucket_of(v)];
+}
+
+Counter counter(const std::string& name, MetricClass cls) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return Counter(find_or_create(s.counter_desc, name, cls));
+}
+
+Gauge gauge(const std::string& name, MetricClass cls) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return Gauge(find_or_create(s.gauge_desc, name, cls));
+}
+
+Histogram histogram(const std::string& name, MetricClass cls) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return Histogram(find_or_create(s.hist_desc, name, cls));
+}
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Registry::Snapshot Registry::snapshot(bool include_timing) const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  CellBlock merged = s.retired;
+  for (const CellBlock* b : s.live) fold_into(merged, *b);
+
+  Snapshot snap;
+  for (std::size_t i = 0; i < s.counter_desc.size(); ++i) {
+    if (!include_timing && s.counter_desc[i].cls != MetricClass::kStable) {
+      continue;
+    }
+    snap.counters.emplace_back(
+        s.counter_desc[i].name,
+        i < merged.counters.size() ? merged.counters[i] : 0);
+  }
+  for (std::size_t i = 0; i < s.gauge_desc.size(); ++i) {
+    if (!include_timing && s.gauge_desc[i].cls != MetricClass::kStable) {
+      continue;
+    }
+    snap.gauges.emplace_back(s.gauge_desc[i].name,
+                             i < merged.gauges.size() ? merged.gauges[i] : 0);
+  }
+  for (std::size_t i = 0; i < s.hist_desc.size(); ++i) {
+    if (!include_timing && s.hist_desc[i].cls != MetricClass::kStable) {
+      continue;
+    }
+    HistogramValue v;
+    if (i < merged.hists.size()) {
+      v.count = merged.hists[i].count;
+      v.sum = merged.hists[i].sum;
+      std::copy(std::begin(merged.hists[i].buckets),
+                std::end(merged.hists[i].buckets), std::begin(v.buckets));
+    }
+    snap.histograms.emplace_back(s.hist_desc[i].name, v);
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string Registry::json(bool include_timing,
+                           const std::string& indent) const {
+  const Snapshot snap = snapshot(include_timing);
+  std::ostringstream os;
+  const std::string in1 = indent + "  ";
+  const std::string in2 = in1 + "  ";
+  os << "{\n";
+  os << in1 << "\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << in2 << "\"" << escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "}" : "\n" + in1 + "}") << ",\n";
+  os << in1 << "\"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << in2 << "\"" << escape(snap.gauges[i].first)
+       << "\": " << snap.gauges[i].second;
+  }
+  os << (snap.gauges.empty() ? "}" : "\n" + in1 + "}") << ",\n";
+  os << in1 << "\"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramValue& h = snap.histograms[i].second;
+    os << (i == 0 ? "\n" : ",\n") << in2 << "\""
+       << escape(snap.histograms[i].first) << "\": {\"count\": " << h.count
+       << ", \"sum\": " << h.sum << ", \"buckets\": [";
+    // Sparse bucket list: [lower bound of bucket, count] pairs.
+    bool first = true;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      const std::uint64_t lo = b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+      os << (first ? "" : ", ") << "[" << lo << ", " << h.buckets[b] << "]";
+      first = false;
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "}" : "\n" + in1 + "}") << "\n";
+  os << indent << "}";
+  return os.str();
+}
+
+void Registry::reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto zero = [](CellBlock& b) {
+    std::fill(b.counters.begin(), b.counters.end(), 0);
+    std::fill(b.gauges.begin(), b.gauges.end(), 0);
+    for (auto& h : b.hists) h = HistCell{};
+  };
+  zero(s.retired);
+  for (CellBlock* b : s.live) zero(*b);
+}
+
+}  // namespace crve::obs

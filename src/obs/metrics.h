@@ -1,0 +1,138 @@
+// Campaign metrics registry.
+//
+// A process-wide registry of named counters, max-gauges and fixed-bucket
+// log2 histograms, updated from any thread through cheap handles. Updates
+// land in per-thread sharded cells (no cross-thread contention on the hot
+// path); reads merge the shards with order-independent operations (sum for
+// counters/histograms, max for gauges), so the merged values are identical
+// for any worker count as long as the *work* performed is identical — the
+// property the parallel regression engine already guarantees.
+//
+// Cost model:
+//   * collection disabled (the default): every update is one relaxed
+//     atomic load and a branch — near-zero, safe to leave in hot paths;
+//   * collection enabled: one thread-local lookup and a plain add into the
+//     calling thread's private cell.
+//
+// Metrics are classified at registration:
+//   * kStable — a pure function of the work done (cycles simulated, bytes
+//     written, cells extracted). Independent of RunPlan::jobs; included in
+//     the deterministic JSON view that reports embed.
+//   * kTiming — wall-clock derived (queue waits, busy times). Varies run
+//     to run and with the worker count; only in the full JSON view.
+//
+// Merging is only race-free when the instrumented threads are quiescent
+// (e.g. after ThreadPool::wait() / join), which is when every caller in
+// this codebase reads: campaign end, test assertions, --metrics-out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crve::obs {
+
+// Process-wide collection switch (off by default).
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+enum class MetricClass {
+  kStable,  // deterministic: pure function of the work performed
+  kTiming,  // wall-clock derived: excluded from the deterministic view
+};
+
+class Counter;
+class Gauge;
+class Histogram;
+
+// Find-or-create by name (thread-safe). The class is fixed by the first
+// registration; handles stay valid for the process lifetime (reset() zeroes
+// values but never removes descriptors).
+Counter counter(const std::string& name,
+                MetricClass cls = MetricClass::kStable);
+Gauge gauge(const std::string& name, MetricClass cls = MetricClass::kStable);
+Histogram histogram(const std::string& name,
+                    MetricClass cls = MetricClass::kStable);
+
+// log2 bucketing: bucket 0 holds value 0, bucket k>=1 holds values in
+// [2^(k-1), 2^k). 65 buckets cover the full uint64 range.
+inline constexpr int kHistBuckets = 65;
+
+// Cheap copyable handles; obtain via counter()/gauge()/histogram() below.
+// All operations are no-ops while collection is disabled.
+class Counter {
+ public:
+  void add(std::uint64_t n) const;
+  void inc() const { add(1); }
+
+ private:
+  friend Counter counter(const std::string& name, MetricClass cls);
+  explicit Counter(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_;
+};
+
+// Gauge with running-max merge semantics (max is order-independent, so the
+// merged value stays jobs-invariant for kStable gauges).
+class Gauge {
+ public:
+  void observe_max(std::uint64_t v) const;
+
+ private:
+  friend Gauge gauge(const std::string& name, MetricClass cls);
+  explicit Gauge(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_;
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t v) const;
+
+ private:
+  friend Histogram histogram(const std::string& name, MetricClass cls);
+  explicit Histogram(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_;
+};
+
+struct HistogramValue {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t buckets[kHistBuckets] = {};
+};
+
+class Registry {
+ public:
+  struct Snapshot {
+    // Each vector sorted by metric name.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::uint64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramValue>> histograms;
+  };
+
+  // Merged view across every thread that ever updated a metric (live
+  // per-thread cells plus cells folded in at thread exit). Quiescent-read
+  // only — see the file comment.
+  Snapshot snapshot(bool include_timing = true) const;
+
+  // Pretty JSON ({"counters": {...}, "gauges": {...}, "histograms": {...}}).
+  // Lines after the first are prefixed with `indent`, so the object can be
+  // embedded in an enclosing document. include_timing=false restricts the
+  // output to kStable metrics — byte-identical for any worker count.
+  std::string json(bool include_timing = true,
+                   const std::string& indent = "") const;
+
+  // Zeroes every metric value (live and retired cells). Descriptors and
+  // outstanding handles stay valid. Quiescent-call only.
+  void reset();
+
+ private:
+  friend Registry& registry();
+  Registry() = default;
+};
+
+// The process-wide registry.
+Registry& registry();
+
+// Monotonic nanosecond clock shared by metrics and trace instrumentation.
+std::uint64_t now_ns();
+
+}  // namespace crve::obs

@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.h"  // now_ns()
+
+namespace crve::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint32_t> g_generation{0};
+
+struct Event {
+  std::string name;
+  std::string detail;
+  std::uint64_t ts_ns = 0;   // absolute (now_ns clock)
+  std::uint64_t dur_ns = 0;
+  int tid = 0;
+};
+
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+// Session state. Leaked for the same destruction-order reason as the
+// metrics registry: thread_local buffers unregister themselves at thread
+// exit, which can outlive function-local statics.
+struct TraceState {
+  std::mutex mu;
+  std::vector<ThreadBuf*> live;
+  std::vector<Event> drained;  // events of exited threads + past sessions
+  std::uint64_t t0_ns = 0;
+  int next_tid = 0;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;
+  return *s;
+}
+
+struct TlsBuf {
+  ThreadBuf buf;
+  TlsBuf() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buf.tid = s.next_tid++;
+    s.live.push_back(&buf);
+  }
+  ~TlsBuf() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::lock_guard<std::mutex> block(buf.mu);
+    s.drained.insert(s.drained.end(),
+                     std::make_move_iterator(buf.events.begin()),
+                     std::make_move_iterator(buf.events.end()));
+    buf.events.clear();
+    s.live.erase(std::find(s.live.begin(), s.live.end(), &buf));
+  }
+};
+
+ThreadBuf& tls_buf() {
+  thread_local TlsBuf t;
+  return t.buf;
+}
+
+// Writes one JSON string with minimal escaping (span names and details are
+// code-controlled, but config/test names may carry anything).
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Microseconds with sub-ns-resolution fraction, the unit Chrome expects.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void trace_begin() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.drained.clear();
+  for (ThreadBuf* b : s.live) {
+    std::lock_guard<std::mutex> block(b->mu);
+    b->events.clear();
+  }
+  s.t0_ns = now_ns();
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void trace_end(std::ostream& os) {
+  g_tracing.store(false, std::memory_order_relaxed);
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<Event> events = std::move(s.drained);
+  s.drained.clear();
+  for (ThreadBuf* b : s.live) {
+    std::lock_guard<std::mutex> block(b->mu);
+    events.insert(events.end(), std::make_move_iterator(b->events.begin()),
+                  std::make_move_iterator(b->events.end()));
+    b->events.clear();
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.tid < b.tid;
+  });
+
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << "{\"name\": ";
+    write_escaped(os, e.name);
+    os << ", \"cat\": \"crve\", \"ph\": \"X\", \"ts\": ";
+    write_us(os, e.ts_ns - s.t0_ns);
+    os << ", \"dur\": ";
+    write_us(os, e.dur_ns);
+    os << ", \"pid\": 0, \"tid\": " << e.tid;
+    if (!e.detail.empty()) {
+      os << ", \"args\": {\"detail\": ";
+      write_escaped(os, e.detail);
+      os << "}";
+    }
+    os << "}";
+  }
+  os << (events.empty() ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void trace_end_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("obs::trace_end_file: cannot open " + path);
+  trace_end(os);
+}
+
+SpanGuard::SpanGuard(const char* name) : name_(name) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  gen_ = g_generation.load(std::memory_order_relaxed);
+  t0_ns_ = now_ns();
+}
+
+SpanGuard::SpanGuard(const char* name, std::string detail) : SpanGuard(name) {
+  if (active_) detail_ = std::move(detail);
+}
+
+void SpanGuard::set_detail(std::string detail) {
+  if (active_) detail_ = std::move(detail);
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  // Drop spans that outlived their session (trace_end ran mid-span).
+  if (!tracing_enabled() ||
+      gen_ != g_generation.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::uint64_t t1 = now_ns();
+  ThreadBuf& buf = tls_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(
+      {name_, std::move(detail_), t0_ns_, t1 - t0_ns_, buf.tid});
+}
+
+}  // namespace crve::obs

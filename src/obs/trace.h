@@ -1,0 +1,69 @@
+// Phase-span tracing.
+//
+// Scoped CRVE_SPAN guards record complete ("ph":"X") Chrome trace events
+// into per-thread buffers; trace_end() drains every buffer and writes one
+// JSON document loadable in Perfetto or chrome://tracing. Spans are meant
+// for campaign-grained phases (a regression job, its build/sim/compare
+// sub-phases), not per-cycle events, so the per-span mutex never contends
+// in practice.
+//
+// Cost model: while no session is active (the default) a SpanGuard is one
+// relaxed atomic load at construction and a branch at destruction. While a
+// session is active each closed span takes two clock reads plus one locked
+// append into the calling thread's own buffer.
+//
+// Sessions are generation-stamped: a span opened in one session that
+// closes after trace_end() is dropped, never misfiled into a later
+// session.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace crve::obs {
+
+bool tracing_enabled();
+
+// Starts a new session: clears previously drained spans, records the time
+// origin, enables capture.
+void trace_begin();
+
+// Disables capture, drains every thread's span buffer and writes the
+// session as {"traceEvents": [...]} to `os` / `path` (throws on a file
+// that cannot be opened). Safe to call without an active session (writes
+// an empty event list).
+void trace_end(std::ostream& os);
+void trace_end_file(const std::string& path);
+
+// Scoped span covering its enclosing block. `name` should be a short
+// static phase label ("job", "sim", "align") — Perfetto aggregates by
+// name; per-instance identity goes into the detail argument.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  SpanGuard(const char* name, std::string detail);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  // Attach/replace the detail string after construction. Callers with an
+  // expensive-to-build detail should gate on tracing_enabled() first.
+  void set_detail(std::string detail);
+
+ private:
+  const char* name_;
+  std::string detail_;
+  std::uint64_t t0_ns_ = 0;
+  std::uint32_t gen_ = 0;
+  bool active_ = false;
+};
+
+#define CRVE_SPAN_CAT2(a, b) a##b
+#define CRVE_SPAN_CAT(a, b) CRVE_SPAN_CAT2(a, b)
+// CRVE_SPAN("phase") or CRVE_SPAN("phase", detail_string).
+#define CRVE_SPAN(...) \
+  ::crve::obs::SpanGuard CRVE_SPAN_CAT(crve_span_, __LINE__){__VA_ARGS__}
+
+}  // namespace crve::obs

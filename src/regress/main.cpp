@@ -21,15 +21,28 @@
 //                      matrix (default: 0 = one per hardware thread)
 //   --json FILE        also write the batch JSON report to FILE
 //
+// Observability (DESIGN.md §10):
+//   --metrics-out FILE enable metrics collection; write the full registry
+//                      (timing metrics included) as JSON after the batch
+//   --trace-out FILE   record phase spans; write a Chrome trace-event file
+//                      loadable in Perfetto / chrome://tracing
+//   --flight-recorder N
+//                      keep the last N log lines (info and up) in a ring;
+//                      a failing job dumps them next to its artifacts
+//
 // Exit status: 0 when every configuration signs off.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "regress/config_file.h"
 #include "regress/runner.h"
 #include "verif/tests.h"
@@ -44,6 +57,8 @@ int usage() {
                "                    [--tests t02,t05] [--tx N] [--threshold P]\n"
                "                    [--fault NAME] [--no-alignment]\n"
                "                    [--jobs N] [--json FILE]\n"
+               "                    [--metrics-out FILE] [--trace-out FILE]\n"
+               "                    [--flight-recorder N]\n"
                "       crve_regress --sample-configs DIR\n");
   return 2;
 }
@@ -119,6 +134,8 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::string config_dir, out_dir, sample_dir, json_path;
+  std::string metrics_path, trace_path;
+  std::size_t flight_lines = 0;  // 0 = no flight recorder
   std::vector<std::uint64_t> seeds = {1};
   std::vector<std::string> test_filter;
   int tx = 60;
@@ -178,6 +195,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       json_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return usage();
+      metrics_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage();
+      trace_path = v;
+    } else if (arg == "--flight-recorder") {
+      const char* v = next();
+      if (!v) return usage();
+      flight_lines = std::stoul(v);
     } else {
       return usage();
     }
@@ -237,6 +266,17 @@ int main(int argc, char** argv) {
   for (const auto& cfg : configs) {
     std::printf("=== %s ===\n", cfg.summary().c_str());
   }
+
+  // Observability setup (all off by default; see DESIGN.md §10).
+  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) obs::trace_begin();
+  std::unique_ptr<FlightRecorder> recorder;
+  if (flight_lines > 0) {
+    recorder = std::make_unique<FlightRecorder>(flight_lines);
+    set_flight_recorder(recorder.get(), LogLevel::kInfo);
+  }
+
+  int exit_code = 1;
   try {
     const auto mres = regress::Regression::run_matrix(configs, base);
     for (const auto& res : mres.results) {
@@ -244,17 +284,38 @@ int main(int argc, char** argv) {
                   res.summary().c_str());
     }
     std::printf("%s", mres.summary().c_str());
+    exit_code = mres.all_signed_off ? 0 : 1;
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       os << mres.json();
       if (!os) {
         std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
-        return 1;
+        exit_code = 1;
       }
     }
-    return mres.all_signed_off ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    exit_code = 1;
   }
+
+  // Flush observability outputs even when the batch failed or threw — a
+  // broken campaign is exactly when the trace and metrics matter.
+  if (!trace_path.empty()) {
+    try {
+      obs::trace_end_file(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      exit_code = exit_code == 0 ? 1 : exit_code;
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    os << obs::registry().json(/*include_timing=*/true);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      exit_code = exit_code == 0 ? 1 : exit_code;
+    }
+  }
+  if (recorder) set_flight_recorder(nullptr);
+  return exit_code;
 }

@@ -71,6 +71,16 @@ const char* view_str(verif::ModelKind m) {
   return "unknown";
 }
 
+// Embeds a pre-rendered multi-line JSON value (no trailing newline, inner
+// lines at column 0) so it nests at depth `in` inside the enclosing object.
+void write_embedded_json(std::ostream& os, const std::string& json,
+                         const std::string& in) {
+  for (char c : json) {
+    os << c;
+    if (c == '\n') os << in;
+  }
+}
+
 // Writes one RegressionResult as a JSON object at the given indent depth.
 void write_result(std::ostream& os, const RegressionResult& r,
                   bool with_timing, const std::string& in) {
@@ -124,8 +134,15 @@ void write_result(std::ostream& os, const RegressionResult& r,
     if (with_timing) os << ", \"wall_ms\": " << json_number(a.wall_ms);
     os << "}";
   }
-  os << (r.alignments.empty() ? "]" : "\n" + in1 + "]") << "\n";
-  os << in << "}";
+  os << (r.alignments.empty() ? "]" : "\n" + in1 + "]");
+  // Optional deterministic metrics section (stable metrics only; present
+  // exactly when the campaign ran with metrics collection enabled, so
+  // uninstrumented reports stay byte-identical to previous versions).
+  if (!r.metrics_json.empty()) {
+    os << ",\n" << in1 << "\"metrics\": ";
+    write_embedded_json(os, r.metrics_json, in1);
+  }
+  os << "\n" << in << "}";
 }
 
 }  // namespace
@@ -150,8 +167,12 @@ std::string MatrixResult::json(bool with_timing) const {
     os << (i == 0 ? "\n    " : ",\n    ");
     write_result(os, results[i], with_timing, "    ");
   }
-  os << (results.empty() ? "]" : "\n  ]") << "\n";
-  os << "}\n";
+  os << (results.empty() ? "]" : "\n  ]");
+  if (!metrics_json.empty()) {
+    os << ",\n  \"metrics\": ";
+    write_embedded_json(os, metrics_json, "  ");
+  }
+  os << "\n}\n";
   return os.str();
 }
 

@@ -3,10 +3,13 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace crve::regress {
 
@@ -114,6 +117,13 @@ struct Campaign {
     const bool to_disk = !plan.out_dir.empty();
     const ModelKind model = m == 0 ? ModelKind::kRtl : ModelKind::kBca;
 
+    obs::SpanGuard job_span("job");
+    if (obs::tracing_enabled()) {
+      job_span.set_detail(plan.cfg.name + ":" + spec.name + ":s" +
+                          std::to_string(seed) + ":" +
+                          (m == 0 ? "rtl" : "bca"));
+    }
+
     TestbenchOptions opts;
     opts.model = model;
     opts.seed = seed;
@@ -134,12 +144,28 @@ struct Campaign {
     if (plan.n_transactions > 0) s.n_transactions = plan.n_transactions;
 
     const auto t0 = Clock::now();
-    Testbench tb(plan.cfg, s, opts);
-    const RunResult r = tb.run();
+    std::optional<Testbench> tb;
+    {
+      CRVE_SPAN("build");
+      tb.emplace(plan.cfg, s, opts);
+    }
+    RunResult r;
+    {
+      CRVE_SPAN("sim");
+      r = tb->run();
+    }
+    tb.reset();  // closes the VCD before alignment may read it
     log_info() << plan.cfg.name << ": " << spec.name << " seed " << seed
                << " " << to_string(model) << " -> "
                << (r.passed() ? "pass" : "FAIL") << " (" << r.cycles
                << " cycles)";
+    if (obs::metrics_enabled()) {
+      obs::counter("regress.jobs").inc();
+      // add(0) still registers the metric, so reports always carry an
+      // explicit failure count.
+      obs::counter("regress.failures").add(r.passed() ? 0 : 1);
+    }
+    if (!r.passed()) dump_flight_recorder(spec.name, seed, m);
 
     TestOutcome& out = outcomes[unit];
     out.test = spec.name;
@@ -147,13 +173,40 @@ struct Campaign {
     out.model = model;
     out.result = r;
     out.wall_ms = ms_since(t0);
-    if (to_disk) {
-      write_text(plan.out_dir + "/report_" + spec.name + "_s" +
+    {
+      CRVE_SPAN("artifacts");
+      if (to_disk) {
+        write_text(plan.out_dir + "/report_" + spec.name + "_s" +
+                       std::to_string(seed) + "_" + (m == 0 ? "rtl" : "bca") +
+                       ".txt",
+                   run_report(out));
+      } else if (plan.run_alignment) {
+        waves[unit] = wave.str();
+      }
+    }
+  }
+
+  // Failure forensics: when a flight recorder is installed, preserve the
+  // last captured log lines next to the failing job's other artifacts (or
+  // on the console when running in-memory). The ring is process-wide, so
+  // under a parallel run the dump may interleave lines from other jobs —
+  // still exactly the context a post-mortem wants.
+  void dump_flight_recorder(const std::string& test, std::uint64_t seed,
+                            int m) const {
+    FlightRecorder* fr = flight_recorder();
+    if (!fr) return;
+    const std::string dump = fr->dump();
+    if (dump.empty()) return;
+    if (!plan.out_dir.empty()) {
+      write_text(plan.out_dir + "/flight_" + test + "_s" +
                      std::to_string(seed) + "_" + (m == 0 ? "rtl" : "bca") +
-                     ".txt",
-                 run_report(out));
-    } else if (plan.run_alignment) {
-      waves[unit] = wave.str();
+                     ".log",
+                 dump);
+    } else {
+      log_error() << "flight recorder (last " << fr->capacity()
+                  << " lines) before " << test << " seed " << seed << " "
+                  << (m == 0 ? "rtl" : "bca") << " failure:\n"
+                  << dump;
     }
   }
 
@@ -163,6 +216,13 @@ struct Campaign {
     const std::uint64_t seed = seed_of(pair);
     const bool to_disk = !plan.out_dir.empty();
     const auto ports = alignment_ports(plan.cfg, spec);
+
+    obs::SpanGuard align_span("align");
+    if (obs::tracing_enabled()) {
+      align_span.set_detail(plan.cfg.name + ":" + spec.name + ":s" +
+                            std::to_string(seed));
+    }
+    if (obs::metrics_enabled()) obs::counter("regress.alignments").inc();
 
     const auto t0 = Clock::now();
     stba::AlignmentReport rep;
@@ -233,6 +293,8 @@ void write_campaign_artifacts(const RunPlan& plan,
 
 RegressionResult Regression::run(const RunPlan& plan) {
   const auto t0 = Clock::now();
+  obs::SpanGuard campaign_span("campaign");
+  if (obs::tracing_enabled()) campaign_span.set_detail(plan.cfg.name);
   Campaign camp;
   camp.plan = plan;
   camp.prepare();
@@ -245,7 +307,19 @@ RegressionResult Regression::run(const RunPlan& plan) {
                       [&](std::size_t p) { camp.run_alignment(p); });
   }
 
-  RegressionResult res = camp.reduce();
+  RegressionResult res;
+  {
+    CRVE_SPAN("reduce");
+    res = camp.reduce();
+  }
+  // Quiescent read: parallel_for returns when the last task body finishes,
+  // but a worker may still be writing its own pool.* timing cells after
+  // that. wait() drains in_flight_, which workers decrement only after
+  // those writes — the happens-before edge the merge needs.
+  pool.wait();
+  if (obs::metrics_enabled()) {
+    res.metrics_json = obs::registry().json(/*include_timing=*/false);
+  }
   res.wall_ms = ms_since(t0);
   write_campaign_artifacts(plan, res);
   return res;
@@ -254,6 +328,7 @@ RegressionResult Regression::run(const RunPlan& plan) {
 MatrixResult Regression::run_matrix(
     const std::vector<stbus::NodeConfig>& configs, const RunPlan& base) {
   const auto t0 = Clock::now();
+  CRVE_SPAN("campaign", "matrix");
   MatrixResult mres;
   mres.jobs = resolve_jobs(base.jobs);
 
@@ -296,15 +371,23 @@ MatrixResult Regression::run_matrix(
 
   mres.all_signed_off = true;
   mres.results.reserve(camps.size());
-  for (auto& camp : camps) {
-    RegressionResult res = camp.reduce();
-    // Batch mode: per-config wall is the summed job time (the configs ran
-    // interleaved, so a per-config elapsed time would be meaningless).
-    for (const auto& o : res.outcomes) res.wall_ms += o.wall_ms;
-    for (const auto& a : res.alignments) res.wall_ms += a.wall_ms;
-    write_campaign_artifacts(camp.plan, res);
-    mres.all_signed_off = mres.all_signed_off && res.signed_off;
-    mres.results.push_back(std::move(res));
+  {
+    CRVE_SPAN("reduce");
+    for (auto& camp : camps) {
+      RegressionResult res = camp.reduce();
+      // Batch mode: per-config wall is the summed job time (the configs ran
+      // interleaved, so a per-config elapsed time would be meaningless).
+      for (const auto& o : res.outcomes) res.wall_ms += o.wall_ms;
+      for (const auto& a : res.alignments) res.wall_ms += a.wall_ms;
+      write_campaign_artifacts(camp.plan, res);
+      mres.all_signed_off = mres.all_signed_off && res.signed_off;
+      mres.results.push_back(std::move(res));
+    }
+  }
+  // Quiescent read: drain the pool's post-task metric writes (see run()).
+  pool.wait();
+  if (obs::metrics_enabled()) {
+    mres.metrics_json = obs::registry().json(/*include_timing=*/false);
   }
   mres.wall_ms = ms_since(t0);
   if (!base.out_dir.empty()) {

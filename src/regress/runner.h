@@ -71,6 +71,14 @@ struct RegressionResult {
   double alignment_threshold = 0.99;
   bool signed_off = false;
   double wall_ms = 0.0;  // whole-campaign wall clock
+  // Deterministic (kStable-only) obs-registry snapshot taken at campaign
+  // end when metrics collection is enabled; empty otherwise. Empty = the
+  // "metrics" section is omitted from json(), preserving the byte-identical
+  // report guarantee for uninstrumented runs. The registry is process-wide
+  // and accumulating, so this reflects everything recorded since the last
+  // registry().reset(). Only Regression::run fills it (run_matrix campaigns
+  // share one registry; see MatrixResult::metrics_json).
+  std::string metrics_json;
 
   std::string summary() const;
   // Machine-readable report (schema in DESIGN.md). with_timing=false omits
@@ -85,6 +93,9 @@ struct MatrixResult {
   bool all_signed_off = false;
   unsigned jobs = 1;      // resolved worker count the batch ran with
   double wall_ms = 0.0;   // whole-batch wall clock
+  // Batch-level analog of RegressionResult::metrics_json (the configs share
+  // one process-wide registry, so the snapshot lives here, not per config).
+  std::string metrics_json;
 
   std::string summary() const;
   std::string json(bool with_timing = true) const;

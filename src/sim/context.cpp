@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace crve::sim {
 
 SignalBase::SignalBase(Context& ctx, std::string name, int width)
@@ -41,6 +43,7 @@ bool Context::commit_dirty() {
 void Context::sample_tracers() {
   // Ascending index order so tracer output is independent of commit order.
   std::sort(changed_.begin(), changed_.end());
+  changed_samples_ += changed_.size();
   for (Tracer* t : tracers_) t->sample(cycle_, signals_, changed_);
   for (const int i : changed_) {
     signals_[static_cast<std::size_t>(i)]->in_changed_set_ = false;
@@ -55,12 +58,23 @@ void Context::settle() {
                      std::to_string(delta_limit_) + " delta cycles at cycle " +
                      std::to_string(cycle_));
     }
+    ++delta_iterations_;
     for (auto& p : comb_) {
       p.fn();
       ++evaluations_;
     }
     if (!commit_dirty()) break;
   }
+}
+
+void Context::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  obs::counter("sim.runs").inc();
+  obs::counter("sim.cycles").add(cycle_);
+  obs::counter("sim.evaluations").add(evaluations_);
+  obs::counter("sim.delta_iterations").add(delta_iterations_);
+  obs::counter("sim.changed_signal_samples").add(changed_samples_);
+  obs::histogram("sim.cycles_per_run").observe(cycle_);
 }
 
 void Context::initialize() {

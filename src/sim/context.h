@@ -66,6 +66,19 @@ class Context {
   std::uint64_t cycle() const { return cycle_; }
   // Total process evaluations, a proxy for simulator work (bench_sim_speed).
   std::uint64_t evaluations() const { return evaluations_; }
+  // Delta iterations run by settle() (>= 1 per cycle; the excess over the
+  // cycle count measures combinational churn).
+  std::uint64_t delta_iterations() const { return delta_iterations_; }
+  // Sum of per-cycle changed-set sizes handed to tracers (the initial
+  // full-snapshot sample included) — the trace path's true workload.
+  std::uint64_t changed_signal_samples() const { return changed_samples_; }
+
+  // Publishes this kernel's counters (cycles, evaluations, delta
+  // iterations, changed-signal samples) into the obs metrics registry.
+  // No-op while collection is disabled. Call at end of run; the counters
+  // are kept as plain members during simulation so the hot loop never pays
+  // for instrumentation.
+  void publish_metrics() const;
 
   // Max delta iterations before declaring a combinational loop.
   void set_delta_limit(int limit) { delta_limit_ = limit; }
@@ -97,6 +110,8 @@ class Context {
   std::vector<Tracer*> tracers_;
   std::uint64_t cycle_ = 0;
   std::uint64_t evaluations_ = 0;
+  std::uint64_t delta_iterations_ = 0;
+  std::uint64_t changed_samples_ = 0;
   std::uint64_t change_stamp_ = 0;
   int delta_limit_ = 64;
   bool initialized_ = false;

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace crve::stba {
 
 const std::vector<std::string>& Analyzer::port_fields() {
@@ -68,6 +70,7 @@ std::vector<ExtractedCell> Analyzer::extract(const vcd::Trace& t,
     return cur[static_cast<std::size_t>(f)].value_at(cyc);
   };
   std::vector<ExtractedCell> cells;
+  const bool metrics = obs::metrics_enabled();
   const std::uint64_t end = t.max_time() + 1;
   std::uint64_t c = 0;
   // Merge over the field change lists: between events every field is
@@ -113,12 +116,17 @@ std::vector<ExtractedCell> Analyzer::extract(const vcd::Trace& t,
     }
     c = run_end;
   }
+  if (metrics) {
+    obs::counter("stba.extracts").inc();
+    obs::counter("stba.cells_extracted").add(cells.size());
+  }
   return cells;
 }
 
 AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
                                   const std::vector<std::string>& ports) {
   AlignmentReport report;
+  const bool metrics = obs::metrics_enabled();
   const std::uint64_t total = std::max(a.max_time(), b.max_time()) + 1;
   for (const auto& port : ports) {
     PortAlignment pa;
@@ -142,7 +150,9 @@ AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
     std::vector<vcd::Trace::Cursor> ca = port_cursors(a, ia);
     std::vector<vcd::Trace::Cursor> cb = port_cursors(b, ib);
     std::uint64_t c = 0;
+    std::uint64_t merge_events = 0;
     while (c < total) {
+      ++merge_events;
       bool aligned = true;
       for (std::size_t f = 0; f < ia.size(); ++f) {
         if (ca[f].value_at(c) != cb[f].value_at(c)) {
@@ -156,10 +166,20 @@ AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
           std::min(std::min(next_event(ca), next_event(cb)), total);
       if (aligned) {
         pa.aligned_cycles += run_end - c;
+        if (metrics) {
+          obs::histogram("stba.aligned_run_cycles").observe(run_end - c);
+        }
       } else if (!pa.diverged()) {
         pa.first_divergence = c;
       }
       c = run_end;
+    }
+    if (metrics) {
+      obs::counter("stba.ports_compared").inc();
+      obs::counter("stba.merge_events").add(merge_events);
+      obs::counter("stba.aligned_cycles").add(pa.aligned_cycles);
+      obs::counter("stba.compared_cycles").add(pa.total_cycles);
+      obs::histogram("stba.merge_events_per_port").observe(merge_events);
     }
     // Transaction-level diff (content compare, cycle-independent).
     const auto cells_a = extract(a, port);
@@ -172,6 +192,7 @@ AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
     }
     report.ports.push_back(std::move(pa));
   }
+  if (metrics) obs::counter("stba.compares").inc();
   return report;
 }
 

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace crve::vcd {
 
 namespace {
@@ -25,14 +27,30 @@ Writer::~Writer() { finish(); }
 
 void Writer::flush_buffer() {
   if (!buf_.empty()) {
+    bytes_flushed_ += buf_.size();
     os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
     buf_.clear();
   }
 }
 
+void Writer::publish_metrics() {
+  if (metrics_published_ || !obs::metrics_enabled()) return;
+  metrics_published_ = true;
+  std::uint64_t touched = 0;
+  for (const auto& v : last_) {
+    if (!v.empty()) ++touched;
+  }
+  obs::counter("vcd.dumps").inc();
+  obs::counter("vcd.bytes_flushed").add(bytes_flushed_);
+  obs::counter("vcd.value_changes").add(value_changes_);
+  obs::counter("vcd.signals_declared").add(last_.size());
+  obs::counter("vcd.signals_touched").add(touched);
+}
+
 void Writer::finish() {
   flush_buffer();
   os_.flush();
+  publish_metrics();
 }
 
 std::string Writer::id_code(int index) {
@@ -115,6 +133,7 @@ void Writer::emit_if_changed(std::uint64_t cycle, int index,
   scratch_.clear();
   sig.append_vcd(scratch_);
   if (scratch_ == last_[ui]) return;
+  ++value_changes_;
   if (!time_emitted) {
     buf_ += "#";
     buf_ += std::to_string(cycle);

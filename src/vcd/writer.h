@@ -52,9 +52,16 @@ class Writer : public sim::Tracer {
                        const sim::SignalBase& sig, bool& time_emitted);
   void flush_buffer();
 
+  // Publishes bytes/changes/signals-touched counters into the obs metrics
+  // registry (once, from finish()).
+  void publish_metrics();
+
   std::unique_ptr<std::ofstream> owned_;
   std::ostream& os_;
   bool header_done_ = false;
+  bool metrics_published_ = false;
+  std::uint64_t bytes_flushed_ = 0;   // bytes handed to the stream
+  std::uint64_t value_changes_ = 0;   // change lines emitted (snapshot incl.)
   std::string buf_;                // staged output, flushed in chunks
   std::string scratch_;            // reusable value-formatting buffer
   std::vector<std::string> last_;  // last emitted value per signal

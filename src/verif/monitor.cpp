@@ -21,6 +21,10 @@ void Monitor::sample() {
     busy = true;
     const stbus::RequestCell cell = pins_.sample_request();
     ++stats_.request_cells;
+    const auto opc = static_cast<std::size_t>(cell.opc);
+    if (opc < stats_.request_opcode_cells.size()) {
+      ++stats_.request_opcode_cells[opc];
+    }
     for (auto* l : listeners_) l->on_request_cell(cell, cycle);
     req_acc_.cells.push_back(cell);
     req_acc_.cycles.push_back(cycle);

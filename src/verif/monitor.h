@@ -8,6 +8,7 @@
 // wrapped variant (paper Fig. 2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -63,6 +64,9 @@ class Monitor {
     std::uint64_t response_packets = 0;
     std::uint64_t busy_cycles = 0;  // cycles with any transfer
     std::uint64_t cycles = 0;
+    // Request cells per opcode, indexed by static_cast<int>(Opcode). Feeds
+    // the verif.opc.* traffic-mix counters in the obs metrics registry.
+    std::array<std::uint64_t, stbus::kNumOpcodes> request_opcode_cells{};
   };
   const Stats& stats() const { return stats_; }
 

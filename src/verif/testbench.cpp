@@ -1,7 +1,9 @@
 #include "verif/testbench.h"
 
+#include <array>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "verif/wrapper.h"
 
 namespace crve::verif {
@@ -311,6 +313,38 @@ RunResult Testbench::run() {
   };
   for (const auto& m : imons_) add_util(*m);
   for (const auto& m : tmons_) add_util(*m);
+  ctx_.publish_metrics();
+  if (obs::metrics_enabled()) {
+    obs::counter("verif.runs").inc();
+    if (res.completed) obs::counter("verif.runs_completed").inc();
+    obs::counter("verif.checker_violations").add(res.checker_violations);
+    obs::counter("verif.scoreboard_errors").add(res.scoreboard_errors);
+    obs::counter("verif.reference_mismatches").add(res.reference_mismatches);
+    // Traffic mix from the initiator-side monitors only (target-side
+    // monitors see the same packets again after arbitration).
+    std::uint64_t req_pkts = 0;
+    std::uint64_t rsp_pkts = 0;
+    std::array<std::uint64_t, stbus::kNumOpcodes> opc{};
+    for (const auto& m : imons_) {
+      req_pkts += m->stats().request_packets;
+      rsp_pkts += m->stats().response_packets;
+      for (int o = 0; o < stbus::kNumOpcodes; ++o) {
+        opc[static_cast<std::size_t>(o)] +=
+            m->stats().request_opcode_cells[static_cast<std::size_t>(o)];
+      }
+    }
+    obs::counter("verif.request_packets").add(req_pkts);
+    obs::counter("verif.response_packets").add(rsp_pkts);
+    for (int o = 0; o < stbus::kNumOpcodes; ++o) {
+      const std::uint64_t n = opc[static_cast<std::size_t>(o)];
+      if (n != 0) {
+        obs::counter("verif.opc." +
+                     stbus::to_string(static_cast<stbus::Opcode>(o)))
+            .add(n);
+      }
+    }
+    obs::histogram("verif.request_packets_per_run").observe(req_pkts);
+  }
   return res;
 }
 

@@ -1,7 +1,14 @@
-// Tests for the severity-filtered logger.
+// Tests for the severity-filtered logger: threshold filtering, lazy
+// formatting, sink injection, line atomicity under the thread pool, and the
+// flight-recorder ring.
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace crve {
 namespace {
@@ -46,6 +53,127 @@ TEST(Log, StreamsArbitraryTypes) {
   CerrCapture cap;
   log_debug() << "x=" << 42 << " y=" << 1.5;
   EXPECT_NE(cap.buf.str().find("x=42 y=1.5"), std::string::npos);
+}
+
+// Streaming into a line nobody observes must not run the formatting at all
+// (satellite of the observability PR: LogLine used to build the full
+// ostringstream and throw it away).
+struct FormatProbe {
+  mutable bool* formatted;
+};
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  *p.formatted = true;
+  return os << "probe";
+}
+
+TEST(Log, DisabledLineSkipsFormattingEntirely) {
+  ThresholdGuard guard;
+  log_threshold() = LogLevel::kWarn;
+  bool formatted = false;
+  log_debug() << FormatProbe{&formatted};
+  EXPECT_FALSE(formatted);
+  log_warn() << FormatProbe{&formatted};
+  EXPECT_TRUE(formatted);
+}
+
+struct SinkGuard {
+  ~SinkGuard() { set_log_sink(nullptr); }
+};
+
+TEST(Log, InjectedSinkReceivesCompleteLines) {
+  ThresholdGuard guard;
+  SinkGuard sink_guard;
+  log_threshold() = LogLevel::kInfo;
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  set_log_sink([&lines](LogLevel lvl, const std::string& line) {
+    lines.emplace_back(lvl, line);
+  });
+  CerrCapture cap;  // nothing should reach cerr while a sink is installed
+  log_info() << "routed " << 1;
+  log_error() << "routed " << 2;
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines[0].second, "[info ] routed 1\n");
+  EXPECT_EQ(lines[1].first, LogLevel::kError);
+  EXPECT_EQ(lines[1].second, "[error] routed 2\n");
+  EXPECT_TRUE(cap.buf.str().empty());
+}
+
+TEST(Log, SetSinkReturnsPreviousSink) {
+  SinkGuard sink_guard;
+  LogSink first = [](LogLevel, const std::string&) {};
+  EXPECT_EQ(set_log_sink(first), nullptr);
+  EXPECT_NE(set_log_sink(nullptr), nullptr);  // gets `first` back
+}
+
+TEST(Log, NoInterleavingUnderThreadPool) {
+  ThresholdGuard guard;
+  SinkGuard sink_guard;
+  log_threshold() = LogLevel::kInfo;
+  // The sink runs under the logger's mutex, so a plain vector is safe.
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  constexpr std::size_t kLines = 200;
+  ThreadPool pool(4);
+  pool.parallel_for(kLines, [](std::size_t i) {
+    log_info() << "job " << i << " part_a" << " part_b" << " part_c";
+  });
+  ASSERT_EQ(lines.size(), kLines);
+  // Every delivered line is one complete message: prefix, all three
+  // fragments, exactly one trailing newline. Interleaved writes would
+  // produce torn or merged lines.
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.rfind("[info ] job ", 0), 0u) << line;
+    EXPECT_NE(line.find("part_a part_b part_c\n"), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+struct RecorderGuard {
+  ~RecorderGuard() { set_flight_recorder(nullptr); }
+};
+
+TEST(FlightRecorder, RingKeepsLastNOldestFirst) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 6; ++i) fr.push("line" + std::to_string(i) + "\n");
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0], "line2\n");
+  EXPECT_EQ(snap[3], "line5\n");
+  EXPECT_EQ(fr.dump(), "line2\nline3\nline4\nline5\n");
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(FlightRecorder, CapturesBelowConsoleThreshold) {
+  ThresholdGuard guard;
+  RecorderGuard rec_guard;
+  log_threshold() = LogLevel::kError;  // console silent for info
+  FlightRecorder fr(8);
+  set_flight_recorder(&fr, LogLevel::kInfo);
+  CerrCapture cap;
+  log_info() << "recorded but not printed";
+  log_debug() << "below capture level";
+  EXPECT_TRUE(cap.buf.str().empty());
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_NE(snap[0].find("recorded but not printed"), std::string::npos);
+}
+
+TEST(FlightRecorder, InstallReturnsPreviousRecorder) {
+  RecorderGuard rec_guard;
+  FlightRecorder a(2), b(2);
+  EXPECT_EQ(set_flight_recorder(&a), nullptr);
+  EXPECT_EQ(set_flight_recorder(&b), &a);
+  EXPECT_EQ(flight_recorder(), &b);
+  set_flight_recorder(nullptr);
+  EXPECT_EQ(flight_recorder(), nullptr);
 }
 
 }  // namespace
