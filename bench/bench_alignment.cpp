@@ -18,6 +18,7 @@
 #include "common/bits.h"
 #include "regress/runner.h"
 #include "stba/analyzer.h"
+#include "stba/triage.h"
 #include "verif/tests.h"
 
 namespace {
@@ -113,6 +114,43 @@ void BM_StbaCompare(benchmark::State& state) {
 }
 
 BENCHMARK(BM_StbaCompare)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// Triage deep-dive on a misaligned pair (grant_during_lock fault): the
+// full interval/window/in-flight analysis must stay in the same league as
+// the plain alignment compare, since it reuses the change-driven merge.
+// Run next to BM_StbaCompare at the same transaction count for the
+// overhead ratio reported in EXPERIMENTS.md.
+void BM_Triage(benchmark::State& state) {
+  std::ostringstream rtl_os, bca_os;
+  for (int m = 0; m < 2; ++m) {
+    verif::TestbenchOptions opts;
+    opts.model = m == 0 ? verif::ModelKind::kRtl : verif::ModelKind::kBca;
+    opts.seed = 19;
+    opts.vcd_stream = m == 0 ? &rtl_os : &bca_os;
+    if (m == 1) opts.faults.grant_during_lock = true;
+    verif::TestSpec spec = verif::t05_chunked_traffic();
+    spec.n_transactions = static_cast<int>(state.range(0));
+    verif::Testbench tb(cfg4(), spec, opts);
+    tb.run();
+  }
+  std::istringstream a(rtl_os.str()), b(bca_os.str());
+  const vcd::Trace ta = vcd::Trace::parse(a);
+  const vcd::Trace tb2 = vcd::Trace::parse(b);
+  std::vector<std::string> ports;
+  for (int i = 0; i < 3; ++i) ports.push_back("tb.init" + std::to_string(i));
+  for (int t = 0; t < 2; ++t) ports.push_back("tb.targ" + std::to_string(t));
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    const auto rep = stba::Triage::analyze(ta, tb2, ports);
+    windows = 0;
+    for (const auto& p : rep.ports) windows += p.window_count;
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["cycles"] = static_cast<double>(ta.max_time() + 1);
+  state.counters["windows"] = static_cast<double>(windows);
+}
+
+BENCHMARK(BM_Triage)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 
 // Long sparse trace: many cycles, few changes. This is the shape the
 // change-driven merge is built for — the per-cycle scan it replaced walked

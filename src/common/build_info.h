@@ -1,0 +1,30 @@
+// Build provenance, baked in at configure time.
+//
+// Every JSON artifact the tree writes (regression report, metrics dump,
+// triage report, drift diff) embeds this stamp as its "build" section, so a
+// stored baseline can be traced to the exact source revision, compiler and
+// build flavour that produced it before its numbers are trusted for a
+// comparison. Values are captured by CMake when the build directory is
+// configured (src/common/build_info.cpp.in): the git hash goes stale if you
+// commit without re-configuring, which is as precise as a header-only stamp
+// can be without a per-build regeneration step.
+#pragma once
+
+#include <string>
+
+namespace crve {
+
+struct BuildInfo {
+  const char* git_hash;    // short hash, or "unknown" outside a checkout
+  const char* compiler;    // e.g. "GNU 13.2.0"
+  const char* build_type;  // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  bool sanitize;           // built with CRVE_SANITIZE=ON
+};
+
+const BuildInfo& build_info();
+
+// The stamp as a pretty JSON object; lines after the first are prefixed
+// with `indent` so it nests at any depth inside an enclosing document.
+std::string build_info_json(const std::string& indent = "");
+
+}  // namespace crve

@@ -1,0 +1,61 @@
+// Minimal JSON support shared by every artifact writer and the drift gate.
+//
+// Two halves:
+//   * rendering helpers (escape / number / hex) — the deterministic
+//     formatting rules every JSON artifact in the tree follows: strings are
+//     escaped, doubles use the shortest round-trip form (std::to_chars,
+//     locale-independent), and 64-bit values are quoted hex literals (JSON
+//     numbers lose precision past 2^53);
+//   * a small recursive-descent parser — enough of RFC 8259 to read the
+//     reports this tree writes (objects, arrays, strings with the escapes
+//     we emit, numbers, booleans, null). Used by the baseline drift gate
+//     (`crve_regress --baseline`) and by tests that validate artifact
+//     well-formedness without an external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crve::json {
+
+// Escapes a string for inclusion inside JSON quotes.
+std::string escape(const std::string& s);
+
+// Shortest round-trip decimal form of a finite double (locale-independent).
+std::string number(double v);
+
+// 64-bit value as a quoted hex literal, e.g. "0x1f".
+std::string hex(std::uint64_t v);
+
+// One parsed JSON value. Object members keep insertion order (reports are
+// rendered with a fixed member order, and diffs walk them in that order).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> items;                              // kArray
+  std::vector<std::pair<std::string, Value>> members;    // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Member lookup (objects only); nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  // Convenience accessors with defaults — tolerant lookups for fields that
+  // may be absent in older-schema baselines.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else after
+// the value). Throws std::runtime_error with an offset on malformed input.
+Value parse(const std::string& text);
+
+}  // namespace crve::json

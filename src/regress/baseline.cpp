@@ -1,0 +1,336 @@
+#include "regress/baseline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/build_info.h"
+
+namespace crve::regress {
+
+using json::Value;
+
+const char* to_string(DriftKind k) {
+  switch (k) {
+    case DriftKind::kSignoff:
+      return "signoff";
+    case DriftKind::kPortRate:
+      return "port_rate";
+    case DriftKind::kCoverage:
+      return "coverage";
+    case DriftKind::kMetric:
+      return "metric";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int kind_rank(DriftKind k) {
+  switch (k) {
+    case DriftKind::kSignoff:
+      return 0;
+    case DriftKind::kPortRate:
+      return 1;
+    case DriftKind::kCoverage:
+      return 2;
+    case DriftKind::kMetric:
+      return 3;
+  }
+  return 4;
+}
+
+std::string u64_str(const Value& v, const std::string& key) {
+  const Value* m = v.find(key);
+  if (!m) return "?";
+  if (m->kind == Value::Kind::kNumber) {
+    return std::to_string(static_cast<long long>(m->num));
+  }
+  return m->str;
+}
+
+// Array member lookup by a matching string/number member per element.
+const Value* find_by(const Value* array, const std::string& key,
+                     const std::string& want) {
+  if (!array || !array->is_array()) return nullptr;
+  for (const Value& item : array->items) {
+    if (u64_str(item, key) == want ||
+        item.string_or(key, "\x01") == want) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+struct Collector {
+  const DriftThresholds& th;
+  std::vector<DriftFinding> findings;
+  std::vector<std::string> notes;
+
+  void add(DriftKind kind, std::string where, double baseline, double current,
+           bool gated) {
+    DriftFinding f;
+    f.kind = kind;
+    f.where = std::move(where);
+    f.baseline = baseline;
+    f.current = current;
+    f.delta = current - baseline;
+    f.gated = gated;
+    findings.push_back(std::move(f));
+  }
+
+  // Rate-type comparison (fractions); records only actual change.
+  void rate(const std::string& where, double b, double c) {
+    if (b == c) return;
+    add(DriftKind::kPortRate, where, b, c, b - c > th.max_rate_drop);
+  }
+
+  // Coverage comparison (percentage points).
+  void coverage(const std::string& where, double b, double c) {
+    if (b == c) return;
+    add(DriftKind::kCoverage, where, b, c, b - c > th.max_coverage_drop);
+  }
+};
+
+// Key for a run entry: test/seed/view.
+std::string run_key(const Value& run) {
+  return run.string_or("test", "?") + "/s" + u64_str(run, "seed") + "/" +
+         run.string_or("view", "?");
+}
+
+std::string pair_key(const Value& a) {
+  return a.string_or("test", "?") + "/s" + u64_str(a, "seed");
+}
+
+const Value* find_run(const Value* runs, const std::string& key) {
+  if (!runs || !runs->is_array()) return nullptr;
+  for (const Value& r : runs->items) {
+    if (run_key(r) == key) return &r;
+  }
+  return nullptr;
+}
+
+const Value* find_pair(const Value* aligns, const std::string& key) {
+  if (!aligns || !aligns->is_array()) return nullptr;
+  for (const Value& a : aligns->items) {
+    if (pair_key(a) == key) return &a;
+  }
+  return nullptr;
+}
+
+void diff_alignment(Collector& col, const std::string& where,
+                    const Value& bal, const Value& cal) {
+  const Value* bports = bal.find("ports");
+  const Value* cports = cal.find("ports");
+  if (bports && bports->is_array() && cports && cports->is_array()) {
+    for (const Value& cp : cports->items) {
+      const std::string port = cp.string_or("port", "?");
+      const Value* bp = find_by(bports, "port", port);
+      if (!bp) {
+        col.notes.push_back("new port in " + where + ": " + port);
+        continue;
+      }
+      col.rate(where + " " + port, bp->number_or("rate", 1.0),
+               cp.number_or("rate", 1.0));
+    }
+    for (const Value& bp : bports->items) {
+      const std::string port = bp.string_or("port", "?");
+      if (!find_by(cports, "port", port)) {
+        col.notes.push_back("port removed from " + where + ": " + port);
+      }
+    }
+    return;
+  }
+  // Old-schema baseline without per-port detail: pair-level rates only.
+  col.rate(where + " min_rate", bal.number_or("min_rate", 1.0),
+           cal.number_or("min_rate", 1.0));
+}
+
+void diff_metrics(Collector& col, const Value* bm, const Value* cm) {
+  if (!bm || !cm || !bm->is_object() || !cm->is_object()) return;
+  for (const char* section : {"counters", "gauges"}) {
+    const Value* bs = bm->find(section);
+    const Value* cs = cm->find(section);
+    if (!bs || !cs || !bs->is_object() || !cs->is_object()) continue;
+    for (const auto& [name, cv] : cs->members) {
+      if (cv.kind != Value::Kind::kNumber) continue;
+      const Value* bv = bs->find(name);
+      if (!bv) {
+        col.notes.push_back("new metric: " + name);
+        continue;
+      }
+      if (bv->kind == Value::Kind::kNumber && bv->num != cv.num) {
+        col.add(DriftKind::kMetric, name, bv->num, cv.num, /*gated=*/false);
+      }
+    }
+    for (const auto& [name, bv] : bs->members) {
+      (void)bv;
+      if (!cs->find(name)) col.notes.push_back("metric removed: " + name);
+    }
+  }
+}
+
+void diff_config(Collector& col, const Value& bcfg, const Value& ccfg) {
+  const std::string cfg = ccfg.string_or("config", "?");
+  const bool bso = bcfg.bool_or("signed_off", false);
+  const bool cso = ccfg.bool_or("signed_off", false);
+  if (bso != cso) {
+    // A config losing sign-off is always gated; regaining it is reported
+    // as an (ungated) improvement.
+    col.add(DriftKind::kSignoff, cfg, bso ? 1.0 : 0.0, cso ? 1.0 : 0.0,
+            bso && !cso);
+  }
+  col.coverage(cfg + " mean_coverage_rtl",
+               bcfg.number_or("mean_coverage_rtl", 0.0),
+               ccfg.number_or("mean_coverage_rtl", 0.0));
+
+  const Value* bruns = bcfg.find("runs");
+  const Value* cruns = ccfg.find("runs");
+  if (cruns && cruns->is_array()) {
+    for (const Value& cr : cruns->items) {
+      const std::string key = run_key(cr);
+      const Value* br = find_run(bruns, key);
+      if (!br) {
+        col.notes.push_back("new run in " + cfg + ": " + key);
+        continue;
+      }
+      col.coverage(cfg + "/" + key, br->number_or("coverage_percent", 0.0),
+                   cr.number_or("coverage_percent", 0.0));
+    }
+  }
+  if (bruns && bruns->is_array()) {
+    for (const Value& br : bruns->items) {
+      if (!find_run(cruns, run_key(br))) {
+        col.notes.push_back("run removed from " + cfg + ": " + run_key(br));
+      }
+    }
+  }
+
+  const Value* bals = bcfg.find("alignments");
+  const Value* cals = ccfg.find("alignments");
+  if (cals && cals->is_array()) {
+    for (const Value& ca : cals->items) {
+      const std::string key = pair_key(ca);
+      const Value* ba = find_pair(bals, key);
+      if (!ba) {
+        col.notes.push_back("new alignment pair in " + cfg + ": " + key);
+        continue;
+      }
+      diff_alignment(col, cfg + "/" + key, *ba, ca);
+    }
+  }
+  if (bals && bals->is_array()) {
+    for (const Value& ba : bals->items) {
+      if (!find_pair(cals, pair_key(ba))) {
+        col.notes.push_back("alignment pair removed from " + cfg + ": " +
+                            pair_key(ba));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DriftReport compute_drift(const Value& baseline, const Value& current,
+                          const DriftThresholds& thresholds) {
+  const Value* bcfgs = baseline.find("configs");
+  const Value* ccfgs = current.find("configs");
+  if (!bcfgs || !bcfgs->is_array() || !ccfgs || !ccfgs->is_array()) {
+    throw std::runtime_error(
+        "drift: both documents must be matrix reports with a configs array");
+  }
+  Collector col{thresholds, {}, {}};
+
+  for (const Value& ccfg : ccfgs->items) {
+    const std::string name = ccfg.string_or("config", "?");
+    const Value* bcfg = find_by(bcfgs, "config", name);
+    if (!bcfg) {
+      col.notes.push_back("new config: " + name);
+      continue;
+    }
+    diff_config(col, *bcfg, ccfg);
+  }
+  for (const Value& bcfg : bcfgs->items) {
+    const std::string name = bcfg.string_or("config", "?");
+    if (!find_by(ccfgs, "config", name)) {
+      col.notes.push_back("config removed: " + name);
+    }
+  }
+  diff_metrics(col, baseline.find("metrics"), current.find("metrics"));
+
+  DriftReport report;
+  report.thresholds = thresholds;
+  report.findings = std::move(col.findings);
+  report.notes = std::move(col.notes);
+  // Rank: gated first, then kind severity, then regression magnitude
+  // (improvements last within a kind), then location for a total order.
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const DriftFinding& a, const DriftFinding& b) {
+                     if (a.gated != b.gated) return a.gated;
+                     const int ra = kind_rank(a.kind), rb = kind_rank(b.kind);
+                     if (ra != rb) return ra < rb;
+                     const double da = a.delta < 0 ? -a.delta : 0.0;
+                     const double db = b.delta < 0 ? -b.delta : 0.0;
+                     if (da != db) return da > db;
+                     return a.where < b.where;
+                   });
+  for (const auto& f : report.findings) {
+    if (f.gated) ++report.gated_count;
+  }
+  return report;
+}
+
+std::string DriftReport::summary() const {
+  std::ostringstream os;
+  os << "drift gate: " << (ok() ? "PASS" : "FAIL") << " (" << gated_count
+     << " gated regression" << (gated_count == 1 ? "" : "s") << ", "
+     << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
+     << ", " << notes.size() << " note" << (notes.size() == 1 ? "" : "s")
+     << ")\n";
+  for (const auto& f : findings) {
+    os << "  " << (f.gated ? "[GATED] " : "        ") << to_string(f.kind)
+       << " " << f.where << ": " << f.baseline << " -> " << f.current
+       << " (delta " << (f.delta > 0 ? "+" : "") << f.delta << ")\n";
+  }
+  for (const auto& n : notes) {
+    os << "  note: " << n << "\n";
+  }
+  return os.str();
+}
+
+std::string DriftReport::json() const {
+  using crve::json::escape;
+  using crve::json::number;
+  std::string out;
+  out += "{\n";
+  out += "  \"build\": " + build_info_json("  ") + ",\n";
+  out += "  \"thresholds\": {\"max_rate_drop\": " +
+         number(thresholds.max_rate_drop) +
+         ", \"max_coverage_drop\": " + number(thresholds.max_coverage_drop) +
+         "},\n";
+  out += std::string("  \"gate_passed\": ") + (ok() ? "true" : "false") +
+         ",\n";
+  out += "  \"gated_count\": " + std::to_string(gated_count) + ",\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const DriftFinding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += std::string("    {\"kind\": \"") + to_string(f.kind) + "\"";
+    out += ", \"where\": \"" + escape(f.where) + "\"";
+    out += ", \"baseline\": " + number(f.baseline);
+    out += ", \"current\": " + number(f.current);
+    out += ", \"delta\": " + number(f.delta);
+    out += std::string(", \"gated\": ") + (f.gated ? "true" : "false") + "}";
+  }
+  out += findings.empty() ? "]" : "\n  ]";
+  out += ",\n  \"notes\": [";
+  for (std::size_t i = 0; i < notes.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + escape(notes[i]) + "\"";
+  }
+  out += notes.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace crve::regress

@@ -1,0 +1,79 @@
+// Baseline drift gating.
+//
+// Compares the machine-readable report of the current campaign against a
+// stored baseline report (both MatrixResult::json documents, parsed with
+// crve::json) and turns silent quality erosion into an explicit gate:
+// per-port alignment-rate drops, functional-coverage drops, sign-off
+// flips and stable-metric deltas are collected as ranked findings, and the
+// configurable thresholds decide which of them fail the gate
+// (`crve-regress --baseline prev.json` exits non-zero on any gated
+// finding even when the campaign itself passed).
+//
+// Matching is structural and tolerant: configs pair by name, alignment
+// entries by (test, seed), ports by name, runs by (test, seed, view).
+// Entries present on only one side are reported as notes, never gated — a
+// renamed test should read as "new + removed", not as a regression.
+// Baselines written before the per-port `ports` detail existed degrade to
+// pair-level min-rate comparison.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace crve::regress {
+
+struct DriftThresholds {
+  // Max tolerated per-port alignment-rate drop, as a rate fraction
+  // (0.001 == 0.1 percentage points).
+  double max_rate_drop = 0.001;
+  // Max tolerated functional-coverage drop, in percentage points. The
+  // default gates any drop at all.
+  double max_coverage_drop = 0.0;
+};
+
+enum class DriftKind {
+  kSignoff,   // a config's sign-off verdict flipped
+  kPortRate,  // per-port (or pair-level, for old baselines) alignment rate
+  kCoverage,  // functional coverage (per run, or per-config mean)
+  kMetric,    // stable obs metric (informational, never gated)
+};
+
+const char* to_string(DriftKind k);
+
+struct DriftFinding {
+  DriftKind kind{};
+  std::string where;     // e.g. "cfg32/t_unit_loads/s1 tb.init0"
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta = 0.0;    // current - baseline (negative = regression)
+  bool gated = false;    // fails the gate under the active thresholds
+};
+
+struct DriftReport {
+  DriftThresholds thresholds;
+  // Ranked: gated first, then by kind severity, then by regression
+  // magnitude, then by location — the first line names the worst offender.
+  std::vector<DriftFinding> findings;
+  // Structural differences (new/removed configs, pairs, ports, metrics);
+  // informational, never gated.
+  std::vector<std::string> notes;
+  std::size_t gated_count = 0;
+
+  bool ok() const { return gated_count == 0; }
+  // Ranked human-readable summary (what the CLI prints).
+  std::string summary() const;
+  // diff.json document: build stamp, thresholds, verdict, ranked findings.
+  std::string json() const;
+};
+
+// Computes the drift of `current` relative to `baseline`. Both documents
+// must be parsed MatrixResult reports; throws std::runtime_error when the
+// top-level shape is not an object with a configs array.
+DriftReport compute_drift(const json::Value& baseline,
+                          const json::Value& current,
+                          const DriftThresholds& thresholds);
+
+}  // namespace crve::regress

@@ -1,0 +1,389 @@
+#include "regress/html_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/build_info.h"
+#include "common/json.h"
+#include "regress/report.h"
+
+namespace crve::regress {
+
+namespace {
+
+// Sequential blue ramp (steps 100..700), light->dark. Misalignment maps
+// onto it so healthy cells recede toward the surface and hot cells darken.
+constexpr const char* kRamp[13] = {
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b"};
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Rate as a percentage with deterministic shortest round-trip formatting.
+std::string pct(double rate) { return json::number(100.0 * rate) + "%"; }
+
+// Ramp level for a misalignment fraction. sqrt stretches the interesting
+// low end (a 1% misalignment already reads as level 2 of 12).
+int ramp_level(double misalignment) {
+  if (misalignment <= 0.0) return 0;
+  const int level =
+      static_cast<int>(std::ceil(std::sqrt(misalignment) * 12.0));
+  return std::min(std::max(level, 1), 12);
+}
+
+const char* bool_icon(bool ok) { return ok ? "&#10003;" : "&#10007;"; }
+
+// Status chip: icon + label, never color alone.
+void chip(std::string& out, bool ok, const std::string& label) {
+  out += "<span class=\"chip ";
+  out += ok ? "good" : "critical";
+  out += "\">";
+  out += bool_icon(ok);
+  out += " ";
+  out += html_escape(label);
+  out += "</span>";
+}
+
+// Horizontal percentage bar (coverage), 120x12 inline SVG. The value label
+// is rendered by the caller in ink, not inside the SVG.
+void pct_bar(std::string& out, double percent) {
+  const double clamped = std::min(std::max(percent, 0.0), 100.0);
+  const int w = static_cast<int>(std::lround(clamped * 1.2));
+  out += "<svg class=\"bar\" viewBox=\"0 0 120 12\" width=\"120\" "
+         "height=\"12\" role=\"img\" aria-label=\"" +
+         json::number(percent) + "%\">";
+  out += "<rect x=\"0\" y=\"0\" width=\"120\" height=\"12\" rx=\"2\" "
+         "class=\"bar-track\"/>";
+  if (w > 0) {
+    out += "<rect x=\"0\" y=\"0\" width=\"" + std::to_string(w) +
+           "\" height=\"12\" rx=\"2\" class=\"bar-fill\"/>";
+  }
+  out += "</svg>";
+}
+
+// log2 histogram as a thin-bar inline SVG: one bar per bucket over the
+// populated range, 2px gaps, selective labels (first/last bucket bound).
+void histogram_svg(std::string& out, const obs::HistogramValue& h) {
+  int lo = obs::kHistBuckets, hi = -1;
+  for (int k = 0; k < obs::kHistBuckets; ++k) {
+    if (h.buckets[k] != 0) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+  }
+  if (hi < 0) {
+    out += "<span class=\"muted\">empty</span>";
+    return;
+  }
+  std::uint64_t max_count = 0;
+  for (int k = lo; k <= hi; ++k) {
+    max_count = std::max(max_count, h.buckets[k]);
+  }
+  const int n = hi - lo + 1;
+  const int width = n * 10;
+  out += "<svg class=\"hist\" viewBox=\"0 0 " + std::to_string(width) +
+         " 64\" width=\"" + std::to_string(width) +
+         "\" height=\"64\" role=\"img\">";
+  out += "<line x1=\"0\" y1=\"48.5\" x2=\"" + std::to_string(width) +
+         "\" y2=\"48.5\" class=\"hist-axis\"/>";
+  for (int k = lo; k <= hi; ++k) {
+    const std::uint64_t c = h.buckets[k];
+    if (c == 0) continue;
+    // Integer bar height in [1, 48], proportional to the tallest bucket.
+    const int bh = static_cast<int>(
+        std::max<std::uint64_t>(1, (c * 48 + max_count / 2) / max_count));
+    const int x = (k - lo) * 10;
+    out += "<rect x=\"" + std::to_string(x) + "\" y=\"" +
+           std::to_string(48 - bh) + "\" width=\"8\" height=\"" +
+           std::to_string(bh) + "\" rx=\"1\" class=\"hist-bar\"><title>[" +
+           (k == 0 ? std::string("0, 1") : "2^" + std::to_string(k - 1) +
+                                               ", 2^" + std::to_string(k)) +
+           "): " + std::to_string(c) + "</title></rect>";
+  }
+  // Bound labels for the first and last populated bucket only.
+  out += "<text x=\"0\" y=\"60\" class=\"hist-label\">" +
+         (lo == 0 ? std::string("0") : "2^" + std::to_string(lo - 1)) +
+         "</text>";
+  if (n > 1) {
+    out += "<text x=\"" + std::to_string(width) +
+           "\" y=\"60\" text-anchor=\"end\" class=\"hist-label\">2^" +
+           std::to_string(hi) + "</text>";
+  }
+  out += "</svg>";
+}
+
+const char* kStyle = R"css(
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --series-1: #2a78d6;
+  --good: #0ca30c; --critical: #d03b3b;
+  --border: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root { color-scheme: dark; }
+  body {
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 0 0 8px; }
+h3 { font-size: 13px; margin: 16px 0 6px; color: var(--ink-2);
+     text-transform: uppercase; letter-spacing: .04em; }
+header { margin-bottom: 20px; }
+.build { color: var(--muted); margin: 2px 0 0; font-size: 12px; }
+.card {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin-bottom: 16px;
+}
+.verdict { display: inline-block; font-weight: 600; margin: 6px 0 0;
+           padding: 2px 10px; border-radius: 6px;
+           border: 1px solid var(--border); }
+.verdict.good { color: var(--good); }
+.verdict.critical { color: var(--critical); }
+.chip { display: inline-block; margin-right: 10px; font-size: 13px; }
+.chip.good { color: var(--good); }
+.chip.critical { color: var(--critical); }
+table { border-collapse: collapse; }
+th, td {
+  text-align: left; padding: 3px 10px; font-size: 13px;
+  border-bottom: 1px solid var(--grid);
+}
+th { color: var(--muted); font-weight: 500; }
+td.num, th.num { text-align: right;
+                 font-variant-numeric: tabular-nums; }
+.pass { color: var(--good); }
+.fail { color: var(--critical); font-weight: 600; }
+a { color: var(--series-1); }
+td.hm {
+  text-align: center; min-width: 64px;
+  font-variant-numeric: tabular-nums; font-size: 12px;
+  border: 2px solid var(--surface);
+}
+td.hm.deep { color: #fcfcfb; }
+td.hm.breach { font-weight: 700; }
+td.hm.breach a { color: inherit; }
+.bar-track { fill: var(--grid); }
+.bar-fill { fill: var(--series-1); }
+.hist-bar { fill: var(--series-1); }
+.hist-axis { stroke: var(--axis); stroke-width: 1; }
+.hist-label { fill: var(--muted); font-size: 9px; }
+.muted { color: var(--muted); }
+footer { color: var(--muted); font-size: 12px; margin-top: 20px; }
+)css";
+
+void render_config(std::string& out, const RegressionResult& r,
+                   const HtmlOptions& opts) {
+  const std::string cfg_dir = html_escape(r.config_name) + "/";
+  out += "<section class=\"card\">\n";
+  out += "<h2>" + html_escape(r.config_name) + "</h2>\n";
+  out += "<p>";
+  chip(out, r.rtl_passed, "RTL");
+  chip(out, r.bca_passed, "BCA");
+  chip(out, r.coverage_match, "coverage match");
+  chip(out, r.min_alignment >= r.alignment_threshold,
+       "alignment " + pct(r.min_alignment) + " min");
+  chip(out, r.signed_off, r.signed_off ? "signed off" : "not signed off");
+  out += "</p>\n";
+
+  // Pass/fail matrix per (test, seed): one row per pair, both views.
+  out += "<h3>Runs</h3>\n<table>\n<tr><th>test</th><th class=\"num\">seed"
+         "</th><th>RTL</th><th>BCA</th><th>coverage (RTL)</th>"
+         "<th class=\"num\"></th></tr>\n";
+  for (std::size_t p = 0; 2 * p + 1 < r.outcomes.size(); ++p) {
+    const TestOutcome& rtl = r.outcomes[2 * p];
+    const TestOutcome& bca = r.outcomes[2 * p + 1];
+    out += "<tr><td>" + html_escape(rtl.test) + "</td><td class=\"num\">" +
+           std::to_string(rtl.seed) + "</td>";
+    for (const TestOutcome* o : {&rtl, &bca}) {
+      const bool ok = o->result.passed();
+      out += std::string("<td class=\"") + (ok ? "pass" : "fail") + "\">";
+      out += bool_icon(ok);
+      out += ok ? " pass" : " FAIL";
+      if (!ok && opts.flight_links) {
+        const char* view = o->model == verif::ModelKind::kRtl ? "rtl" : "bca";
+        out += " <a href=\"" + cfg_dir + "flight_" + html_escape(o->test) +
+               "_s" + std::to_string(o->seed) + "_" + view +
+               ".log\">flight</a>";
+      }
+      out += "</td>";
+    }
+    out += "<td>";
+    pct_bar(out, rtl.result.coverage_percent);
+    out += "</td><td class=\"num\">" +
+           json::number(rtl.result.coverage_percent) + "%</td></tr>\n";
+  }
+  out += "</table>\n";
+
+  if (r.alignments.empty()) {
+    out += "</section>\n";
+    return;
+  }
+
+  // Port alignment heatmap: rows per (test, seed) pair, one column per
+  // port (union across pairs in first-seen order). Cell shade encodes
+  // misalignment; sub-threshold cells also carry the breach mark and the
+  // triage link, so color never stands alone.
+  std::vector<std::string> port_names;
+  for (const AlignmentOutcome& a : r.alignments) {
+    for (const auto& pa : a.report.ports) {
+      if (std::find(port_names.begin(), port_names.end(), pa.port) ==
+          port_names.end()) {
+        port_names.push_back(pa.port);
+      }
+    }
+  }
+  out += "<h3>Port alignment</h3>\n<table>\n<tr><th>test</th>"
+         "<th class=\"num\">seed</th>";
+  for (const auto& name : port_names) {
+    out += "<th>" + html_escape(name) + "</th>";
+  }
+  out += "</tr>\n";
+  for (const AlignmentOutcome& a : r.alignments) {
+    out += "<tr><td>" + html_escape(a.test) + "</td><td class=\"num\">" +
+           std::to_string(a.seed) + "</td>";
+    for (const auto& name : port_names) {
+      const stba::PortAlignment* pa = nullptr;
+      for (const auto& cand : a.report.ports) {
+        if (cand.port == name) {
+          pa = &cand;
+          break;
+        }
+      }
+      if (!pa) {
+        out += "<td class=\"hm muted\">&mdash;</td>";
+        continue;
+      }
+      const double rate = pa->rate();
+      const bool breach = rate < r.alignment_threshold;
+      const int level = ramp_level(1.0 - rate);
+      out += "<td class=\"hm";
+      if (level >= 8) out += " deep";
+      if (breach) out += " breach";
+      out += "\" style=\"background:" + std::string(kRamp[level]) + "\"";
+      std::string title = html_escape(name) + ": " + pct(rate);
+      if (pa->diverged()) {
+        title += ", first divergence @" + std::to_string(pa->first_divergence);
+      }
+      if (!pa->note.empty()) title += " [" + html_escape(pa->note) + "]";
+      out += " title=\"" + title + "\">";
+      if (breach && opts.triage_links) {
+        out += "<a href=\"" + cfg_dir + "triage_" + html_escape(a.test) +
+               "_s" + std::to_string(a.seed) + ".json\">" + bool_icon(false) +
+               " " + pct(rate) + "</a>";
+      } else if (breach) {
+        out += bool_icon(false);
+        out += " " + pct(rate);
+      } else {
+        out += pct(rate);
+      }
+      out += "</td>";
+    }
+    out += "</tr>\n";
+  }
+  out += "</table>\n</section>\n";
+}
+
+}  // namespace
+
+std::string html_report(const MatrixResult& mres,
+                        const obs::Registry::Snapshot* stable_metrics,
+                        const HtmlOptions& opts) {
+  const BuildInfo& b = build_info();
+  std::string out;
+  out.reserve(16 * 1024);
+  out += "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+         "<meta charset=\"utf-8\">\n"
+         "<meta name=\"viewport\" "
+         "content=\"width=device-width, initial-scale=1\">\n"
+         "<title>CRVE campaign dashboard</title>\n<style>";
+  out += kStyle;
+  out += "</style>\n</head>\n<body>\n<header>\n";
+  out += "<h1>CRVE campaign dashboard</h1>\n";
+  out += std::string("<p class=\"verdict ") +
+         (mres.all_signed_off ? "good" : "critical") + "\">" +
+         bool_icon(mres.all_signed_off) +
+         (mres.all_signed_off ? " ALL SIGNED OFF" : " NOT SIGNED OFF") +
+         "</p>\n";
+  out += "<p class=\"build\">build " + html_escape(b.git_hash) + " &middot; " +
+         html_escape(b.compiler) + " &middot; " + html_escape(b.build_type) +
+         (b.sanitize ? " &middot; sanitized" : "") + "</p>\n";
+  out += "</header>\n";
+
+  for (const RegressionResult& r : mres.results) {
+    render_config(out, r, opts);
+  }
+
+  if (stable_metrics) {
+    const obs::Registry::Snapshot& snap = *stable_metrics;
+    out += "<section class=\"card\">\n<h2>Campaign metrics</h2>\n";
+    if (!snap.counters.empty() || !snap.gauges.empty()) {
+      out += "<h3>Counters &amp; gauges</h3>\n<table>\n"
+             "<tr><th>metric</th><th class=\"num\">value</th></tr>\n";
+      for (const auto& [name, v] : snap.counters) {
+        out += "<tr><td>" + html_escape(name) + "</td><td class=\"num\">" +
+               std::to_string(v) + "</td></tr>\n";
+      }
+      for (const auto& [name, v] : snap.gauges) {
+        out += "<tr><td>" + html_escape(name) +
+               " <span class=\"muted\">(max)</span></td><td class=\"num\">" +
+               std::to_string(v) + "</td></tr>\n";
+      }
+      out += "</table>\n";
+    }
+    if (!snap.histograms.empty()) {
+      out += "<h3>Histograms (log2 buckets)</h3>\n<table>\n"
+             "<tr><th>metric</th><th>distribution</th>"
+             "<th class=\"num\">count</th><th class=\"num\">sum</th></tr>\n";
+      for (const auto& [name, h] : snap.histograms) {
+        out += "<tr><td>" + html_escape(name) + "</td><td>";
+        histogram_svg(out, h);
+        out += "</td><td class=\"num\">" + std::to_string(h.count) +
+               "</td><td class=\"num\">" + std::to_string(h.sum) +
+               "</td></tr>\n";
+      }
+      out += "</table>\n";
+    }
+    out += "</section>\n";
+  }
+
+  out += "<footer>crve_regress campaign dashboard &middot; schema in "
+         "DESIGN.md &sect;11</footer>\n</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace crve::regress

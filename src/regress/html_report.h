@@ -1,0 +1,44 @@
+// Self-contained campaign dashboard.
+//
+// Renders a MatrixResult (plus the optional deterministic metrics snapshot)
+// as one dependency-free HTML document: no external CSS, fonts, images or
+// JS frameworks — everything inline, charts as inline SVG — so the file can
+// be opened from a CI artifact tarball or an NFS results directory as-is.
+//
+// Content: overall verdict, per-configuration pass/fail run matrix, the
+// per-port alignment heatmap with drill-down links to triage reports and
+// flight-recorder dumps (links are relative to the dashboard's directory,
+// matching the runner's artifact layout), per-pair coverage bars, and the
+// stable metrics tables with log2-histogram charts.
+//
+// Determinism: the document is a pure function of its inputs — fixed
+// iteration orders, no timestamps, shortest round-trip number formatting —
+// so for a given campaign it is byte-identical for any --jobs value
+// (tests/test_dashboard.cpp holds this).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "regress/runner.h"
+
+namespace crve::regress {
+
+struct HtmlOptions {
+  // Emit drill-down links to `<config>/triage_<test>_s<seed>.json` (and the
+  // VCD excerpts) for pairs below their sign-off threshold. Enable only
+  // when the campaign actually wrote those artifacts.
+  bool triage_links = false;
+  // Emit links to `<config>/flight_<test>_s<seed>_<view>.log` for failed
+  // runs. Enable only when a flight recorder was installed.
+  bool flight_links = false;
+};
+
+// Renders the dashboard. `stable_metrics` may be null (metrics section is
+// omitted); when present it must be a kStable-only snapshot so the
+// byte-determinism guarantee holds.
+std::string html_report(const MatrixResult& mres,
+                        const obs::Registry::Snapshot* stable_metrics = nullptr,
+                        const HtmlOptions& opts = {});
+
+}  // namespace crve::regress

@@ -20,6 +20,19 @@
 //   --jobs N           worker threads for the (config,test,seed,view)
 //                      matrix (default: 0 = one per hardware thread)
 //   --json FILE        also write the batch JSON report to FILE
+//   --no-triage        skip triage artifacts for below-threshold pairs
+//   --triage-window N  excerpt half-width in cycles around the first
+//                      divergence (default: 50)
+//
+// Baseline drift gating (DESIGN.md §11):
+//   --baseline FILE    compare this batch's report against a stored
+//                      report.json; print the ranked drift summary and fail
+//                      the gate on regressions beyond the thresholds
+//   --diff FILE        write the drift findings as JSON (requires --baseline)
+//   --gate-rate-drop X    max tolerated per-port alignment-rate drop as a
+//                         fraction (default: 0.001 = 0.1pp)
+//   --gate-coverage-drop X  max tolerated coverage drop in percentage
+//                           points (default: 0 = any drop fails)
 //
 // Observability (DESIGN.md §10):
 //   --metrics-out FILE enable metrics collection; write the full registry
@@ -30,7 +43,9 @@
 //                      keep the last N log lines (info and up) in a ring;
 //                      a failing job dumps them next to its artifacts
 //
-// Exit status: 0 when every configuration signs off.
+// Exit status: 0 when every configuration signs off (and, with --baseline,
+// no drift regression exceeds its threshold); 1 on campaign failure;
+// 2 on usage errors; 3 when the campaign passed but the drift gate failed.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,9 +55,12 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
+#include "common/json.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "regress/baseline.h"
 #include "regress/config_file.h"
 #include "regress/runner.h"
 #include "verif/tests.h"
@@ -57,6 +75,10 @@ int usage() {
                "                    [--tests t02,t05] [--tx N] [--threshold P]\n"
                "                    [--fault NAME] [--no-alignment]\n"
                "                    [--jobs N] [--json FILE]\n"
+               "                    [--no-triage] [--triage-window N]\n"
+               "                    [--baseline FILE] [--diff FILE]\n"
+               "                    [--gate-rate-drop X] "
+               "[--gate-coverage-drop X]\n"
                "                    [--metrics-out FILE] [--trace-out FILE]\n"
                "                    [--flight-recorder N]\n"
                "       crve_regress --sample-configs DIR\n");
@@ -135,6 +157,8 @@ std::vector<std::string> split_csv(const std::string& s) {
 int main(int argc, char** argv) {
   std::string config_dir, out_dir, sample_dir, json_path;
   std::string metrics_path, trace_path;
+  std::string baseline_path, diff_path;
+  regress::DriftThresholds gates;
   std::size_t flight_lines = 0;  // 0 = no flight recorder
   std::vector<std::uint64_t> seeds = {1};
   std::vector<std::string> test_filter;
@@ -142,6 +166,8 @@ int main(int argc, char** argv) {
   double threshold = 0.99;
   bca::Faults faults;
   bool alignment = true;
+  bool triage = true;
+  std::uint64_t triage_window = 50;
   unsigned jobs = 0;  // 0 = one worker per hardware thread
 
   try {
@@ -195,6 +221,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       json_path = v;
+    } else if (arg == "--no-triage") {
+      triage = false;
+    } else if (arg == "--triage-window") {
+      const char* v = next();
+      if (!v) return usage();
+      triage_window = std::stoull(v);
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (!v) return usage();
+      baseline_path = v;
+    } else if (arg == "--diff") {
+      const char* v = next();
+      if (!v) return usage();
+      diff_path = v;
+    } else if (arg == "--gate-rate-drop") {
+      const char* v = next();
+      if (!v) return usage();
+      gates.max_rate_drop = std::stod(v);
+    } else if (arg == "--gate-coverage-drop") {
+      const char* v = next();
+      if (!v) return usage();
+      gates.max_coverage_drop = std::stod(v);
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (!v) return usage();
@@ -262,6 +310,13 @@ int main(int argc, char** argv) {
   base.faults = faults;
   base.out_dir = out_dir;
   base.jobs = jobs;
+  base.run_triage = triage;
+  base.triage_window = triage_window;
+
+  if (!diff_path.empty() && baseline_path.empty()) {
+    std::fprintf(stderr, "--diff requires --baseline\n");
+    return usage();
+  }
 
   for (const auto& cfg : configs) {
     std::printf("=== %s ===\n", cfg.summary().c_str());
@@ -293,6 +348,31 @@ int main(int argc, char** argv) {
         exit_code = 1;
       }
     }
+    if (!baseline_path.empty()) {
+      std::ifstream bis(baseline_path);
+      if (!bis) {
+        std::fprintf(stderr, "error: cannot read baseline %s\n",
+                     baseline_path.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << bis.rdbuf();
+      const auto base_doc = crve::json::parse(buf.str());
+      const auto cur_doc = crve::json::parse(mres.json());
+      const auto drift = regress::compute_drift(base_doc, cur_doc, gates);
+      std::printf("%s", drift.summary().c_str());
+      if (!diff_path.empty()) {
+        std::ofstream os(diff_path);
+        os << drift.json();
+        if (!os) {
+          std::fprintf(stderr, "error: cannot write %s\n", diff_path.c_str());
+          exit_code = exit_code == 0 ? 1 : exit_code;
+        }
+      }
+      // The drift gate only refines a passing campaign; a hard campaign
+      // failure keeps exit code 1.
+      if (!drift.ok() && exit_code == 0) exit_code = 3;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     exit_code = 1;
@@ -310,7 +390,11 @@ int main(int argc, char** argv) {
   }
   if (!metrics_path.empty()) {
     std::ofstream os(metrics_path);
-    os << obs::registry().json(/*include_timing=*/true);
+    // Stamp build provenance as the leading member; the registry sections
+    // keep their documented paths (.counters / .gauges / .histograms).
+    std::string doc = obs::registry().json(/*include_timing=*/true);
+    doc.insert(2, "  \"build\": " + build_info_json("  ") + ",\n");
+    os << doc;
     if (!os) {
       std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
       exit_code = exit_code == 0 ? 1 : exit_code;

@@ -1,58 +1,11 @@
 #include "regress/report.h"
 
-#include <charconv>
-#include <cstdio>
 #include <sstream>
 
+#include "common/build_info.h"
 #include "regress/runner.h"
 
 namespace crve::regress {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  char buf[32];
-  const auto res = std::to_chars(buf, buf + sizeof buf, v);
-  return std::string(buf, res.ptr);
-}
-
-std::string json_hex(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "\"0x%llx\"",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
 
 namespace {
 
@@ -81,12 +34,50 @@ void write_embedded_json(std::ostream& os, const std::string& json,
   }
 }
 
+// Per-port alignment detail for one pair, mirroring the crve_stba --json
+// port entries so the drift gate reads both documents with one walker.
+void write_ports(std::ostream& os, const stba::AlignmentReport& rep,
+                 const std::string& in) {
+  os << ", \"ports\": [";
+  for (std::size_t i = 0; i < rep.ports.size(); ++i) {
+    const stba::PortAlignment& p = rep.ports[i];
+    os << (i == 0 ? "\n" : ",\n") << in << "{\"port\": \""
+       << json_escape(p.port) << "\", \"rate\": " << json_number(p.rate())
+       << ", \"aligned_cycles\": " << p.aligned_cycles
+       << ", \"total_cycles\": " << p.total_cycles
+       << ", \"diverged\": " << (p.diverged() ? "true" : "false");
+    if (p.diverged()) {
+      os << ", \"first_divergence\": " << p.first_divergence
+         << ", \"diverged_signals\": [";
+      for (std::size_t s = 0; s < p.diverged_signals.size(); ++s) {
+        os << (s == 0 ? "" : ", ") << "\"" << json_escape(p.diverged_signals[s])
+           << "\"";
+      }
+      os << "]";
+    }
+    if (!p.note.empty()) {
+      os << ", \"note\": \"" << json_escape(p.note) << "\"";
+    }
+    os << ", \"cells_a\": " << p.cells_a << ", \"cells_b\": " << p.cells_b
+       << ", \"cells_matching\": " << p.cells_matching << "}";
+  }
+  os << (rep.ports.empty() ? "]" : "\n" + in.substr(2) + "]");
+}
+
 // Writes one RegressionResult as a JSON object at the given indent depth.
+// with_build prefixes the build-provenance stamp — set for top-level
+// documents only, so the stamp appears once per artifact.
 void write_result(std::ostream& os, const RegressionResult& r,
-                  bool with_timing, const std::string& in) {
+                  bool with_timing, const std::string& in,
+                  bool with_build = false) {
   const std::string in1 = in + "  ";
   const std::string in2 = in1 + "  ";
   os << "{\n";
+  if (with_build) {
+    os << in1 << "\"build\": ";
+    write_embedded_json(os, build_info_json(), in1);
+    os << ",\n";
+  }
   os << in1 << "\"config\": \"" << json_escape(r.config_name) << "\",\n";
   os << in1 << "\"rtl_passed\": " << bool_str(r.rtl_passed) << ",\n";
   os << in1 << "\"bca_passed\": " << bool_str(r.bca_passed) << ",\n";
@@ -132,6 +123,7 @@ void write_result(std::ostream& os, const RegressionResult& r,
        << ", \"signed_off\": "
        << bool_str(a.report.signed_off(r.alignment_threshold));
     if (with_timing) os << ", \"wall_ms\": " << json_number(a.wall_ms);
+    write_ports(os, a.report, in2 + "  ");
     os << "}";
   }
   os << (r.alignments.empty() ? "]" : "\n" + in1 + "]");
@@ -149,7 +141,7 @@ void write_result(std::ostream& os, const RegressionResult& r,
 
 std::string RegressionResult::json(bool with_timing) const {
   std::ostringstream os;
-  write_result(os, *this, with_timing, "");
+  write_result(os, *this, with_timing, "", /*with_build=*/true);
   os << "\n";
   return os.str();
 }
@@ -157,6 +149,9 @@ std::string RegressionResult::json(bool with_timing) const {
 std::string MatrixResult::json(bool with_timing) const {
   std::ostringstream os;
   os << "{\n";
+  os << "  \"build\": ";
+  write_embedded_json(os, build_info_json(), "  ");
+  os << ",\n";
   os << "  \"all_signed_off\": " << bool_str(all_signed_off) << ",\n";
   if (with_timing) {
     os << "  \"jobs\": " << jobs << ",\n";

@@ -1,26 +1,30 @@
 // Machine-readable regression reports.
 //
 // RegressionResult::json / MatrixResult::json (declared in runner.h, schema
-// documented in DESIGN.md) are implemented here, together with the small
-// JSON formatting helpers they rely on. The reports are consumed by CI, so
-// everything outside the opt-in timing fields must serialize
-// deterministically: doubles use the shortest round-trip form and 64-bit
-// digests are emitted as hex strings (JSON numbers lose precision past
-// 2^53).
+// documented in DESIGN.md) are implemented here. The reports are consumed
+// by CI and by the baseline drift gate, so everything outside the opt-in
+// timing fields must serialize deterministically: doubles use the shortest
+// round-trip form and 64-bit digests are emitted as hex strings (JSON
+// numbers lose precision past 2^53). The formatting helpers are thin
+// aliases of the shared crve::json ones, kept for source compatibility.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "common/json.h"
+
 namespace crve::regress {
 
 // Escapes a string for inclusion inside JSON quotes.
-std::string json_escape(const std::string& s);
+inline std::string json_escape(const std::string& s) {
+  return crve::json::escape(s);
+}
 
 // Shortest round-trip decimal form of a finite double (locale-independent).
-std::string json_number(double v);
+inline std::string json_number(double v) { return crve::json::number(v); }
 
 // 64-bit value as a quoted hex literal, e.g. "0x1f".
-std::string json_hex(std::uint64_t v);
+inline std::string json_hex(std::uint64_t v) { return crve::json::hex(v); }
 
 }  // namespace crve::regress

@@ -10,6 +10,9 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "regress/html_report.h"
+#include "stba/triage.h"
+#include "vcd/excerpt.h"
 
 namespace crve::regress {
 
@@ -226,26 +229,65 @@ struct Campaign {
 
     const auto t0 = Clock::now();
     stba::AlignmentReport rep;
+    // Parse the traces explicitly (instead of compare_files) so a failing
+    // pair can reuse them for the triage deep-dive without a second parse.
+    vcd::Trace ta, tb;
     if (to_disk) {
-      rep = stba::Analyzer::compare_files(wave_paths[2 * pair],
-                                          wave_paths[2 * pair + 1], ports);
+      ta = vcd::Trace::parse_file(wave_paths[2 * pair]);
+      tb = vcd::Trace::parse_file(wave_paths[2 * pair + 1]);
     } else {
       std::istringstream a(waves[2 * pair]);
       std::istringstream b(waves[2 * pair + 1]);
-      const vcd::Trace ta = vcd::Trace::parse(a);
-      const vcd::Trace tb = vcd::Trace::parse(b);
-      rep = stba::Analyzer::compare(ta, tb, ports);
+      ta = vcd::Trace::parse(a);
+      tb = vcd::Trace::parse(b);
     }
+    rep = stba::Analyzer::compare(ta, tb, ports);
     if (to_disk) {
       write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
                      std::to_string(seed) + ".txt",
                  rep.summary());
+      if (plan.run_triage && !rep.signed_off(plan.alignment_threshold)) {
+        run_triage(spec.name, seed, ta, tb, ports);
+      }
     }
     AlignmentOutcome& out = aligns[pair];
     out.test = spec.name;
     out.seed = seed;
     out.report = std::move(rep);
     out.wall_ms = ms_since(t0);
+  }
+
+  // Root-cause artifacts for a pair that missed sign-off: the triage report
+  // (divergence windows, per-signal interval lists, in-flight transaction
+  // context) plus windowed VCD excerpts of both views around the first
+  // divergence, all next to the pair's other artifacts (DESIGN.md section 11).
+  void run_triage(const std::string& test, std::uint64_t seed,
+                  const vcd::Trace& ta, const vcd::Trace& tb,
+                  const std::vector<std::string>& ports) const {
+    CRVE_SPAN("triage");
+    if (obs::metrics_enabled()) obs::counter("regress.triages").inc();
+    const stba::TriageReport tri = stba::Triage::analyze(ta, tb, ports);
+    const std::string stem = test + "_s" + std::to_string(seed);
+    std::vector<std::pair<std::string, std::string>> context = {
+        {"config", plan.cfg.name},
+        {"test", test},
+        {"seed", std::to_string(seed)},
+        {"vcd_a", stem + "_rtl.vcd"},
+        {"vcd_b", stem + "_bca.vcd"},
+    };
+    if (tri.any_diverged()) {
+      const std::uint64_t w = plan.triage_window;
+      const std::uint64_t begin =
+          tri.first_divergence > w ? tri.first_divergence - w : 0;
+      const std::uint64_t end = tri.first_divergence + w;
+      vcd::write_excerpt_file(ta, begin, end,
+                              plan.out_dir + "/excerpt_" + stem + "_rtl.vcd");
+      vcd::write_excerpt_file(tb, begin, end,
+                              plan.out_dir + "/excerpt_" + stem + "_bca.vcd");
+      context.push_back({"excerpt_a", "excerpt_" + stem + "_rtl.vcd"});
+      context.push_back({"excerpt_b", "excerpt_" + stem + "_bca.vcd"});
+    }
+    write_text(plan.out_dir + "/triage_" + stem + ".json", tri.json(context));
   }
 
   // Serial, order-deterministic aggregation over the filled slots.
@@ -392,6 +434,21 @@ MatrixResult Regression::run_matrix(
   mres.wall_ms = ms_since(t0);
   if (!base.out_dir.empty()) {
     write_text(base.out_dir + "/report.json", mres.json());
+    // Campaign dashboard next to the report. Link targets mirror what the
+    // campaigns actually wrote: triage artifacts appear exactly for
+    // below-threshold pairs, flight dumps only when a recorder is installed.
+    HtmlOptions hopts;
+    hopts.triage_links = base.run_triage;
+    hopts.flight_links = flight_recorder() != nullptr;
+    if (obs::metrics_enabled()) {
+      const obs::Registry::Snapshot snap =
+          obs::registry().snapshot(/*include_timing=*/false);
+      write_text(base.out_dir + "/dashboard.html",
+                 html_report(mres, &snap, hopts));
+    } else {
+      write_text(base.out_dir + "/dashboard.html",
+                 html_report(mres, nullptr, hopts));
+    }
   }
   return mres;
 }

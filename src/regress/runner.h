@@ -42,6 +42,12 @@ struct RunPlan {
   // Worker threads the (test, seed, view) jobs are sharded across.
   // 1 = serial (the default), 0 = one worker per hardware thread.
   unsigned jobs = 1;
+  // When a pair misses its alignment threshold and artifacts go to disk,
+  // run the stba::Triage deep-dive and write `triage_<test>_s<seed>.json`
+  // plus windowed VCD excerpts of both views around the first divergence.
+  bool run_triage = true;
+  // Half-width, in cycles, of the excerpt window around the divergence.
+  std::uint64_t triage_window = 50;
 };
 
 struct TestOutcome {

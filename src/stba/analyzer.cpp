@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/build_info.h"
+#include "common/json.h"
 #include "obs/metrics.h"
 
 namespace crve::stba {
@@ -16,11 +18,10 @@ const std::vector<std::string>& Analyzer::port_fields() {
   return kFields;
 }
 
-namespace {
-
-std::vector<int> resolve_port(const vcd::Trace& t, const std::string& port) {
+std::vector<int> Analyzer::resolve_port_fields(const vcd::Trace& t,
+                                               const std::string& port) {
   std::vector<int> idx;
-  for (const auto& f : Analyzer::port_fields()) {
+  for (const auto& f : port_fields()) {
     auto v = t.find(port + "." + f);
     if (!v) {
       throw std::runtime_error("STBA: signal " + port + "." + f +
@@ -29,6 +30,12 @@ std::vector<int> resolve_port(const vcd::Trace& t, const std::string& port) {
     idx.push_back(*v);
   }
   return idx;
+}
+
+namespace {
+
+std::vector<int> resolve_port(const vcd::Trace& t, const std::string& port) {
+  return Analyzer::resolve_port_fields(t, port);
 }
 
 std::vector<vcd::Trace::Cursor> port_cursors(const vcd::Trace& t,
@@ -56,6 +63,24 @@ bool port_has_activity(const vcd::Trace& t, const std::vector<int>& idx) {
 }
 
 }  // namespace
+
+std::string Analyzer::activity_note(const vcd::Trace& a, const vcd::Trace& b,
+                                    const std::string& port) {
+  const bool a_active = port_has_activity(a, resolve_port(a, port));
+  const bool b_active = port_has_activity(b, resolve_port(b, port));
+  if (!a_active && !b_active) {
+    return "no activity on this port in either dump; rate is vacuous";
+  }
+  if (!a_active) {
+    return "dump A has no activity on this port; rate compares B "
+           "against all-zeros";
+  }
+  if (!b_active) {
+    return "dump B has no activity on this port; rate compares A "
+           "against all-zeros";
+  }
+  return "";
+}
 
 std::vector<ExtractedCell> Analyzer::extract(const vcd::Trace& t,
                                              const std::string& port) {
@@ -134,17 +159,7 @@ AlignmentReport Analyzer::compare(const vcd::Trace& a, const vcd::Trace& b,
     pa.total_cycles = total;
     const std::vector<int> ia = resolve_port(a, port);
     const std::vector<int> ib = resolve_port(b, port);
-    const bool a_active = port_has_activity(a, ia);
-    const bool b_active = port_has_activity(b, ib);
-    if (!a_active && !b_active) {
-      pa.note = "no activity on this port in either dump; rate is vacuous";
-    } else if (!a_active) {
-      pa.note = "dump A has no activity on this port; rate compares B "
-                "against all-zeros";
-    } else if (!b_active) {
-      pa.note = "dump B has no activity on this port; rate compares A "
-                "against all-zeros";
-    }
+    pa.note = activity_note(a, b, port);
     // k-way merge over the 2x17 field change lists: between events every
     // field is constant on both sides, so alignment holds for whole runs.
     std::vector<vcd::Trace::Cursor> ca = port_cursors(a, ia);
@@ -240,6 +255,46 @@ std::string AlignmentReport::summary() const {
      << (signed_off() ? "SIGNED OFF (>=99% everywhere)" : "NOT signed off")
      << "\n";
   return os.str();
+}
+
+std::string AlignmentReport::json(double threshold) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"build\": " + build_info_json("  ") + ",\n";
+  out += "  \"threshold\": " + json::number(threshold) + ",\n";
+  out += std::string("  \"signed_off\": ") +
+         (signed_off(threshold) ? "true" : "false") + ",\n";
+  out += "  \"min_rate\": " + json::number(min_rate()) + ",\n";
+  out += "  \"mean_rate\": " + json::number(mean_rate()) + ",\n";
+  out += "  \"ports\": [";
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const PortAlignment& p = ports[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"port\": \"" + json::escape(p.port) + "\"";
+    out += ", \"rate\": " + json::number(p.rate());
+    out += ", \"aligned_cycles\": " + std::to_string(p.aligned_cycles);
+    out += ", \"total_cycles\": " + std::to_string(p.total_cycles);
+    out += std::string(", \"diverged\": ") + (p.diverged() ? "true" : "false");
+    if (p.diverged()) {
+      out += ", \"first_divergence\": " + std::to_string(p.first_divergence);
+      out += ", \"diverged_signals\": [";
+      for (std::size_t s = 0; s < p.diverged_signals.size(); ++s) {
+        if (s != 0) out += ", ";
+        out += "\"" + json::escape(p.diverged_signals[s]) + "\"";
+      }
+      out += "]";
+    }
+    if (!p.note.empty()) {
+      out += ", \"note\": \"" + json::escape(p.note) + "\"";
+    }
+    out += ", \"cells_a\": " + std::to_string(p.cells_a);
+    out += ", \"cells_b\": " + std::to_string(p.cells_b);
+    out += ", \"cells_matching\": " + std::to_string(p.cells_matching);
+    out += "}";
+  }
+  out += ports.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace crve::stba

@@ -72,6 +72,13 @@ struct AlignmentReport {
   // The paper's sign-off criterion: every port at or above `threshold`.
   bool signed_off(double threshold = 0.99) const;
   std::string summary() const;
+
+  // The full report as a pretty JSON document (machine-readable counterpart
+  // of summary(), used by `crve_stba --json`). Carries the build stamp, the
+  // verdict against `threshold`, and per-port rate / first-divergence /
+  // diverged-signal / cell-stream details. Byte-deterministic for a fixed
+  // input pair.
+  std::string json(double threshold = 0.99) const;
 };
 
 class Analyzer {
@@ -97,6 +104,17 @@ class Analyzer {
   // Recovers the granted-cell stream of one port from one dump.
   static std::vector<ExtractedCell> extract(const vcd::Trace& t,
                                             const std::string& port);
+
+  // Variable indices of one port's fields in `t`, in port_fields() order.
+  // Throws std::runtime_error when a field is absent or ambiguous. Shared
+  // by compare() and the Triage deep-dive so both resolve identically.
+  static std::vector<int> resolve_port_fields(const vcd::Trace& t,
+                                              const std::string& port);
+
+  // The vacuous-rate annotation compare() attaches when one or both dumps
+  // show no activity on `port`; empty for a healthy comparison.
+  static std::string activity_note(const vcd::Trace& a, const vcd::Trace& b,
+                                   const std::string& port);
 };
 
 }  // namespace crve::stba

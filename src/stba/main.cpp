@@ -1,11 +1,14 @@
 // crve_stba — the STBus Analyzer as a command-line tool.
 //
 //   crve_stba RTL.vcd BCA.vcd --ports tb.init0,tb.init1,tb.targ0
-//             [--threshold 0.99] [--cells]
+//             [--threshold 0.99] [--cells] [--json]
 //
 // Compares the two dumps port by port, prints the alignment report (rate,
 // first divergence, transaction diff) and exits 0 when every port is at or
-// above the sign-off threshold.
+// above the sign-off threshold. With --json the full AlignmentReport is
+// emitted as a machine-readable document (build stamp, per-port rate /
+// first-divergence / diverged-signal / cell-stream detail) instead of the
+// human summary; the exit code is unchanged.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -17,7 +20,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: crve_stba A.vcd B.vcd --ports p1,p2,... "
-               "[--threshold 0.99] [--cells]\n");
+               "[--threshold 0.99] [--cells] [--json]\n");
   return 2;
 }
 
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> ports;
   double threshold = 0.99;
   bool show_cells = false;
+  bool as_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,6 +52,8 @@ int main(int argc, char** argv) {
       threshold = std::stod(argv[i]);
     } else if (arg == "--cells") {
       show_cells = true;
+    } else if (arg == "--json") {
+      as_json = true;
     } else if (file_a.empty()) {
       file_a = arg;
     } else if (file_b.empty()) {
@@ -61,14 +67,18 @@ int main(int argc, char** argv) {
   try {
     const auto report =
         crve::stba::Analyzer::compare_files(file_a, file_b, ports);
-    std::printf("%s", report.summary().c_str());
-    if (show_cells) {
-      for (const auto& p : report.ports) {
-        std::printf("%s: %llu vs %llu cells, %llu matching in order\n",
-                    p.port.c_str(),
-                    static_cast<unsigned long long>(p.cells_a),
-                    static_cast<unsigned long long>(p.cells_b),
-                    static_cast<unsigned long long>(p.cells_matching));
+    if (as_json) {
+      std::printf("%s", report.json(threshold).c_str());
+    } else {
+      std::printf("%s", report.summary().c_str());
+      if (show_cells) {
+        for (const auto& p : report.ports) {
+          std::printf("%s: %llu vs %llu cells, %llu matching in order\n",
+                      p.port.c_str(),
+                      static_cast<unsigned long long>(p.cells_a),
+                      static_cast<unsigned long long>(p.cells_b),
+                      static_cast<unsigned long long>(p.cells_matching));
+        }
       }
     }
     return report.signed_off(threshold) ? 0 : 1;

@@ -1,0 +1,35 @@
+// Windowed VCD excerpt writer.
+//
+// Re-emits a slice [begin, end] of an already parsed Trace as a standalone,
+// well-formed VCD: full header (scope tree rebuilt from the dotted names,
+// original identifier codes preserved), a snapshot of every variable's
+// settled value at `begin`, then the in-window changes in (time, variable)
+// order, and a final `#end` time marker so the excerpt's extent is explicit
+// even when the last in-window cycle is quiet.
+//
+// The triage path (stba::Triage) uses this to cut a small waveform around
+// the first divergence of a failing run — both views, same window — so the
+// artifact a human opens is kilobytes, not the full campaign dump. The
+// output parses back through vcd::Trace::parse (tests round-trip it).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "vcd/parser.h"
+
+namespace crve::vcd {
+
+// Writes the excerpt of `trace` covering [begin, end] to `os`. `end` is
+// clamped to the trace's last change time; `begin` past that yields a
+// snapshot-only excerpt. begin > end (after clamping) is a no-op header +
+// snapshot at `begin`.
+void write_excerpt(const Trace& trace, std::uint64_t begin, std::uint64_t end,
+                   std::ostream& os);
+
+// Same, to a file; throws std::runtime_error when the file cannot be opened.
+void write_excerpt_file(const Trace& trace, std::uint64_t begin,
+                        std::uint64_t end, const std::string& path);
+
+}  // namespace crve::vcd

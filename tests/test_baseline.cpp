@@ -1,0 +1,246 @@
+// Baseline drift gating: threshold semantics, ranking, old-schema
+// fallback, structural tolerance, and the diff.json document.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/json.h"
+#include "regress/baseline.h"
+
+namespace crve {
+namespace {
+
+using regress::compute_drift;
+using regress::DriftKind;
+using regress::DriftReport;
+using regress::DriftThresholds;
+
+struct ReportParams {
+  bool signed_off = true;
+  double rate0 = 1.0;       // tb.init0 alignment rate
+  double rate1 = 1.0;       // tb.targ0 alignment rate
+  double coverage = 90.0;   // per-run and mean coverage
+  double metric = 100.0;    // stba.cell_diffs counter
+  bool with_ports = true;   // false = old pre-per-port schema
+  const char* config = "node_a";
+};
+
+// Renders a minimal but shape-correct MatrixResult::json document.
+std::string make_report(const ReportParams& p) {
+  const std::string rate0 = json::number(p.rate0);
+  const std::string rate1 = json::number(p.rate1);
+  const std::string cov = json::number(p.coverage);
+  const std::string min_rate = json::number(std::min(p.rate0, p.rate1));
+  std::string ports;
+  if (p.with_ports) {
+    ports = ", \"ports\": [{\"port\": \"tb.init0\", \"rate\": " + rate0 +
+            "}, {\"port\": \"tb.targ0\", \"rate\": " + rate1 + "}]";
+  }
+  return std::string("{\n") +
+         "\"all_signed_off\": " + (p.signed_off ? "true" : "false") + ",\n" +
+         "\"configs\": [{\n" +
+         "  \"config\": \"" + p.config + "\",\n" +
+         "  \"signed_off\": " + (p.signed_off ? "true" : "false") + ",\n" +
+         "  \"mean_coverage_rtl\": " + cov + ",\n" +
+         "  \"runs\": [{\"test\": \"t02\", \"seed\": 1, \"view\": \"rtl\", "
+         "\"coverage_percent\": " + cov + "}],\n" +
+         "  \"alignments\": [{\"test\": \"t02\", \"seed\": 1, "
+         "\"min_rate\": " + min_rate + ", \"signed_off\": true" + ports +
+         "}]\n" +
+         "}],\n" +
+         "\"metrics\": {\"counters\": {\"stba.cell_diffs\": " +
+         json::number(p.metric) + "}, \"gauges\": {}}\n" +
+         "}\n";
+}
+
+json::Value parse(const std::string& doc) { return json::parse(doc); }
+
+DriftReport drift(const ReportParams& base, const ReportParams& cur,
+                  const DriftThresholds& th = {}) {
+  const json::Value b = parse(make_report(base));
+  const json::Value c = parse(make_report(cur));
+  return compute_drift(b, c, th);
+}
+
+TEST(Baseline, IdenticalReportsPassWithNoFindings) {
+  const DriftReport r = drift({}, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.gated_count, 0u);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(r.notes.empty());
+  EXPECT_NE(r.summary().find("drift gate: PASS"), std::string::npos);
+}
+
+TEST(Baseline, PortRateDropBeyondThresholdIsGated) {
+  ReportParams cur;
+  cur.rate0 = 0.95;
+  const DriftReport r = drift({}, cur);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  const auto& f = r.findings[0];
+  EXPECT_EQ(f.kind, DriftKind::kPortRate);
+  EXPECT_TRUE(f.gated);
+  EXPECT_NE(f.where.find("tb.init0"), std::string::npos);
+  EXPECT_NE(f.where.find("node_a/t02/s1"), std::string::npos);
+  EXPECT_DOUBLE_EQ(f.baseline, 1.0);
+  EXPECT_DOUBLE_EQ(f.current, 0.95);
+  EXPECT_NEAR(f.delta, -0.05, 1e-12);
+}
+
+TEST(Baseline, RateDropWithinToleranceRecordedButNotGated) {
+  ReportParams cur;
+  cur.rate0 = 0.9995;  // drop of 0.0005 < default max_rate_drop 0.001
+  const DriftReport r = drift({}, cur);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_FALSE(r.findings[0].gated);
+  EXPECT_EQ(r.findings[0].kind, DriftKind::kPortRate);
+}
+
+TEST(Baseline, CustomRateThresholdWidensTolerance) {
+  ReportParams cur;
+  cur.rate0 = 0.95;
+  DriftThresholds th;
+  th.max_rate_drop = 0.1;
+  const DriftReport r = drift({}, cur, th);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_FALSE(r.findings[0].gated);
+}
+
+TEST(Baseline, LosingSignoffIsGatedAndRankedFirst) {
+  ReportParams cur;
+  cur.signed_off = false;
+  cur.rate0 = 0.5;  // a bigger numeric drop than the signoff flip's 1 -> 0
+  const DriftReport r = drift({}, cur);
+  EXPECT_FALSE(r.ok());
+  ASSERT_GE(r.findings.size(), 2u);
+  EXPECT_EQ(r.findings[0].kind, DriftKind::kSignoff);
+  EXPECT_TRUE(r.findings[0].gated);
+  EXPECT_EQ(r.findings[0].where, "node_a");
+  EXPECT_EQ(r.findings[1].kind, DriftKind::kPortRate);
+}
+
+TEST(Baseline, RegainingSignoffIsAnUngatedImprovement) {
+  ReportParams base;
+  base.signed_off = false;
+  const DriftReport r = drift(base, {});
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, DriftKind::kSignoff);
+  EXPECT_FALSE(r.findings[0].gated);
+  EXPECT_GT(r.findings[0].delta, 0.0);
+}
+
+TEST(Baseline, CoverageDropGatedByDefaultThreshold) {
+  ReportParams cur;
+  cur.coverage = 89.0;
+  const DriftReport r = drift({}, cur);
+  EXPECT_FALSE(r.ok());
+  // Both the config mean and the per-run coverage dropped.
+  std::size_t gated_coverage = 0;
+  for (const auto& f : r.findings) {
+    if (f.kind == DriftKind::kCoverage && f.gated) ++gated_coverage;
+  }
+  EXPECT_EQ(gated_coverage, 2u);
+
+  DriftThresholds th;
+  th.max_coverage_drop = 2.0;  // percentage points
+  EXPECT_TRUE(drift({}, cur, th).ok());
+}
+
+TEST(Baseline, OldBaselineWithoutPortsFallsBackToMinRate) {
+  ReportParams base;
+  base.with_ports = false;
+  ReportParams cur;
+  cur.rate1 = 0.9;
+  const DriftReport r = drift(base, cur);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, DriftKind::kPortRate);
+  EXPECT_NE(r.findings[0].where.find("min_rate"), std::string::npos);
+  EXPECT_DOUBLE_EQ(r.findings[0].current, 0.9);
+}
+
+TEST(Baseline, StructuralChangesAreNotesNotRegressions) {
+  ReportParams cur;
+  cur.config = "node_b";
+  const DriftReport r = drift({}, cur);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.notes.size(), 2u);
+  EXPECT_NE(r.notes[0].find("new config: node_b"), std::string::npos);
+  EXPECT_NE(r.notes[1].find("config removed: node_a"), std::string::npos);
+}
+
+TEST(Baseline, MetricDeltasAreInformationalOnly) {
+  ReportParams cur;
+  cur.metric = 250.0;
+  const DriftReport r = drift({}, cur);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, DriftKind::kMetric);
+  EXPECT_FALSE(r.findings[0].gated);
+  EXPECT_EQ(r.findings[0].where, "stba.cell_diffs");
+  EXPECT_DOUBLE_EQ(r.findings[0].delta, 150.0);
+}
+
+TEST(Baseline, RankingPutsGatedKindsBeforeImprovements) {
+  ReportParams cur;
+  cur.signed_off = false;
+  cur.rate0 = 0.8;
+  cur.rate1 = 1.0;
+  cur.coverage = 85.0;
+  cur.metric = 90.0;
+  const DriftReport r = drift({}, cur);
+  ASSERT_GE(r.findings.size(), 4u);
+  // Gated first in kind order; the informational metric delta comes last.
+  EXPECT_EQ(r.findings[0].kind, DriftKind::kSignoff);
+  EXPECT_EQ(r.findings[1].kind, DriftKind::kPortRate);
+  EXPECT_EQ(r.findings[2].kind, DriftKind::kCoverage);
+  EXPECT_EQ(r.findings.back().kind, DriftKind::kMetric);
+  EXPECT_FALSE(r.findings.back().gated);
+}
+
+TEST(Baseline, MalformedReportsThrow) {
+  const json::Value good = parse(make_report({}));
+  const json::Value arr = parse("[1, 2, 3]");
+  const json::Value noconfigs = parse("{\"all_signed_off\": true}");
+  EXPECT_THROW(compute_drift(arr, good, {}), std::runtime_error);
+  EXPECT_THROW(compute_drift(good, noconfigs, {}), std::runtime_error);
+}
+
+TEST(Baseline, SummaryNamesWorstOffenderFirst) {
+  ReportParams cur;
+  cur.rate0 = 0.95;
+  const DriftReport r = drift({}, cur);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("drift gate: FAIL (1 gated regression, 1 finding"),
+            std::string::npos);
+  EXPECT_NE(s.find("[GATED] port_rate node_a/t02/s1 tb.init0"),
+            std::string::npos);
+}
+
+TEST(Baseline, JsonDocumentRoundTrips) {
+  ReportParams cur;
+  cur.rate0 = 0.95;
+  DriftThresholds th;
+  th.max_rate_drop = 0.01;
+  const DriftReport r = drift({}, cur, th);
+  const json::Value doc = parse(r.json());
+  EXPECT_NE(doc.find("build"), nullptr);
+  const json::Value* t = doc.find("thresholds");
+  ASSERT_NE(t, nullptr);
+  EXPECT_DOUBLE_EQ(t->number_or("max_rate_drop", 0.0), 0.01);
+  EXPECT_EQ(doc.find("gate_passed")->kind, json::Value::Kind::kBool);
+  EXPECT_DOUBLE_EQ(doc.find("gated_count")->num, 1.0);
+  const json::Value* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->items.size(), 1u);
+  EXPECT_EQ(findings->items[0].string_or("kind", ""), "port_rate");
+  EXPECT_TRUE(findings->items[0].bool_or("gated", false));
+}
+
+}  // namespace
+}  // namespace crve

@@ -1,0 +1,135 @@
+// The campaign dashboard: a pure function of the campaign result — byte
+// identical for any worker count — with drill-down links gated on the
+// artifacts actually existing, and all dynamic text HTML-escaped.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "regress/html_report.h"
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+stbus::NodeConfig small_cfg(const std::string& name) {
+  stbus::NodeConfig cfg;
+  cfg.name = name;
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  return cfg;
+}
+
+regress::RunPlan small_plan() {
+  regress::RunPlan plan;
+  plan.tests = {verif::t02_random_all_opcodes()};
+  plan.seeds = {1};
+  plan.n_transactions = 20;
+  return plan;
+}
+
+TEST(Dashboard, ByteIdenticalAcrossWorkerCounts) {
+  regress::RunPlan base = small_plan();
+  const std::vector<stbus::NodeConfig> configs = {small_cfg("node_a"),
+                                                  small_cfg("node_b")};
+  base.jobs = 1;
+  const auto serial = regress::Regression::run_matrix(configs, base);
+  base.jobs = 4;
+  const auto parallel = regress::Regression::run_matrix(configs, base);
+  EXPECT_EQ(regress::html_report(serial), regress::html_report(parallel));
+}
+
+TEST(Dashboard, SignedOffCampaignRendersGoodVerdict) {
+  const auto mres =
+      regress::Regression::run_matrix({small_cfg("node_a")}, small_plan());
+  ASSERT_TRUE(mres.all_signed_off) << mres.summary();
+  const std::string html = regress::html_report(mres);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("ALL SIGNED OFF"), std::string::npos);
+  EXPECT_NE(html.find("<h2>node_a</h2>"), std::string::npos);
+  EXPECT_NE(html.find("t02_random_all_opcodes"), std::string::npos);
+  EXPECT_NE(html.find("Port alignment"), std::string::npos);
+  EXPECT_NE(html.find("tb.init0"), std::string::npos);
+  // Build provenance in the header.
+  EXPECT_NE(html.find("class=\"build\""), std::string::npos);
+  // No external resources: self-contained file.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+}
+
+TEST(Dashboard, FaultedCampaignMarksBreaches) {
+  regress::RunPlan base = small_plan();
+  base.tests = {verif::t05_chunked_traffic()};
+  base.n_transactions = 40;
+  base.faults.grant_during_lock = true;
+  const auto mres =
+      regress::Regression::run_matrix({small_cfg("node_a")}, base);
+  ASSERT_FALSE(mres.all_signed_off) << mres.summary();
+  const std::string html = regress::html_report(mres);
+  EXPECT_NE(html.find("NOT SIGNED OFF"), std::string::npos);
+  EXPECT_NE(html.find("breach"), std::string::npos);
+  // Link gating is off by default: no dangling drill-down links.
+  EXPECT_EQ(html.find("triage_"), std::string::npos);
+  EXPECT_EQ(html.find("flight_"), std::string::npos);
+}
+
+TEST(Dashboard, DrillDownLinksGatedByOptions) {
+  regress::RunPlan base = small_plan();
+  base.tests = {verif::t05_chunked_traffic()};
+  base.n_transactions = 40;
+  base.faults.grant_during_lock = true;
+  const auto mres =
+      regress::Regression::run_matrix({small_cfg("node_a")}, base);
+  ASSERT_FALSE(mres.all_signed_off);
+
+  regress::HtmlOptions opts;
+  opts.triage_links = true;
+  opts.flight_links = true;
+  const std::string html = regress::html_report(mres, nullptr, opts);
+  // Breached pair links to its triage artifact, relative to the dashboard.
+  EXPECT_NE(
+      html.find("href=\"node_a/triage_t05_chunked_traffic_s1.json\""),
+      std::string::npos);
+  // Failed runs link to their flight-recorder dumps.
+  EXPECT_NE(html.find("node_a/flight_t05_chunked_traffic_s1_"),
+            std::string::npos);
+}
+
+TEST(Dashboard, MetricsSectionOnlyWhenSnapshotGiven) {
+  const auto mres =
+      regress::Regression::run_matrix({small_cfg("node_a")}, small_plan());
+  EXPECT_EQ(regress::html_report(mres).find("Campaign metrics"),
+            std::string::npos);
+
+  obs::Registry::Snapshot snap;
+  snap.counters.push_back({"stba.compares", 3});
+  snap.gauges.push_back({"pool.workers", 4});
+  obs::HistogramValue h;
+  h.count = 3;
+  h.sum = 6;
+  h.buckets[1] = 2;  // two values in [2, 4)
+  h.buckets[2] = 1;
+  snap.histograms.push_back({"run.cycles", h});
+  const std::string html = regress::html_report(mres, &snap);
+  EXPECT_NE(html.find("Campaign metrics"), std::string::npos);
+  EXPECT_NE(html.find("stba.compares"), std::string::npos);
+  EXPECT_NE(html.find("pool.workers"), std::string::npos);
+  EXPECT_NE(html.find("run.cycles"), std::string::npos);
+  EXPECT_NE(html.find("class=\"hist\""), std::string::npos);
+}
+
+TEST(Dashboard, EscapesMarkupInNames) {
+  regress::RunPlan base = small_plan();
+  const auto mres = regress::Regression::run_matrix(
+      {small_cfg("node<script>&\"x\"")}, base);
+  const std::string html = regress::html_report(mres);
+  EXPECT_EQ(html.find("node<script>"), std::string::npos);
+  EXPECT_NE(html.find("node&lt;script&gt;&amp;&quot;x&quot;"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace crve

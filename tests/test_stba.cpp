@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <tuple>
 
 #include "stba/analyzer.h"
 #include "verif/testbench.h"
@@ -43,6 +44,44 @@ std::string synth_dump(const std::vector<std::pair<bool, bool>>& req_gnt,
 vcd::Trace parse(const std::string& s) {
   std::istringstream is(s);
   return vcd::Trace::parse(is);
+}
+
+// Like synth_dump but with free-form writes: (time, field index, value),
+// field indices in Analyzer::port_fields() order. An empty script yields a
+// header-only dump with no activity on the port.
+std::string field_dump(std::uint64_t cycles,
+                       const std::vector<std::tuple<std::uint64_t, int,
+                                                    std::uint64_t>>& writes) {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module tb $end\n"
+     << "$scope module p0 $end\n";
+  const char* names[] = {"req", "gnt", "opc", "add", "data", "be", "eop",
+                         "lck", "src", "tid", "r_req", "r_gnt", "r_opc",
+                         "r_data", "r_eop", "r_src", "r_tid"};
+  const int widths[] = {1, 1, 6, 32, 32, 4, 1, 1, 6, 8, 1, 1, 2, 32, 1, 6, 8};
+  for (int i = 0; i < 17; ++i) {
+    os << "$var wire " << widths[i] << " " << static_cast<char>('!' + i)
+       << " " << names[i] << " $end\n";
+  }
+  os << "$upscope $end\n$upscope $end\n$enddefinitions $end\n";
+  std::uint64_t t = ~std::uint64_t{0};
+  for (const auto& [time, field, value] : writes) {
+    if (time != t) {
+      os << "#" << time << "\n";
+      t = time;
+    }
+    const char id = static_cast<char>('!' + field);
+    if (widths[field] == 1) {
+      os << (value ? "1" : "0") << id << "\n";
+    } else {
+      os << "b" << crve::Bits(widths[field], value).to_bin_string() << " "
+         << id << "\n";
+    }
+  }
+  if (cycles > 0 && (t == ~std::uint64_t{0} || t < cycles - 1)) {
+    os << "#" << (cycles - 1) << "\n";
+  }
+  return os.str();
 }
 
 TEST(Stba, IdenticalDumpsFullyAligned) {
@@ -113,6 +152,65 @@ TEST(Stba, ThresholdSweep) {
   EXPECT_NEAR(rep.ports[0].rate(), 0.995, 1e-9);
   EXPECT_TRUE(rep.signed_off(0.99));
   EXPECT_FALSE(rep.signed_off(0.999));
+}
+
+TEST(Stba, ExtractRecoversLockedCell) {
+  // One granted request cell with the lock bit held.
+  const auto t = parse(field_dump(
+      4, {{1, 0, 1}, {1, 1, 1}, {1, 7, 1}, {1, 6, 1}, {2, 0, 0}, {2, 1, 0},
+          {2, 7, 0}}));
+  const auto cells = Analyzer::extract(t, "tb.p0");
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].cycle, 1u);
+  EXPECT_FALSE(cells[0].response);
+  EXPECT_TRUE(cells[0].lck);
+  EXPECT_TRUE(cells[0].eop);
+}
+
+TEST(Stba, ExtractRecoversResponseOnlyTraffic) {
+  // Only the response channel moves: r_req & r_gnt high for one cycle.
+  const auto t = parse(field_dump(
+      5, {{2, 10, 1}, {2, 11, 1}, {2, 12, 1}, {3, 10, 0}, {3, 11, 0}}));
+  const auto cells = Analyzer::extract(t, "tb.p0");
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].cycle, 2u);
+  EXPECT_TRUE(cells[0].response);
+  EXPECT_EQ(cells[0].opc, "01");  // r_opc is the 2-bit response opcode
+}
+
+TEST(Stba, SilentPortGetsActivityNote) {
+  const auto active = parse(field_dump(6, {{1, 0, 1}, {2, 0, 0}}));
+  const auto silent = parse(field_dump(6, {}));
+  const auto rep = Analyzer::compare(active, silent, {"tb.p0"});
+  ASSERT_EQ(rep.ports.size(), 1u);
+  EXPECT_NE(rep.ports[0].note.find("dump B has no activity"),
+            std::string::npos);
+  EXPECT_EQ(Analyzer::activity_note(active, active, "tb.p0"), "");
+  EXPECT_NE(Analyzer::activity_note(silent, silent, "tb.p0")
+                .find("either dump"),
+            std::string::npos);
+}
+
+TEST(Stba, AlignmentReportJsonShape) {
+  const auto a =
+      parse(synth_dump({{false, false}, {true, true}, {false, false}}));
+  const auto b =
+      parse(synth_dump({{false, false}, {false, true}, {false, false}}));
+  const auto rep = Analyzer::compare(a, b, {"tb.p0"});
+  const std::string doc = rep.json(0.99);
+  EXPECT_NE(doc.find("\"build\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"threshold\": 0.99"), std::string::npos);
+  EXPECT_NE(doc.find("\"signed_off\": false"), std::string::npos);
+  EXPECT_NE(doc.find("\"port\": \"tb.p0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"first_divergence\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"diverged_signals\": [\"tb.p0.req\"]"),
+            std::string::npos);
+  // Byte-deterministic, and the fully-aligned rendering drops the
+  // divergence members.
+  EXPECT_EQ(doc, rep.json(0.99));
+  const std::string clean = Analyzer::compare(a, a, {"tb.p0"}).json();
+  EXPECT_EQ(clean.find("\"first_divergence\""), std::string::npos);
+  EXPECT_NE(clean.find("\"signed_off\": true"), std::string::npos);
 }
 
 // End-to-end: real testbench dumps through the real analyzer.
