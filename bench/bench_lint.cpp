@@ -1,0 +1,78 @@
+// Lint-cost guard: crve_regress runs the linter over the config directory
+// before every campaign, so directory lint must stay negligible next to a
+// single simulation job (<5 ms for the shipped configs; EXPERIMENTS.md has
+// the measured numbers). BM_LintConfigs is the shipped-configs figure;
+// BM_LintConfigs40 scales it to the paper's 40-configuration matrix and
+// BM_LintSourceTree bounds the CI determinism scan over all of src/.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "regress/config_file.h"
+
+#ifndef CRVE_SOURCE_DIR
+#define CRVE_SOURCE_DIR "."
+#endif
+
+namespace {
+
+using namespace crve;
+
+// The shipped configs/ directory, linted the way crve_regress does on
+// campaign start.
+void BM_LintConfigs(benchmark::State& state) {
+  const std::string dir = CRVE_SOURCE_DIR "/configs";
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    const auto report = lint::lint_config_dir(dir);
+    findings += report.findings.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["findings"] =
+      static_cast<double>(findings) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_LintConfigs)->Unit(benchmark::kMillisecond);
+
+// The paper's "more than 36 configurations" scale: 40 generated .cfg files
+// linted as one directory.
+void BM_LintConfigs40(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "crve_bench_lint40";
+  fs::create_directories(dir);
+  for (int i = 0; i < 40; ++i) {
+    stbus::NodeConfig cfg;
+    cfg.name = "cfg" + std::to_string(i);
+    cfg.n_initiators = 2 + i % 3;
+    cfg.n_targets = 2;
+    cfg.arb = static_cast<stbus::ArbPolicy>(i % 6);
+    cfg.programming_port = cfg.arb == stbus::ArbPolicy::kProgrammable;
+    cfg.validate_and_normalize();
+    char name[32];
+    std::snprintf(name, sizeof(name), "c%02d.cfg", i);
+    std::ofstream(dir / name) << regress::format_config(cfg);
+  }
+  for (auto _ : state) {
+    const auto report = lint::lint_config_dir(dir.string());
+    benchmark::DoNotOptimize(report);
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_LintConfigs40)->Unit(benchmark::kMillisecond);
+
+// The CI determinism scan: every .h/.cpp under src/.
+void BM_LintSourceTree(benchmark::State& state) {
+  const std::string dir = CRVE_SOURCE_DIR "/src";
+  for (auto _ : state) {
+    const auto report = lint::lint_source_tree(dir);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_LintSourceTree)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

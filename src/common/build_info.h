@@ -18,7 +18,7 @@ struct BuildInfo {
   const char* git_hash;    // short hash, or "unknown" outside a checkout
   const char* compiler;    // e.g. "GNU 13.2.0"
   const char* build_type;  // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
-  bool sanitize;           // built with CRVE_SANITIZE=ON
+  bool sanitize;           // any CRVE_SANITIZE flavour (address or thread)
 };
 
 const BuildInfo& build_info();

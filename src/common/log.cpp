@@ -109,6 +109,8 @@ void emit(LogLevel level, const std::string& line) {
     if (sink_slot()) {
       sink_slot()(level, line);
     } else {
+      // The logger IS the sanctioned sink; this is the one raw-stream write
+      // the mutex above serialises. crve-lint: allow(CRVE052)
       std::cerr << line;
     }
   }

@@ -1,0 +1,143 @@
+// crve_lint — static analysis for node configurations, campaign plans and
+// the determinism invariants of the source tree.
+//
+// The paper's regression tool assumes every configuration it loads is legal
+// ("it's sufficient to indicate the directory to which the tool has to
+// point"); parse_config only rejects malformed syntax. This subsystem is
+// the shift-left complement: a rule engine with stable rule IDs (CRVE0xx),
+// three severities and three output formats (text, JSON, SARIF 2.1.0) that
+// catches semantically broken configs and non-deterministic code paths
+// *before* a multi-hour campaign runs.
+//
+// Two rule families (full catalogue in DESIGN.md §12):
+//   * config/campaign rules — paper port/width limits, arbitration and
+//     architecture coupling (latency ⇒ deadlines, bandwidth ⇒ quotas,
+//     prog ⇒ programming port, partial ⇒ xbar groups), unknown/duplicate
+//     keys, duplicate names across a directory, campaign-plan sanity;
+//   * source determinism rules — a token-level scanner enforcing the
+//     invariants the byte-identical report guarantee depends on: no
+//     unordered-container iteration feeding report/baseline/html/metrics
+//     output, no rand()/std::random_device/time(nullptr) outside
+//     common/rng.h, no raw std::cout/std::cerr outside main.cpp files.
+//     Findings are suppressed inline with `// crve-lint: allow(CRVE0xx)`.
+//
+// Exit-code contract (crve_lint CLI and Report::exit_code): 0 = clean or
+// notes only, 1 = warnings, 2 = errors; --werror promotes warnings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stbus/config.h"
+
+namespace crve::lint {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarn = 1, kError = 2 };
+
+std::string to_string(Severity s);
+
+// One catalogue entry. IDs are stable across releases: renumbering would
+// invalidate stored SARIF baselines and inline suppressions.
+struct Rule {
+  const char* id;       // "CRVE0xx"
+  Severity severity;    // default severity of findings under this rule
+  const char* summary;  // one line; SARIF shortDescription
+};
+
+// The full rule catalogue, sorted by id.
+const std::vector<Rule>& rule_catalogue();
+
+// Catalogue lookup; nullptr for an unknown id.
+const Rule* find_rule(const std::string& id);
+
+struct Finding {
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  std::string file;  // path, or a pseudo-origin like "<plan>"
+  int line = 0;      // 1-based; 0 = whole-file / whole-plan finding
+  std::string message;
+
+  // "file:line: error[CRVE013]: message" (line omitted when 0).
+  std::string text() const;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+
+  // Appends a finding under `rule_id` with the rule's default severity.
+  void add(const std::string& rule_id, const std::string& file, int line,
+           const std::string& message);
+  int count(Severity s) const;
+  int errors() const { return count(Severity::kError); }
+  int warnings() const { return count(Severity::kWarn); }
+
+  // 0 = clean or notes only, 1 = warnings present, 2 = errors present.
+  // werror promotes warnings to the error exit code.
+  int exit_code(bool werror = false) const;
+
+  void merge(Report&& other);
+  // Deterministic ordering: (file, line, rule, message).
+  void sort();
+};
+
+// --- Config / campaign rules (config_rules.cpp) ---------------------------
+
+// Lints one configuration text without throwing: tolerant key=value scan
+// (unknown/duplicate keys, bad integers, bad enums) followed by the
+// semantic rules over whatever parsed. `origin` tags every finding.
+Report lint_config_text(const std::string& text, const std::string& origin);
+Report lint_config_file(const std::string& path);
+
+// Lints every *.cfg in `dir` (sorted by filename, like configs_from_dir)
+// plus the cross-file rules (duplicate `name`).
+Report lint_config_dir(const std::string& dir);
+
+// Semantic rules over an already-parsed NodeConfig (no text available, so
+// the key-level rules don't apply). Lists that validate_and_normalize()
+// would default-fill are only checked when non-empty.
+Report lint_node_config(const stbus::NodeConfig& cfg,
+                        const std::string& origin);
+
+// What crve_regress is about to run: the (test, seed) matrix and the
+// sign-off threshold. Kept free of regress types so lint stays below
+// regress in the dependency order.
+struct CampaignSpec {
+  std::vector<std::string> tests;
+  std::vector<std::uint64_t> seeds;
+  double alignment_threshold = 0.99;
+};
+
+Report lint_campaign(const CampaignSpec& spec,
+                     const std::string& origin = "<plan>");
+
+// --- Source determinism rules (source_rules.cpp) --------------------------
+
+// Token-level scan of one C++ source text: comments, string/char literals
+// (including raw strings) are stripped before matching, and `// crve-lint:
+// allow(CRVE0xx[, ...])` comments suppress findings on their own line (or,
+// for comment-only lines, the next line). `path` selects the per-file
+// exemptions (main.cpp, common/rng.h, deterministic-output modules).
+Report lint_source_text(const std::string& text, const std::string& path);
+Report lint_source_file(const std::string& path);
+
+// Recursively lints every .h/.hpp/.cpp/.cc/.cxx under `dir`, skipping
+// hidden directories and build trees; paths are visited in sorted order.
+Report lint_source_tree(const std::string& dir);
+
+// --- Renderers (render.cpp) -----------------------------------------------
+
+// One line per finding plus a summary line.
+std::string render_text(const Report& report);
+
+// {"build": ..., "summary": ..., "findings": [...]}
+std::string render_json(const Report& report);
+
+// SARIF 2.1.0 with the full rule catalogue as tool.driver.rules, suitable
+// for GitHub code scanning upload.
+std::string render_sarif(const Report& report);
+
+// The catalogue as "CRVE0xx  severity  summary" lines (crve_lint --rules).
+std::string render_rules();
+
+}  // namespace crve::lint

@@ -1,0 +1,133 @@
+// crve_lint — static config/campaign linter and determinism scanner.
+//
+//   crve_lint PATH... [--format text|json|sarif] [--out FILE] [--werror]
+//   crve_lint --rules
+//
+// Each PATH is classified by what it holds:
+//   *.cfg file                  -> config rules (CRVE001..021)
+//   directory with *.cfg files  -> config + cross-file rules (CRVE030..031)
+//   .h/.hpp/.cpp/.cc/.cxx file  -> source determinism rules (CRVE050..053)
+//   any other directory         -> recursive source scan
+//
+// Exit status: 0 = clean or notes only, 1 = warnings, 2 = errors (or
+// warnings under --werror), matching Report::exit_code. Usage errors also
+// exit 2. The full catalogue is in DESIGN.md §12.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crve_lint PATH... [--format text|json|sarif]\n"
+               "                 [--out FILE] [--werror]\n"
+               "       crve_lint --rules\n");
+  return 2;
+}
+
+bool has_ext(const std::filesystem::path& p,
+             std::initializer_list<const char*> exts) {
+  const std::string e = p.extension().string();
+  for (const char* x : exts) {
+    if (e == x) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string out_path;
+  bool werror = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--format") {
+      const char* v = next();
+      if (!v) return usage();
+      format = v;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return usage();
+      }
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_path = v;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--rules") {
+      std::printf("%s", crve::lint::render_rules().c_str());
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  namespace fs = std::filesystem;
+  crve::lint::Report report;
+  for (const auto& p : paths) {
+    const fs::path path(p);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      bool has_cfg = false;
+      for (const auto& e : fs::directory_iterator(path, ec)) {
+        if (e.is_regular_file() && e.path().extension() == ".cfg") {
+          has_cfg = true;
+          break;
+        }
+      }
+      report.merge(has_cfg ? crve::lint::lint_config_dir(p)
+                           : crve::lint::lint_source_tree(p));
+    } else if (fs::is_regular_file(path, ec)) {
+      if (has_ext(path, {".cfg"})) {
+        report.merge(crve::lint::lint_config_file(p));
+      } else if (has_ext(path, {".h", ".hpp", ".cpp", ".cc", ".cxx"})) {
+        report.merge(crve::lint::lint_source_file(p));
+      } else {
+        std::fprintf(stderr, "skipping %s: not a .cfg or C++ source\n",
+                     p.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "error: cannot stat %s\n", p.c_str());
+      return 2;
+    }
+  }
+  report.sort();
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = crve::lint::render_json(report);
+  } else if (format == "sarif") {
+    rendered = crve::lint::render_sarif(report);
+  } else {
+    rendered = crve::lint::render_text(report);
+  }
+  if (out_path.empty()) {
+    std::printf("%s", rendered.c_str());
+  } else {
+    std::ofstream os(out_path);
+    os << rendered;
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    // Keep the human summary on stdout even when the report goes to a file.
+    std::printf("%s", crve::lint::render_text(report).c_str());
+  }
+  return report.exit_code(werror);
+}

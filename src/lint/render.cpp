@@ -1,0 +1,137 @@
+// Text / JSON / SARIF 2.1.0 renderers for lint reports.
+//
+// The SARIF output targets GitHub code scanning: one run, the full rule
+// catalogue as tool.driver.rules (so suppressed-at-zero rules still show in
+// the UI), results carrying ruleId/ruleIndex/level and a physical location.
+// Severity mapping follows the SARIF level vocabulary: note/warning/error.
+#include <string>
+
+#include "common/build_info.h"
+#include "common/json.h"
+#include "lint/lint.h"
+
+namespace crve::lint {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarn:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string render_text(const Report& report) {
+  std::string out;
+  for (const auto& f : report.findings) {
+    out += f.text();
+    out += '\n';
+  }
+  out += "lint: " + std::to_string(report.errors()) + " error(s), " +
+         std::to_string(report.warnings()) + " warning(s), " +
+         std::to_string(report.count(Severity::kNote)) + " note(s)\n";
+  return out;
+}
+
+std::string render_json(const Report& report) {
+  std::string out = "{\n";
+  out += "  \"build\": " + build_info_json("  ") + ",\n";
+  out += "  \"summary\": {\n";
+  out += "    \"errors\": " + std::to_string(report.errors()) + ",\n";
+  out += "    \"warnings\": " + std::to_string(report.warnings()) + ",\n";
+  out += "    \"notes\": " + std::to_string(report.count(Severity::kNote)) +
+         "\n  },\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const auto& f = report.findings[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"rule\": \"" + json::escape(f.rule_id) + "\", ";
+    out += "\"severity\": \"" + to_string(f.severity) + "\", ";
+    out += "\"file\": \"" + json::escape(f.file) + "\", ";
+    out += "\"line\": " + std::to_string(f.line) + ", ";
+    out += "\"message\": \"" + json::escape(f.message) + "\"}";
+  }
+  out += report.findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"exit_code\": " + std::to_string(report.exit_code()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render_sarif(const Report& report) {
+  const auto& rules = rule_catalogue();
+  std::string out = "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"crve_lint\",\n";
+  out += "          \"version\": \"1.0.0\",\n";
+  out += "          \"informationUri\": "
+         "\"https://example.invalid/crve/DESIGN.md\",\n";
+  out += "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += i ? ",\n            {" : "\n            {";
+    out += "\"id\": \"" + std::string(rules[i].id) + "\", ";
+    out += "\"shortDescription\": {\"text\": \"" +
+           json::escape(rules[i].summary) + "\"}, ";
+    out += "\"defaultConfiguration\": {\"level\": \"" +
+           std::string(sarif_level(rules[i].severity)) + "\"}}";
+  }
+  out += "\n          ]\n        }\n      },\n";
+  out += "      \"results\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const auto& f = report.findings[i];
+    int rule_index = -1;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (f.rule_id == rules[r].id) {
+        rule_index = static_cast<int>(r);
+        break;
+      }
+    }
+    out += i ? ",\n        {" : "\n        {";
+    out += "\"ruleId\": \"" + json::escape(f.rule_id) + "\", ";
+    out += "\"ruleIndex\": " + std::to_string(rule_index) + ", ";
+    out += "\"level\": \"" + std::string(sarif_level(f.severity)) + "\", ";
+    out += "\"message\": {\"text\": \"" + json::escape(f.message) + "\"}";
+    // Pseudo-origins like "<plan>" carry no artifact; GitHub accepts
+    // results without locations.
+    if (!f.file.empty() && f.file.front() != '<') {
+      std::string uri = f.file;
+      if (uri.rfind("./", 0) == 0) uri = uri.substr(2);
+      out += ", \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \"" +
+             json::escape(uri) + "\"}";
+      if (f.line > 0) {
+        out += ", \"region\": {\"startLine\": " + std::to_string(f.line) +
+               "}";
+      }
+      out += "}}]";
+    }
+    out += "}";
+  }
+  out += report.findings.empty() ? "]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
+  return out;
+}
+
+std::string render_rules() {
+  std::string out;
+  for (const auto& r : rule_catalogue()) {
+    std::string sev = to_string(r.severity);
+    sev.resize(8, ' ');
+    out += std::string(r.id) + "  " + sev + " " + r.summary + "\n";
+  }
+  return out;
+}
+
+}  // namespace crve::lint

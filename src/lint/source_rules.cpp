@@ -1,0 +1,395 @@
+// Source determinism rule family (CRVE050..CRVE053).
+//
+// A token-level scanner, not a parser: each file is split into lines with
+// comments and string/char literals blanked out (block comments and raw
+// strings tracked across lines), then the per-line code text is searched
+// for identifier-boundary matches of the forbidden tokens. That is exactly
+// the right weight for these rules — every invariant is about a token being
+// present at all, not about control flow — and it keeps the scanner fast
+// enough to run on every campaign start.
+//
+// Suppressions: a comment containing `crve-lint: allow(CRVE0xx[, ...])`
+// suppresses those rules on its own line; when the line holds only the
+// comment, it covers the next line instead. A suppression that matches no
+// finding is itself reported (CRVE053) so stale ones cannot accumulate.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint/lint.h"
+
+namespace crve::lint {
+
+namespace {
+
+struct ScannedLine {
+  std::string code;     // literals/comments replaced by spaces
+  std::string comment;  // concatenated comment text on this line
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Splits `text` into lines of (code, comment), blanking string and char
+// literals (escapes honoured), // and /* */ comments, and raw string
+// literals R"delim(...)delim".
+std::vector<ScannedLine> scan_lines(const std::string& text) {
+  std::vector<ScannedLine> lines;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string code, comment, raw_delim;
+  auto flush = [&]() {
+    lines.push_back({code, comment});
+    code.clear();
+    comment.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      flush();
+      // Strings and char literals do not span lines; recover rather than
+      // swallow the rest of the file on unterminated input.
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string when the quote is preceded by an R
+          // that starts the (possibly u8/L/U-prefixed) literal.
+          const bool raw = i >= 1 && text[i - 1] == 'R' &&
+                           (i < 2 || !ident_char(text[i - 2]) ||
+                            text[i - 2] == '8' || text[i - 2] == 'u' ||
+                            text[i - 2] == 'U' || text[i - 2] == 'L');
+          if (raw) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') {
+              raw_delim += text[j++];
+            }
+            i = j;  // consume up to and including '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          code += ' ';
+        } else if (c == '\'') {
+          // A quote between digits is a C++14 digit separator, not a char
+          // literal (e.g. 1'000'000).
+          const bool separator =
+              i >= 1 &&
+              std::isalnum(static_cast<unsigned char>(text[i - 1])) != 0 &&
+              std::isalnum(static_cast<unsigned char>(next)) != 0;
+          if (!separator) state = State::kChar;
+          code += ' ';
+        } else {
+          code += c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (c == ')' && text.compare(i, close.size(), close) == 0) {
+          i += close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (!code.empty() || !comment.empty()) flush();
+  return lines;
+}
+
+// Identifier-boundary search for `word` in blanked code text.
+bool has_word(const std::string& code, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// `word` used as a call: word followed (spaces allowed) by '('.
+bool has_call(const std::string& code, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    std::size_t end = pos + word.size();
+    while (end < code.size() && (code[end] == ' ' || code[end] == '\t')) {
+      ++end;
+    }
+    if (left_ok && end < code.size() && code[end] == '(') return true;
+    pos += word.size();
+  }
+  return false;
+}
+
+std::string normalize(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Modules whose output must be byte-identical across runs and worker
+// counts: the report/baseline/html/metrics writers and everything they sit
+// on (regress, obs, stba, vcd). An unordered container there is one
+// refactor away from iteration order reaching an artifact.
+bool is_output_module(const std::string& path) {
+  const std::string p = normalize(path);
+  if (p.find("/regress/") != std::string::npos) return true;
+  if (p.find("/obs/") != std::string::npos) return true;
+  if (p.find("/stba/") != std::string::npos) return true;
+  if (p.find("/vcd/") != std::string::npos) return true;
+  const std::string base = basename_of(p);
+  const auto dot = base.find_last_of('.');
+  const std::string stem = dot == std::string::npos ? base : base.substr(0, dot);
+  return stem == "report" || stem == "baseline" || stem == "html_report" ||
+         stem == "metrics";
+}
+
+// Per-line suppression sets parsed from `crve-lint: allow(...)` comments.
+struct Suppression {
+  std::set<std::string> rules;
+  int declared_line = 0;  // where the comment sits (for CRVE053)
+  bool used = false;
+};
+
+void parse_suppressions(const std::string& comment, int line,
+                        std::vector<Suppression>& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("crve-lint:", pos)) != std::string::npos) {
+    pos += 10;
+    const auto open = comment.find("allow(", pos);
+    if (open == std::string::npos) return;
+    const auto close = comment.find(')', open);
+    if (close == std::string::npos) return;
+    Suppression sup;
+    sup.declared_line = line;
+    std::istringstream list(comment.substr(open + 6, close - open - 6));
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      const auto b = id.find_first_not_of(" \t");
+      const auto e = id.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      const std::string trimmed = id.substr(b, e - b + 1);
+      // Only catalogue ids count: prose like allow(CRVE0xx) in this very
+      // comment must not register as a (then unused) suppression.
+      if (find_rule(trimmed) != nullptr) sup.rules.insert(trimmed);
+    }
+    if (!sup.rules.empty()) out.push_back(std::move(sup));
+    pos = close;
+  }
+}
+
+}  // namespace
+
+Report lint_source_text(const std::string& text, const std::string& path) {
+  const std::string p = normalize(path);
+  const bool rng_exempt = ends_with(p, "common/rng.h") ||
+                          basename_of(p) == "rng.h";
+  const bool main_exempt = basename_of(p) == "main.cpp";
+  const bool output_module = is_output_module(p);
+
+  const auto lines = scan_lines(text);
+
+  // suppressions[i] covers line i+1 (1-based): its own line, plus the next
+  // line when the declaring line held only the comment.
+  std::vector<std::vector<Suppression*>> covers(lines.size() + 2);
+  std::vector<Suppression> sups;
+  sups.reserve(8);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::vector<Suppression> here;
+    parse_suppressions(lines[i].comment, static_cast<int>(i) + 1, here);
+    for (auto& sup : here) sups.push_back(std::move(sup));
+  }
+  // Second pass to wire covers (sups vector is stable now).
+  {
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      while (next < sups.size() &&
+             sups[next].declared_line == static_cast<int>(i) + 1) {
+        Suppression* sup = &sups[next++];
+        covers[i + 1].push_back(sup);
+        const bool comment_only =
+            lines[i].code.find_first_not_of(" \t") == std::string::npos;
+        if (comment_only && i + 2 < covers.size()) {
+          covers[i + 2].push_back(sup);
+        }
+      }
+    }
+  }
+
+  Report out;
+  auto add = [&](const char* rule, int line, const std::string& message) {
+    for (Suppression* sup : covers[static_cast<std::size_t>(line)]) {
+      if (sup->rules.count(rule)) {
+        sup->used = true;
+        return;
+      }
+    }
+    out.add(rule, path, line, message);
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    const int line = static_cast<int>(i) + 1;
+    if (output_module) {
+      for (const char* container : {"unordered_map", "unordered_set"}) {
+        if (has_word(code, container)) {
+          add("CRVE050", line,
+              std::string(container) +
+                  " in a deterministic-output module: iteration order is "
+                  "unspecified and one loop away from a report; use an "
+                  "ordered container or sort before emitting");
+        }
+      }
+    }
+    if (!rng_exempt) {
+      for (const char* fn : {"rand", "srand"}) {
+        if (has_call(code, fn)) {
+          add("CRVE051", line,
+              std::string(fn) +
+                  "() is not seed-reproducible across views; use crve::Rng "
+                  "(common/rng.h)");
+        }
+      }
+      if (has_word(code, "random_device")) {
+        add("CRVE051", line,
+            "std::random_device is non-deterministic by design; use "
+            "crve::Rng (common/rng.h)");
+      }
+      if (code.find("time(nullptr)") != std::string::npos ||
+          code.find("time(NULL)") != std::string::npos ||
+          code.find("time( nullptr )") != std::string::npos) {
+        add("CRVE051", line,
+            "wall-clock time as an input makes runs unreproducible; derive "
+            "values from the campaign seed instead");
+      }
+    }
+    if (!main_exempt) {
+      for (const char* stream : {"std::cout", "std::cerr"}) {
+        if (code.find(stream) != std::string::npos) {
+          add("CRVE052", line,
+              std::string(stream) +
+                  " outside a main.cpp bypasses the mutex-serialised log "
+                  "sink and interleaves under --jobs; use CRVE_LOG or "
+                  "return data to the caller");
+        }
+      }
+    }
+  }
+
+  for (const auto& sup : sups) {
+    if (!sup.used) {
+      std::string ids;
+      for (const auto& r : sup.rules) ids += (ids.empty() ? "" : ", ") + r;
+      out.add("CRVE053", path, sup.declared_line,
+              "suppression allow(" + ids +
+                  ") matches no finding; remove it or fix the rule id");
+    }
+  }
+  out.sort();
+  return out;
+}
+
+Report lint_source_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    Report out;
+    out.add("CRVE001", path, 0, "cannot open file");
+    return out;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return lint_source_text(buf.str(), path);
+}
+
+Report lint_source_tree(const std::string& dir) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".h", ".hpp", ".cpp", ".cc",
+                                              ".cxx"};
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const auto& entry = *it;
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() &&
+        (name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (entry.is_regular_file() &&
+        kExts.count(entry.path().extension().string())) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Report out;
+  for (const auto& f : files) out.merge(lint_source_file(f));
+  out.sort();
+  return out;
+}
+
+}  // namespace crve::lint

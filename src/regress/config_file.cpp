@@ -22,6 +22,22 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+// Whole-value integer; rejects trailing junk ("4x") so a typo can't
+// silently truncate. The message names the key and the offending value.
+int parse_int(const std::string& v, const std::string& key) {
+  std::size_t pos = 0;
+  int out = 0;
+  try {
+    out = std::stoi(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != v.size()) {
+    throw std::invalid_argument(key + ": bad integer '" + v + "'");
+  }
+  return out;
+}
+
 std::vector<int> parse_int_list(const std::string& v, const std::string& key) {
   std::vector<int> out;
   std::istringstream is(v);
@@ -29,12 +45,7 @@ std::vector<int> parse_int_list(const std::string& v, const std::string& key) {
   while (std::getline(is, item, ',')) {
     item = trim(item);
     if (item.empty()) continue;
-    try {
-      out.push_back(std::stoi(item));
-    } catch (const std::exception&) {
-      throw std::invalid_argument("config: bad integer in " + key + ": " +
-                                  item);
-    }
+    out.push_back(parse_int(item, key));
   }
   return out;
 }
@@ -43,7 +54,8 @@ Architecture parse_arch(const std::string& v) {
   if (v == "shared") return Architecture::kSharedBus;
   if (v == "full") return Architecture::kFullCrossbar;
   if (v == "partial") return Architecture::kPartialCrossbar;
-  throw std::invalid_argument("config: unknown arch '" + v + "'");
+  throw std::invalid_argument("arch: unknown value '" + v +
+                              "' (accepted: shared, full, partial)");
 }
 
 ArbPolicy parse_arb(const std::string& v) {
@@ -53,7 +65,9 @@ ArbPolicy parse_arb(const std::string& v) {
   if (v == "latency") return ArbPolicy::kLatencyBased;
   if (v == "bandwidth") return ArbPolicy::kBandwidthLimited;
   if (v == "prog") return ArbPolicy::kProgrammable;
-  throw std::invalid_argument("config: unknown arb '" + v + "'");
+  throw std::invalid_argument(
+      "arb: unknown value '" + v +
+      "' (accepted: fixed, rr, lru, latency, bandwidth, prog)");
 }
 
 }  // namespace
@@ -64,8 +78,11 @@ NodeConfig parse_config(std::istream& is, const std::string& origin) {
   int lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
+    // Both comment styles, whole-line or trailing (see config_file.h).
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
+    const auto slashes = line.find("//");
+    if (slashes != std::string::npos) line.erase(slashes);
     line = trim(line);
     if (line.empty()) continue;
     const auto eq = line.find('=');
@@ -79,23 +96,23 @@ NodeConfig parse_config(std::istream& is, const std::string& origin) {
       if (key == "name") {
         cfg.name = val;
       } else if (key == "n_initiators") {
-        cfg.n_initiators = std::stoi(val);
+        cfg.n_initiators = parse_int(val, key);
       } else if (key == "n_targets") {
-        cfg.n_targets = std::stoi(val);
+        cfg.n_targets = parse_int(val, key);
       } else if (key == "bus_bytes") {
-        cfg.bus_bytes = std::stoi(val);
+        cfg.bus_bytes = parse_int(val, key);
       } else if (key == "type") {
-        const int t = std::stoi(val);
-        if (t != 2 && t != 3) {
-          throw std::invalid_argument("type must be 2 or 3");
+        if (val != "2" && val != "3") {
+          throw std::invalid_argument("type: bad value '" + val +
+                                      "' (accepted: 2, 3)");
         }
-        cfg.type = t == 2 ? ProtocolType::kType2 : ProtocolType::kType3;
+        cfg.type = val == "2" ? ProtocolType::kType2 : ProtocolType::kType3;
       } else if (key == "arch") {
         cfg.arch = parse_arch(val);
       } else if (key == "arb") {
         cfg.arb = parse_arb(val);
       } else if (key == "programming_port") {
-        cfg.programming_port = std::stoi(val) != 0;
+        cfg.programming_port = parse_int(val, key) != 0;
       } else if (key == "priorities") {
         cfg.priorities = parse_int_list(val, key);
       } else if (key == "latency_deadline") {
@@ -103,7 +120,7 @@ NodeConfig parse_config(std::istream& is, const std::string& origin) {
       } else if (key == "bandwidth_quota") {
         cfg.bandwidth_quota = parse_int_list(val, key);
       } else if (key == "bandwidth_window") {
-        cfg.bandwidth_window = std::stoi(val);
+        cfg.bandwidth_window = parse_int(val, key);
       } else if (key == "xbar_group") {
         cfg.xbar_group = parse_int_list(val, key);
       } else {

@@ -20,7 +20,14 @@
 //   bandwidth_window= 64
 //   xbar_group      = 0,0,1    # per target (partial crossbar)
 //
-// Lines starting with '#' and blank lines are ignored.
+// Comments: everything from a '#' or a "//" to the end of the line is
+// stripped, whether the comment is the whole line or trails a key=value
+// pair; blank lines are ignored. Parse errors name the offending key and,
+// for enum-like fields (arch, arb, type), the accepted values.
+//
+// `crve_lint` checks the same grammar plus the semantic rules the parser
+// cannot express file-locally (DESIGN.md §12); `crve_regress` runs it over
+// the config directory before planning unless --no-lint is given.
 #pragma once
 
 #include <istream>

@@ -23,6 +23,8 @@
 //   --no-triage        skip triage artifacts for below-threshold pairs
 //   --triage-window N  excerpt half-width in cycles around the first
 //                      divergence (default: 50)
+//   --no-lint          skip the pre-flight crve_lint pass over the config
+//                      directory and the campaign plan (DESIGN.md §12)
 //
 // Baseline drift gating (DESIGN.md §11):
 //   --baseline FILE    compare this batch's report against a stored
@@ -45,7 +47,8 @@
 //
 // Exit status: 0 when every configuration signs off (and, with --baseline,
 // no drift regression exceeds its threshold); 1 on campaign failure;
-// 2 on usage errors; 3 when the campaign passed but the drift gate failed.
+// 2 on usage errors or error-severity lint findings; 3 when the campaign
+// passed but the drift gate failed.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -58,6 +61,7 @@
 #include "common/build_info.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "regress/baseline.h"
@@ -76,6 +80,7 @@ int usage() {
                "                    [--fault NAME] [--no-alignment]\n"
                "                    [--jobs N] [--json FILE]\n"
                "                    [--no-triage] [--triage-window N]\n"
+               "                    [--no-lint]\n"
                "                    [--baseline FILE] [--diff FILE]\n"
                "                    [--gate-rate-drop X] "
                "[--gate-coverage-drop X]\n"
@@ -167,6 +172,7 @@ int main(int argc, char** argv) {
   bca::Faults faults;
   bool alignment = true;
   bool triage = true;
+  bool lint = true;
   std::uint64_t triage_window = 50;
   unsigned jobs = 0;  // 0 = one worker per hardware thread
 
@@ -223,6 +229,8 @@ int main(int argc, char** argv) {
       json_path = v;
     } else if (arg == "--no-triage") {
       triage = false;
+    } else if (arg == "--no-lint") {
+      lint = false;
     } else if (arg == "--triage-window") {
       const char* v = next();
       if (!v) return usage();
@@ -271,6 +279,24 @@ int main(int argc, char** argv) {
   }
   if (config_dir.empty()) return usage();
 
+  // Pre-flight lint: catch semantically broken configurations before any
+  // testbench is built — a bad deadline list should fail in milliseconds,
+  // not surface hours into a campaign. Errors stop the run; warnings and
+  // notes are printed and the campaign proceeds.
+  if (lint) {
+    const auto lrep = crve::lint::lint_config_dir(config_dir);
+    if (!lrep.findings.empty()) {
+      std::fprintf(stderr, "%s", crve::lint::render_text(lrep).c_str());
+    }
+    if (lrep.exit_code() >= 2) {
+      std::fprintf(stderr,
+                   "lint: refusing to run a campaign over broken configs in "
+                   "%s (--no-lint to bypass)\n",
+                   config_dir.c_str());
+      return 2;
+    }
+  }
+
   std::vector<stbus::NodeConfig> configs;
   try {
     configs = regress::configs_from_dir(config_dir);
@@ -316,6 +342,25 @@ int main(int argc, char** argv) {
   if (!diff_path.empty() && baseline_path.empty()) {
     std::fprintf(stderr, "--diff requires --baseline\n");
     return usage();
+  }
+
+  // Campaign-plan sanity: duplicate (test, seed) rows and out-of-range
+  // thresholds are user input the config files cannot vouch for.
+  if (lint) {
+    crve::lint::CampaignSpec spec;
+    for (const auto& t : base.tests) spec.tests.push_back(t.name);
+    spec.seeds = base.seeds;
+    spec.alignment_threshold = base.alignment_threshold;
+    const auto lrep = crve::lint::lint_campaign(spec);
+    if (!lrep.findings.empty()) {
+      std::fprintf(stderr, "%s", crve::lint::render_text(lrep).c_str());
+    }
+    if (lrep.exit_code() >= 2) {
+      std::fprintf(stderr,
+                   "lint: refusing to run a broken campaign plan "
+                   "(--no-lint to bypass)\n");
+      return 2;
+    }
   }
 
   for (const auto& cfg : configs) {

@@ -78,6 +78,84 @@ TEST(ConfigFile, RejectsBadEnumValues) {
   }
 }
 
+// Enum-like fields name the key, the offending value, and the accepted set.
+TEST(ConfigFile, EnumErrorsListAcceptedValues) {
+  auto message_of = [](const char* text) -> std::string {
+    std::istringstream is(text);
+    try {
+      parse_config(is, "t");
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::string arch = message_of("arch = diagonal\n");
+  EXPECT_NE(arch.find("arch"), std::string::npos);
+  EXPECT_NE(arch.find("'diagonal'"), std::string::npos);
+  EXPECT_NE(arch.find("shared, full, partial"), std::string::npos);
+
+  const std::string arb = message_of("arb = coinflip\n");
+  EXPECT_NE(arb.find("'coinflip'"), std::string::npos);
+  EXPECT_NE(arb.find("fixed, rr, lru, latency, bandwidth, prog"),
+            std::string::npos);
+
+  const std::string type = message_of("type = 7\n");
+  EXPECT_NE(type.find("type"), std::string::npos);
+  EXPECT_NE(type.find("accepted: 2, 3"), std::string::npos);
+
+  const std::string integer = message_of("n_initiators = soon\n");
+  EXPECT_NE(integer.find("n_initiators"), std::string::npos);
+  EXPECT_NE(integer.find("'soon'"), std::string::npos);
+}
+
+TEST(ConfigFile, RejectsTrailingJunkOnIntegers) {
+  std::istringstream is("n_targets = 4x\n");
+  EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+}
+
+// Both comment styles, whole-line and trailing (config_file.h documents
+// this; the linter's scanner applies the same grammar).
+TEST(ConfigFile, AcceptsHashAndSlashComments) {
+  std::istringstream is(
+      "# whole-line hash\n"
+      "// whole-line slashes\n"
+      "name = c   // trailing slashes\n"
+      "n_initiators = 3 # trailing hash\n"
+      "n_targets = 2\n");
+  const auto cfg = parse_config(is, "t");
+  EXPECT_EQ(cfg.name, "c");
+  EXPECT_EQ(cfg.n_initiators, 3);
+}
+
+// Edge cases the linter formalizes as CRVE0xx rules: the parser must agree
+// with the lint verdict (see test_lint.cpp LintConfig.VerdictsAgreeWithParser).
+TEST(ConfigFile, RejectsZeroPorts) {
+  std::istringstream is("n_initiators = 0\n");
+  EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+  std::istringstream is2("n_targets = 0\n");
+  EXPECT_THROW(parse_config(is2, "t"), std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsNonPowerOfTwoWidth) {
+  std::istringstream is("bus_bytes = 6\n");
+  EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+  std::istringstream is2("bus_bytes = 64\n");  // > 32 bytes (256 bits)
+  EXPECT_THROW(parse_config(is2, "t"), std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsOutOfRangeXbarGroup) {
+  std::istringstream is(
+      "n_targets = 2\narch = partial\nxbar_group = 0,5\n");
+  EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsListLengthMismatch) {
+  std::istringstream is("n_initiators = 2\npriorities = 1,2,3\n");
+  EXPECT_THROW(parse_config(is, "t"), std::invalid_argument);
+  std::istringstream is2("n_initiators = 2\nlatency_deadline = 4\n");
+  EXPECT_THROW(parse_config(is2, "t"), std::invalid_argument);
+}
+
 TEST(ConfigFile, ErrorMessagesCarryLineNumbers) {
   std::istringstream is("name = x\nbogus = 1\n");
   try {
