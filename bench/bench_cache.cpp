@@ -1,0 +1,122 @@
+// Content-addressed campaign cache: cold (simulate + store) vs warm
+// (replay every pair) wall time on a sign-off matrix.
+//
+// The cache keys every (config content, test, seed, views, build) pair job
+// by the SHA-256 of its canonical JobSpec, so an unchanged matrix re-run
+// replays from disk instead of simulating. The acceptance bar is a >= 10x
+// warm/cold ratio on this matrix: a warm run is a cache probe plus a JSON
+// decode per pair, no testbench is ever built. Both paths go through the
+// exact same Regression::run_matrix planner/reduce, so the ratio measures
+// the cache, not two different engines — and the warm report stays
+// byte-identical to the cold one modulo the `cached` provenance fields
+// (asserted by the CampaignCache tests; here we only time it).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "regress/runner.h"
+#include "verif/tests.h"
+
+namespace {
+
+using namespace crve;
+namespace fs = std::filesystem;
+
+std::vector<stbus::NodeConfig> matrix_configs() {
+  std::vector<stbus::NodeConfig> out;
+  int idx = 0;
+  for (auto arch : {stbus::Architecture::kSharedBus,
+                    stbus::Architecture::kFullCrossbar}) {
+    for (auto arb : {stbus::ArbPolicy::kFixedPriority, stbus::ArbPolicy::kLru,
+                     stbus::ArbPolicy::kLatencyBased}) {
+      stbus::NodeConfig cfg;
+      cfg.name = "cfg" + std::to_string(idx++);
+      cfg.n_initiators = 3;
+      cfg.n_targets = 2;
+      cfg.bus_bytes = 4;
+      cfg.arch = arch;
+      cfg.arb = arb;
+      out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+regress::RunPlan base_plan(const std::string& cache_dir) {
+  regress::RunPlan plan;
+  plan.tests = {verif::t02_random_all_opcodes(), verif::t05_chunked_traffic(),
+                verif::t07_target_contention()};
+  plan.seeds = {11, 12};
+  plan.n_transactions = 30;
+  plan.max_cycles = 120000;
+  plan.jobs = 1;  // serial on both paths: the ratio isolates the cache
+  plan.cache_dir = cache_dir;
+  return plan;
+}
+
+// Fresh cache directory each iteration: every pair misses, simulates and is
+// stored. This is the ordinary campaign plus the store overhead.
+void BM_CacheCold(benchmark::State& state) {
+  const auto configs = matrix_configs();
+  const fs::path root =
+      fs::temp_directory_path() / "crve_bench_cache_cold";
+  std::size_t iter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const fs::path dir = root / std::to_string(iter++);
+    fs::remove_all(dir);
+    state.ResumeTiming();
+    const auto res =
+        regress::Regression::run_matrix(configs, base_plan(dir.string()));
+    benchmark::DoNotOptimize(res.all_signed_off);
+    if (!res.all_signed_off) state.SkipWithError("matrix not signed off");
+  }
+  fs::remove_all(root);
+  state.SetLabel(std::to_string(configs.size()) +
+                 " configs x 3 tests x 2 seeds, every pair simulated+stored");
+}
+
+// One pre-populated cache, probed every iteration: every pair replays.
+void BM_CacheWarm(benchmark::State& state) {
+  const auto configs = matrix_configs();
+  const fs::path dir =
+      fs::temp_directory_path() / "crve_bench_cache_warm";
+  fs::remove_all(dir);
+  {  // populate once, outside the timed loop
+    const auto cold =
+        regress::Regression::run_matrix(configs, base_plan(dir.string()));
+    if (!cold.all_signed_off) {
+      state.SkipWithError("populate run not signed off");
+      return;
+    }
+  }
+  std::size_t replayed = 0;
+  for (auto _ : state) {
+    const auto res =
+        regress::Regression::run_matrix(configs, base_plan(dir.string()));
+    benchmark::DoNotOptimize(res.all_signed_off);
+    replayed = 0;
+    for (const auto& r : res.results) replayed += r.cached_pairs;
+    if (!res.all_signed_off) state.SkipWithError("matrix not signed off");
+  }
+  fs::remove_all(dir);
+  state.SetLabel(std::to_string(configs.size()) +
+                 " configs x 3 tests x 2 seeds, " + std::to_string(replayed) +
+                 " pairs replayed");
+}
+
+BENCHMARK(BM_CacheCold)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_CacheWarm)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

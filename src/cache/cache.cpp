@@ -1,0 +1,411 @@
+#include "cache/cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace crve::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void count(const char* name) {
+  if (obs::metrics_enabled()) obs::counter(name).inc();
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (!is.good() && !is.eof()) return std::nullopt;
+  return buf.str();
+}
+
+bool write_file(const fs::path& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  os << content;
+  os.flush();
+  return os.good();
+}
+
+}  // namespace
+
+std::string CacheStats::json(std::uint64_t entries, std::uint64_t bytes) const {
+  std::ostringstream os;
+  os << "{\"hits\": " << hits << ", \"misses\": " << misses
+     << ", \"stores\": " << stores << ", \"evictions\": " << evictions
+     << ", \"quarantined\": " << quarantined << ", \"entries\": " << entries
+     << ", \"bytes\": " << bytes << "}";
+  return os.str();
+}
+
+Cache::Cache(CacheOptions opts) : opts_(std::move(opts)) {
+  if (opts_.dir.empty()) {
+    throw std::runtime_error("cache: empty cache directory");
+  }
+  fs::create_directories(fs::path(opts_.dir) / "objects");
+  fs::create_directories(fs::path(opts_.dir) / "tmp");
+  fs::create_directories(fs::path(opts_.dir) / "quarantine");
+  std::lock_guard<std::mutex> lock(mu_);
+  load_index_locked();
+}
+
+bool Cache::valid_key(const std::string& key) {
+  if (key.size() != 64) return false;
+  for (const char c : key) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+std::string Cache::entry_dir(const std::string& key) const {
+  return (fs::path(opts_.dir) / "objects" / key.substr(0, 2) / key).string();
+}
+
+Cache::Entry* Cache::find_entry(const std::string& key) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+Cache::Entry* Cache::adopt_entry(const std::string& key) {
+  if (!valid_key(key)) return nullptr;
+  const fs::path dir = entry_dir(key);
+  std::error_code ec;
+  if (!fs::exists(dir / "payload.json", ec) ||
+      !fs::exists(dir / "manifest.json", ec)) {
+    return nullptr;
+  }
+  Entry e;
+  e.key = key;
+  e.bytes = dir_bytes(dir.string());
+  e.tick = 0;  // unknown provenance: oldest in LRU order
+  e.git_hash = opts_.git_hash;
+  e.sanitize = opts_.sanitize;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& en, const std::string& k) { return en.key < k; });
+  return &*entries_.insert(it, std::move(e));
+}
+
+bool Cache::contains(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (find_entry(key)) return true;
+  return adopt_entry(key) != nullptr;
+}
+
+std::optional<std::string> Cache::fetch(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = find_entry(key);
+  if (!e) e = adopt_entry(key);
+  if (!e) {
+    ++stats_.misses;
+    count("cache.misses");
+    return std::nullopt;
+  }
+  const fs::path dir = entry_dir(key);
+  const auto payload = read_file(dir / "payload.json");
+  bool intact = payload.has_value();
+  if (intact) {
+    // A truncated or half-written document must read as a miss, never
+    // reach the decoder: validate the JSON shell here.
+    try {
+      (void)json::parse(*payload);
+    } catch (const std::exception&) {
+      intact = false;
+    }
+  }
+  if (intact) intact = entry_intact(key);
+  if (!intact) {
+    quarantine_locked(key);
+    ++stats_.misses;
+    count("cache.misses");
+    return std::nullopt;
+  }
+  e = find_entry(key);
+  e->tick = next_tick_++;
+  ++stats_.hits;
+  count("cache.hits");
+  write_index_locked();
+  return payload;
+}
+
+// Manifest well-formedness: parseable, and every listed artifact present.
+bool Cache::entry_intact(const std::string& key) {
+  const fs::path dir = entry_dir(key);
+  const auto manifest = read_file(dir / "manifest.json");
+  if (!manifest) return false;
+  try {
+    const json::Value doc = json::parse(*manifest);
+    const json::Value* files = doc.find("files");
+    if (!files || !files->is_array()) return false;
+    for (const json::Value& f : files->items) {
+      const std::string name = f.string_or("name", "");
+      if (name.empty() || name.find('/') != std::string::npos ||
+          name.find("..") != std::string::npos) {
+        return false;
+      }
+      std::error_code ec;
+      if (!fs::exists(dir / "files" / name, ec)) return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Cache::materialize(const std::string& key,
+                                            const std::string& dst_dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!find_entry(key) && !adopt_entry(key)) return {};
+  const fs::path dir = entry_dir(key);
+  const auto manifest = read_file(dir / "manifest.json");
+  if (!manifest || !entry_intact(key)) {
+    quarantine_locked(key);
+    return {};
+  }
+  std::vector<std::string> names;
+  try {
+    const json::Value doc = json::parse(*manifest);
+    const json::Value* files = doc.find("files");
+    if (files && files->is_array()) {
+      if (!files->items.empty()) fs::create_directories(dst_dir);
+      for (const json::Value& f : files->items) {
+        const std::string name = f.string_or("name", "");
+        fs::copy_file(dir / "files" / name, fs::path(dst_dir) / name,
+                      fs::copy_options::overwrite_existing);
+        names.push_back(name);
+      }
+    }
+  } catch (const std::exception& e) {
+    log_warn() << "cache: materialize " << key.substr(0, 12)
+               << " failed: " << e.what();
+    quarantine_locked(key);
+    return {};
+  }
+  return names;
+}
+
+void Cache::store(
+    const std::string& key, const std::string& payload,
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  if (!valid_key(key)) {
+    throw std::runtime_error("cache: malformed key '" + key + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (find_entry(key) || adopt_entry(key)) return;  // first writer won
+
+  const fs::path tmp = fs::path(opts_.dir) / "tmp" /
+                       (key + "." + std::to_string(::getpid()) + "." +
+                        std::to_string(tmp_seq_++));
+  const fs::path dst = entry_dir(key);
+  try {
+    fs::create_directories(tmp / "files");
+    if (!write_file(tmp / "payload.json", payload)) {
+      throw std::runtime_error("cache: cannot write payload under " +
+                               opts_.dir);
+    }
+    std::ostringstream man;
+    man << "{\"version\": 1, \"files\": [";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      fs::copy_file(files[i].second, tmp / "files" / files[i].first,
+                    fs::copy_options::overwrite_existing);
+      man << (i == 0 ? "" : ", ") << "{\"name\": \""
+          << json::escape(files[i].first) << "\", \"bytes\": "
+          << fs::file_size(tmp / "files" / files[i].first) << "}";
+    }
+    man << "]}\n";
+    if (!write_file(tmp / "manifest.json", man.str())) {
+      throw std::runtime_error("cache: cannot write manifest under " +
+                               opts_.dir);
+    }
+    fs::create_directories(dst.parent_path());
+    fs::rename(tmp, dst);
+  } catch (const std::exception&) {
+    // Lost the publish race (another writer renamed first) or a real I/O
+    // failure; either way the tmp staging dir must not leak.
+    std::error_code ec;
+    fs::remove_all(tmp, ec);
+    if (fs::exists(fs::path(dst) / "payload.json", ec)) {
+      adopt_entry(key);
+      return;
+    }
+    throw;
+  }
+
+  Entry e;
+  e.key = key;
+  e.bytes = dir_bytes(dst.string());
+  e.tick = next_tick_++;
+  e.git_hash = opts_.git_hash;
+  e.sanitize = opts_.sanitize;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& en, const std::string& k) { return en.key < k; });
+  entries_.insert(it, std::move(e));
+  ++stats_.stores;
+  count("cache.stores");
+  evict_to_budget_locked(key);
+  write_index_locked();
+}
+
+void Cache::invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!find_entry(key) && !adopt_entry(key)) return;
+  quarantine_locked(key);
+}
+
+std::uint64_t Cache::entry_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t Cache::total_bytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.bytes;
+  return total;
+}
+
+void Cache::quarantine_locked(const std::string& key) {
+  const fs::path dir = entry_dir(key);
+  const fs::path qdir = fs::path(opts_.dir) / "quarantine";
+  std::error_code ec;
+  for (int n = 0; n < 1000; ++n) {
+    const fs::path slot = qdir / (key + "." + std::to_string(n));
+    if (fs::exists(slot, ec)) continue;
+    fs::rename(dir, slot, ec);
+    break;
+  }
+  if (fs::exists(dir, ec)) fs::remove_all(dir, ec);
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) entries_.erase(it);
+  ++stats_.quarantined;
+  count("cache.quarantined");
+  log_warn() << "cache: quarantined corrupted entry " << key.substr(0, 12)
+             << "... in " << opts_.dir;
+  write_index_locked();
+}
+
+void Cache::evict_to_budget_locked(const std::string& keep_key) {
+  if (opts_.max_bytes == 0) return;
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.bytes;
+  while (total > opts_.max_bytes) {
+    // Lowest tick = least recently used; never evict the entry that just
+    // triggered the sweep (a cache that evicts its own store is useless).
+    const Entry* victim = nullptr;
+    for (const Entry& e : entries_) {
+      if (e.key == keep_key) continue;
+      if (!victim || e.tick < victim->tick) victim = &e;
+    }
+    if (!victim) return;
+    total -= victim->bytes;
+    std::error_code ec;
+    fs::remove_all(entry_dir(victim->key), ec);
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), victim->key,
+        [](const Entry& e, const std::string& k) { return e.key < k; });
+    entries_.erase(it);
+    ++stats_.evictions;
+    count("cache.evictions");
+  }
+}
+
+void Cache::load_index_locked() {
+  entries_.clear();
+  const auto text = read_file(fs::path(opts_.dir) / "index.json");
+  if (text) {
+    try {
+      const json::Value doc = json::parse(*text);
+      next_tick_ = static_cast<std::uint64_t>(doc.number_or("next_tick", 1.0));
+      const json::Value* list = doc.find("entries");
+      if (list && list->is_array()) {
+        for (const json::Value& v : list->items) {
+          Entry e;
+          e.key = v.string_or("key", "");
+          e.bytes = static_cast<std::uint64_t>(v.number_or("bytes", 0.0));
+          e.tick = static_cast<std::uint64_t>(v.number_or("tick", 0.0));
+          e.git_hash = v.string_or("git_hash", "");
+          e.sanitize = v.bool_or("sanitize", false);
+          std::error_code ec;
+          if (valid_key(e.key) &&
+              fs::exists(fs::path(entry_dir(e.key)) / "payload.json", ec)) {
+            entries_.push_back(std::move(e));
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      // A torn index is recoverable: fall through to the directory scan.
+      log_warn() << "cache: unreadable index in " << opts_.dir
+                 << " (rebuilding): " << e.what();
+      entries_.clear();
+      next_tick_ = 1;
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+  // Reconcile: adopt entries a racing or crashed writer published without
+  // landing an index update. They enter at tick 0 (oldest), which only
+  // costs them LRU priority.
+  std::error_code ec;
+  for (const auto& shard :
+       fs::directory_iterator(fs::path(opts_.dir) / "objects", ec)) {
+    if (!shard.is_directory()) continue;
+    for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
+      const std::string key = entry.path().filename().string();
+      if (!find_entry(key)) adopt_entry(key);
+    }
+  }
+  for (const Entry& e : entries_) {
+    next_tick_ = std::max(next_tick_, e.tick + 1);
+  }
+}
+
+void Cache::write_index_locked() {
+  std::ostringstream os;
+  os << "{\n  \"version\": 1,\n  \"next_tick\": " << next_tick_
+     << ",\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"key\": \"" << e.key
+       << "\", \"bytes\": " << e.bytes << ", \"tick\": " << e.tick
+       << ", \"git_hash\": \"" << json::escape(e.git_hash)
+       << "\", \"sanitize\": " << (e.sanitize ? "true" : "false") << "}";
+  }
+  os << (entries_.empty() ? "]" : "\n  ]") << "\n}\n";
+  const fs::path tmp = fs::path(opts_.dir) / "tmp" /
+                       ("index." + std::to_string(::getpid()) + "." +
+                        std::to_string(tmp_seq_++));
+  if (!write_file(tmp, os.str())) return;  // advisory: losable, rebuildable
+  std::error_code ec;
+  fs::rename(tmp, fs::path(opts_.dir) / "index.json", ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+std::uint64_t Cache::dir_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& p : fs::recursive_directory_iterator(dir, ec)) {
+    if (p.is_regular_file(ec)) total += p.file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace crve::cache

@@ -1,0 +1,136 @@
+// Content-addressed result cache (DESIGN.md §13).
+//
+// A directory of immutable entries keyed by SHA-256 content hashes. The
+// regression planner keys every (config-content, test, seed, view,
+// build-provenance) pair job by the hash of its canonical JobSpec
+// (src/regress/job_spec.h) and stores the pair's deterministic result
+// payload plus a manifest of artifact files (triage/flight/VCD excerpts),
+// so an unchanged job replays from disk instead of re-simulating.
+//
+// Layout:
+//   <dir>/index.json                     entry list + logical LRU clock
+//   <dir>/objects/<k[0:2]>/<key>/payload.json
+//   <dir>/objects/<k[0:2]>/<key>/manifest.json
+//   <dir>/objects/<k[0:2]>/<key>/files/<name>
+//   <dir>/quarantine/<key>.<n>/          corrupted entries, moved aside
+//
+// Durability rules:
+//   * entries are written to a tmp directory and rename()d into place, so
+//     a concurrent reader never sees a partial entry and concurrent
+//     writers of the same key collapse to one winner;
+//   * the index is advisory: it is rewritten atomically (tmp + rename) and
+//     reconciled against the objects/ tree on open, so a crashed or racing
+//     writer can at worst lose LRU ordering, never entries;
+//   * a corrupted entry (unreadable payload, manifest naming a missing
+//     file) is quarantined on first touch — a warning and a miss, never a
+//     crash or a poisoned result.
+//
+// Eviction is LRU by a logical tick persisted in the index (no wall clock:
+// campaign runs must stay reproducible), triggered on store() when the
+// total entry size exceeds max_bytes. Hit/miss/store/evict/quarantine
+// counts land in local CacheStats and, when metrics collection is on, in
+// the obs::Registry as cache.* counters.
+//
+// Thread safety: all public methods are serialized by an internal mutex;
+// cross-process sharing of one cache directory is supported through the
+// rename-based protocol above.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crve::cache {
+
+struct CacheOptions {
+  std::string dir;
+  // Total payload+manifest+artifact bytes to keep; 0 = unbounded.
+  std::uint64_t max_bytes = 0;
+  // Provenance stamped on stored entries and surfaced in the index, so
+  // tooling (crve_lint CRVE060) can flag a cache whose entries were
+  // produced by a different build flavour than the one probing it.
+  std::string git_hash;
+  bool sanitize = false;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t quarantined = 0;
+
+  // {"hits": ..., "misses": ..., ...} — one flat object, no trailing
+  // newline, suitable for embedding or for a --cache-stats file.
+  std::string json(std::uint64_t entries, std::uint64_t bytes) const;
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheOptions opts);
+
+  // True for a well-formed key (64 lowercase hex chars).
+  static bool valid_key(const std::string& key);
+
+  // Entry presence without touching LRU order or the counters.
+  bool contains(const std::string& key);
+
+  // Payload text on hit (bumps the LRU tick); nullopt on miss. A corrupted
+  // entry is quarantined and reported as a miss.
+  std::optional<std::string> fetch(const std::string& key);
+
+  // Copies every manifest-listed artifact of `key` into `dst_dir`
+  // (created if needed) and returns the materialized names. Only files the
+  // manifest lists are produced — a cache hit must not resurrect stale
+  // artifacts beyond what the original job wrote. Empty on miss.
+  std::vector<std::string> materialize(const std::string& key,
+                                       const std::string& dst_dir);
+
+  // Stores payload + artifacts under `key`, atomically. `files` maps the
+  // manifest name of each artifact to its current on-disk path. Storing an
+  // existing key is a no-op (first writer wins — entries are content
+  // addressed, so both writers hold the same bytes).
+  void store(const std::string& key, const std::string& payload,
+             const std::vector<std::pair<std::string, std::string>>& files);
+
+  // Moves a decodable-but-wrong entry (schema drift, stale version) into
+  // quarantine so it stops matching probes.
+  void invalidate(const std::string& key);
+
+  const CacheStats& stats() const { return stats_; }
+  std::uint64_t entry_count();
+  std::uint64_t total_bytes();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t bytes = 0;
+    std::uint64_t tick = 0;
+    std::string git_hash;
+    bool sanitize = false;
+  };
+
+  std::string entry_dir(const std::string& key) const;
+  Entry* find_entry(const std::string& key);
+  // Adopts an on-disk entry the index does not know about (cross-process
+  // writer, lost index race); nullptr when absent on disk too.
+  Entry* adopt_entry(const std::string& key);
+  bool entry_intact(const std::string& key);
+  void quarantine_locked(const std::string& key);
+  void evict_to_budget_locked(const std::string& keep_key);
+  void load_index_locked();
+  void write_index_locked();
+  static std::uint64_t dir_bytes(const std::string& dir);
+
+  CacheOptions opts_;
+  CacheStats stats_;
+  std::vector<Entry> entries_;  // sorted by key
+  std::uint64_t next_tick_ = 1;
+  std::uint64_t tmp_seq_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace crve::cache

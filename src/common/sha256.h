@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), self-contained.
+//
+// The content-addressed campaign cache (src/cache/, DESIGN.md §13) keys
+// every job by the SHA-256 of its canonical JobSpec serialization, so the
+// digest must be stable across platforms, compilers and builds — a
+// cryptographic hash gives that plus collision resistance far beyond what
+// a cache directory shared between machines needs. Pure portable C++ (no
+// intrinsics): the inputs are short canonical JSON strings, so throughput
+// is irrelevant next to the simulation time a hit saves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace crve {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  // Streaming interface: update() any number of times, then digest_hex().
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  // Finalizes and returns the 64-char lowercase hex digest. The object is
+  // single-shot: further update() calls after digest_hex() are invalid.
+  std::string digest_hex();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+// One-shot convenience: hex digest of a byte string.
+std::string sha256_hex(const std::string& data);
+
+}  // namespace crve

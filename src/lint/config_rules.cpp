@@ -14,6 +14,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/json.h"
 #include "lint/lint.h"
 
 namespace crve::lint {
@@ -514,6 +515,42 @@ Report lint_campaign(const CampaignSpec& spec, const std::string& origin) {
     out.add("CRVE041", origin, 0,
             "alignment threshold " + v.str() +
                 " outside (0, 1]; the paper's sign-off bar is 0.99");
+  }
+  out.sort();
+  return out;
+}
+
+Report lint_cache_provenance(const std::string& cache_dir,
+                             bool build_sanitized,
+                             const std::string& origin) {
+  Report out;
+  if (!build_sanitized) return out;  // the hazard is one-directional
+  std::ifstream is(std::filesystem::path(cache_dir) / "index.json");
+  if (!is) return out;  // fresh or absent cache: nothing to flag
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::size_t plain = 0;
+  std::size_t total = 0;
+  try {
+    const json::Value doc = json::parse(buf.str());
+    const json::Value* entries = doc.find("entries");
+    if (!entries || !entries->is_array()) return out;
+    for (const json::Value& e : entries->items) {
+      ++total;
+      if (!e.bool_or("sanitize", false)) ++plain;
+    }
+  } catch (const std::exception&) {
+    return out;  // corrupt index: the cache reconciles it on open
+  }
+  if (plain > 0) {
+    out.add("CRVE060", origin, 0,
+            std::to_string(plain) + " of " + std::to_string(total) +
+                " entries in " + cache_dir +
+                " were produced by an uninstrumented build; this "
+                "sanitizer-instrumented build will never replay them "
+                "(the build flavour is hashed), so every pair re-runs — "
+                "point --cache-dir at a sanitizer-flavoured cache or "
+                "prune this one");
   }
   out.sort();
   return out;

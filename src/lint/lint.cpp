@@ -60,6 +60,9 @@ const std::vector<Rule>& rule_catalogue() {
       {"CRVE052", Severity::kError,
        "raw std::cout/std::cerr outside a main.cpp"},
       {"CRVE053", Severity::kWarn, "crve-lint suppression matches nothing"},
+      {"CRVE060", Severity::kWarn,
+       "sanitizer-instrumented build probing a campaign cache with "
+       "uninstrumented entries"},
   };
   return kRules;
 }

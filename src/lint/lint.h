@@ -111,6 +111,17 @@ struct CampaignSpec {
 Report lint_campaign(const CampaignSpec& spec,
                      const std::string& origin = "<plan>");
 
+// CRVE060: a sanitizer-instrumented build probing a campaign cache whose
+// entries came from an uninstrumented build. Those entries can never hit
+// (the build flavour is part of the job hash), so the cache silently
+// re-runs everything — and a hand-copied or downgraded cache replaying
+// them would bypass exactly the checks the instrumented build exists for.
+// Reads <cache_dir>/index.json tolerantly: a missing, empty or corrupt
+// index is clean (the cache module reconciles its own corruption).
+Report lint_cache_provenance(const std::string& cache_dir,
+                             bool build_sanitized,
+                             const std::string& origin = "<cache>");
+
 // --- Source determinism rules (source_rules.cpp) --------------------------
 
 // Token-level scan of one C++ source text: comments, string/char literals

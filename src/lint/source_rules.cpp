@@ -201,6 +201,7 @@ bool is_output_module(const std::string& path) {
   if (p.find("/obs/") != std::string::npos) return true;
   if (p.find("/stba/") != std::string::npos) return true;
   if (p.find("/vcd/") != std::string::npos) return true;
+  if (p.find("/cache/") != std::string::npos) return true;
   const std::string base = basename_of(p);
   const auto dot = base.find_last_of('.');
   const std::string stem = dot == std::string::npos ? base : base.substr(0, dot);

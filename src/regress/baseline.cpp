@@ -172,6 +172,17 @@ void diff_metrics(Collector& col, const Value* bm, const Value* cm) {
 
 void diff_config(Collector& col, const Value& bcfg, const Value& ccfg) {
   const std::string cfg = ccfg.string_or("config", "?");
+  // Cache provenance (report "cache" section, per-run "cached" flags) is
+  // bookkeeping about HOW results were obtained, not WHAT they are: a
+  // warm-cache rerun replays byte-identical numbers, so a provenance
+  // difference is surfaced as a note and never gates.
+  const bool bcache = bcfg.find("cache") != nullptr;
+  const bool ccache = ccfg.find("cache") != nullptr;
+  if (bcache != ccache) {
+    col.notes.push_back(std::string("cache provenance ") +
+                        (ccache ? "added in " : "removed from ") + cfg +
+                        " (replayed results, not drift)");
+  }
   const bool bso = bcfg.bool_or("signed_off", false);
   const bool cso = ccfg.bool_or("signed_off", false);
   if (bso != cso) {

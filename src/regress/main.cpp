@@ -26,6 +26,24 @@
 //   --no-lint          skip the pre-flight crve_lint pass over the config
 //                      directory and the campaign plan (DESIGN.md §12)
 //
+// Campaign cache and the planner/worker protocol (DESIGN.md §13):
+//   --cache-dir DIR    content-addressed result cache: pair jobs whose
+//                      JobSpec hash is present replay from DIR instead of
+//                      re-simulating; missing pairs are stored after they
+//                      run. A rebuild changes the hash, so a stale cache
+//                      degrades to misses, never to wrong results.
+//   --cache-max-mb N   cache size budget (LRU eviction); 0 = unbounded
+//   --cache-stats FILE write {"build": ..., "cache": {hits, misses, ...}}
+//                      after the batch (requires --cache-dir)
+//   --emit-specs FILE  planner half only: probe the cache and write the
+//                      missing pair jobs as a spec file, run nothing
+//   --worker FILE      worker half: execute a spec file (no --configs
+//                      needed; configurations travel inside the specs)
+//   --results FILE     with --worker: write the executed payloads as a
+//                      results file a planner can --ingest
+//   --ingest FILE      load a worker results file into --cache-dir, so the
+//                      next planner run replays those pairs
+//
 // Baseline drift gating (DESIGN.md §11):
 //   --baseline FILE    compare this batch's report against a stored
 //                      report.json; print the ranked drift summary and fail
@@ -58,6 +76,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "common/build_info.h"
 #include "common/json.h"
 #include "common/log.h"
@@ -66,6 +85,7 @@
 #include "obs/trace.h"
 #include "regress/baseline.h"
 #include "regress/config_file.h"
+#include "regress/job_spec.h"
 #include "regress/runner.h"
 #include "verif/tests.h"
 
@@ -81,36 +101,18 @@ int usage() {
                "                    [--jobs N] [--json FILE]\n"
                "                    [--no-triage] [--triage-window N]\n"
                "                    [--no-lint]\n"
+               "                    [--cache-dir DIR] [--cache-max-mb N]\n"
+               "                    [--cache-stats FILE] [--emit-specs FILE]\n"
                "                    [--baseline FILE] [--diff FILE]\n"
                "                    [--gate-rate-drop X] "
                "[--gate-coverage-drop X]\n"
                "                    [--metrics-out FILE] [--trace-out FILE]\n"
                "                    [--flight-recorder N]\n"
+               "       crve_regress --worker FILE [--results FILE]\n"
+               "                    [--out DIR] [--jobs N] [--cache-dir DIR]\n"
+               "       crve_regress --ingest FILE --cache-dir DIR\n"
                "       crve_regress --sample-configs DIR\n");
   return 2;
-}
-
-bool set_fault(bca::Faults& f, const std::string& name) {
-  if (name == "lru_stale_on_chunk") {
-    f.lru_stale_on_chunk = true;
-  } else if (name == "grant_during_lock") {
-    f.grant_during_lock = true;
-  } else if (name == "byte_enable_dropped") {
-    f.byte_enable_dropped = true;
-  } else if (name == "response_src_swap") {
-    f.response_src_swap = true;
-  } else if (name == "size_conv_endianness") {
-    f.size_conv_endianness = true;
-  } else if (name == "opcode_corrupt_on_busy") {
-    f.opcode_corrupt_on_busy = true;
-  } else if (name == "eop_one_cell_early") {
-    f.eop_one_cell_early = true;
-  } else if (name == "priority_register_ignored") {
-    f.priority_register_ignored = true;
-  } else {
-    return false;
-  }
-  return true;
 }
 
 void write_sample_configs(const std::string& dir) {
@@ -163,6 +165,9 @@ int main(int argc, char** argv) {
   std::string config_dir, out_dir, sample_dir, json_path;
   std::string metrics_path, trace_path;
   std::string baseline_path, diff_path;
+  std::string cache_dir, cache_stats_path;
+  std::string emit_specs_path, worker_path, results_path, ingest_path;
+  std::uint64_t cache_max_mb = 0;
   regress::DriftThresholds gates;
   std::size_t flight_lines = 0;  // 0 = no flight recorder
   std::vector<std::uint64_t> seeds = {1};
@@ -213,7 +218,7 @@ int main(int argc, char** argv) {
       threshold = std::stod(v);
     } else if (arg == "--fault") {
       const char* v = next();
-      if (!v || !set_fault(faults, v)) {
+      if (!v || !regress::set_fault_by_name(faults, v)) {
         std::fprintf(stderr, "unknown fault '%s'\n", v ? v : "");
         return 2;
       }
@@ -231,6 +236,34 @@ int main(int argc, char** argv) {
       triage = false;
     } else if (arg == "--no-lint") {
       lint = false;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      cache_dir = v;
+    } else if (arg == "--cache-max-mb") {
+      const char* v = next();
+      if (!v) return usage();
+      cache_max_mb = std::stoull(v);
+    } else if (arg == "--cache-stats") {
+      const char* v = next();
+      if (!v) return usage();
+      cache_stats_path = v;
+    } else if (arg == "--emit-specs") {
+      const char* v = next();
+      if (!v) return usage();
+      emit_specs_path = v;
+    } else if (arg == "--worker") {
+      const char* v = next();
+      if (!v) return usage();
+      worker_path = v;
+    } else if (arg == "--results") {
+      const char* v = next();
+      if (!v) return usage();
+      results_path = v;
+    } else if (arg == "--ingest") {
+      const char* v = next();
+      if (!v) return usage();
+      ingest_path = v;
     } else if (arg == "--triage-window") {
       const char* v = next();
       if (!v) return usage();
@@ -277,7 +310,96 @@ int main(int argc, char** argv) {
     write_sample_configs(sample_dir);
     return 0;
   }
+
+  // Worker mode: execute a spec file. Standalone — the configurations
+  // travel inside the specs, so no --configs directory is involved.
+  if (!worker_path.empty()) {
+    std::ifstream is(worker_path);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot read %s\n", worker_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    try {
+      const auto specs = regress::parse_job_specs(buf.str());
+      regress::WorkerOptions wopts;
+      wopts.out_dir = out_dir;
+      wopts.jobs = jobs;
+      wopts.cache_dir = cache_dir;
+      wopts.cache_max_mb = cache_max_mb;
+      const auto outcomes = regress::Regression::run_worker(specs, wopts);
+      bool all_passed = true;
+      std::vector<std::pair<std::string, std::string>> hash_payloads;
+      hash_payloads.reserve(outcomes.size());
+      for (const auto& o : outcomes) {
+        all_passed = all_passed && o.passed;
+        hash_payloads.push_back({o.hash, o.payload});
+      }
+      if (!results_path.empty()) {
+        std::ofstream os(results_path);
+        os << regress::format_worker_results(hash_payloads);
+        if (!os) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       results_path.c_str());
+          return 2;
+        }
+      }
+      std::printf("worker: executed %zu spec(s)%s\n", outcomes.size(),
+                  all_passed ? "" : ", some FAILED");
+      return all_passed ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  // Ingest mode: load a worker results file into the cache so the next
+  // planner run replays those pairs.
+  if (!ingest_path.empty()) {
+    if (cache_dir.empty()) {
+      std::fprintf(stderr, "--ingest requires --cache-dir\n");
+      return usage();
+    }
+    std::ifstream is(ingest_path);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot read %s\n", ingest_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    try {
+      const auto results = regress::parse_worker_results(buf.str());
+      cache::CacheOptions copts;
+      copts.dir = cache_dir;
+      copts.max_bytes = cache_max_mb * 1024ULL * 1024ULL;
+      copts.git_hash = build_info().git_hash;
+      copts.sanitize = build_info().sanitize;
+      cache::Cache store(copts);
+      std::size_t stored = 0;
+      for (const auto& [hash, payload] : results) {
+        if (!cache::Cache::valid_key(hash)) {
+          std::fprintf(stderr, "warning: skipping malformed key %s\n",
+                       hash.c_str());
+          continue;
+        }
+        store.store(hash, payload, {});
+        ++stored;
+      }
+      std::printf("ingested %zu result(s) into %s\n", stored,
+                  cache_dir.c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
   if (config_dir.empty()) return usage();
+  if (!cache_stats_path.empty() && cache_dir.empty()) {
+    std::fprintf(stderr, "--cache-stats requires --cache-dir\n");
+    return usage();
+  }
 
   // Pre-flight lint: catch semantically broken configurations before any
   // testbench is built — a bad deadline list should fail in milliseconds,
@@ -338,6 +460,8 @@ int main(int argc, char** argv) {
   base.jobs = jobs;
   base.run_triage = triage;
   base.triage_window = triage_window;
+  base.cache_dir = cache_dir;
+  base.cache_max_mb = cache_max_mb;
 
   if (!diff_path.empty() && baseline_path.empty()) {
     std::fprintf(stderr, "--diff requires --baseline\n");
@@ -359,6 +483,38 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "lint: refusing to run a broken campaign plan "
                    "(--no-lint to bypass)\n");
+      return 2;
+    }
+  }
+
+  // Cache provenance pre-flight (CRVE060, warn severity — never blocks):
+  // a sanitizer build probing an uninstrumented cache re-runs everything.
+  if (lint && !cache_dir.empty()) {
+    const auto lrep =
+        crve::lint::lint_cache_provenance(cache_dir, build_info().sanitize);
+    if (!lrep.findings.empty()) {
+      std::fprintf(stderr, "%s", crve::lint::render_text(lrep).c_str());
+    }
+  }
+
+  // Planner half only: probe the cache, emit the missing pair jobs as a
+  // spec file for out-of-process workers, and run nothing.
+  if (!emit_specs_path.empty()) {
+    try {
+      const auto mplan = regress::Regression::plan_matrix(configs, base);
+      std::ofstream os(emit_specs_path);
+      os << regress::format_job_specs(mplan.missing);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     emit_specs_path.c_str());
+        return 2;
+      }
+      std::printf("plan: %zu of %zu pairs missing (%zu cached) -> %s\n",
+                  mplan.missing.size(), mplan.total_pairs, mplan.cached_pairs,
+                  emit_specs_path.c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
   }
@@ -385,6 +541,18 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", mres.summary().c_str());
     exit_code = mres.all_signed_off ? 0 : 1;
+    if (!cache_stats_path.empty()) {
+      std::ofstream os(cache_stats_path);
+      os << "{\n  \"build\": " << build_info_json("  ") << ",\n"
+         << "  \"cache\": "
+         << (mres.cache_stats_json.empty() ? "{}" : mres.cache_stats_json)
+         << "\n}\n";
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     cache_stats_path.c_str());
+        exit_code = exit_code == 0 ? 1 : exit_code;
+      }
+    }
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       os << mres.json();

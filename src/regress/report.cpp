@@ -88,6 +88,16 @@ void write_result(std::ostream& os, const RegressionResult& r,
   os << in1 << "\"alignment_threshold\": "
      << json_number(r.alignment_threshold) << ",\n";
   os << in1 << "\"signed_off\": " << bool_str(r.signed_off) << ",\n";
+  // Cache provenance: present exactly when pairs were replayed, carrying
+  // the build stamp the replayed entries originated from. The baseline
+  // differ treats a presence change here as a note, never as drift.
+  if (r.cached_pairs > 0) {
+    os << in1 << "\"cache\": {\n";
+    os << in2 << "\"cached_pairs\": " << r.cached_pairs << ",\n";
+    os << in2 << "\"build\": ";
+    write_embedded_json(os, r.cache_build_json, in2);
+    os << "\n" << in1 << "},\n";
+  }
   if (with_timing) {
     os << in1 << "\"wall_ms\": " << json_number(r.wall_ms) << ",\n";
   }
@@ -110,6 +120,7 @@ void write_result(std::ostream& os, const RegressionResult& r,
       os << ", \"toggle_percent\": " << json_number(o.result.toggle_percent);
     }
     if (with_timing) os << ", \"wall_ms\": " << json_number(o.wall_ms);
+    if (o.cached) os << ", \"cached\": true";
     os << "}";
   }
   os << (r.outcomes.empty() ? "]" : "\n" + in1 + "]") << ",\n";
@@ -123,6 +134,7 @@ void write_result(std::ostream& os, const RegressionResult& r,
        << ", \"signed_off\": "
        << bool_str(a.report.signed_off(r.alignment_threshold));
     if (with_timing) os << ", \"wall_ms\": " << json_number(a.wall_ms);
+    if (a.cached) os << ", \"cached\": true";
     write_ports(os, a.report, in2 + "  ");
     os << "}";
   }

@@ -3,14 +3,20 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 
+#include "cache/cache.h"
+#include "common/build_info.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "regress/config_file.h"
 #include "regress/html_report.h"
+#include "regress/job_spec.h"
 #include "stba/triage.h"
 #include "vcd/excerpt.h"
 
@@ -91,6 +97,14 @@ struct Campaign {
   std::vector<std::string> waves;       // in-memory VCD text per unit
   std::vector<std::string> wave_paths;  // on-disk VCD path per unit
   std::vector<AlignmentOutcome> aligns;  // one slot per pair
+  // Cache planning state: pair_cached[p] marks a pair the planner replayed
+  // from the cache (its slots are already filled); missing_units and
+  // missing_pairs are the jobs that still have to run. Without a cache the
+  // missing lists cover the whole campaign.
+  std::vector<char> pair_cached;
+  std::vector<std::size_t> missing_units;
+  std::vector<std::size_t> missing_pairs;
+  std::string cache_build_json;  // originating build of the replayed pairs
 
   void prepare() {
     tests = plan.tests.empty() ? verif::catg_test_suite() : plan.tests;
@@ -99,6 +113,14 @@ struct Campaign {
     waves.resize(2 * n_pairs);
     wave_paths.resize(2 * n_pairs);
     if (plan.run_alignment) aligns.resize(n_pairs);
+    pair_cached.assign(n_pairs, 0);
+    missing_units.clear();
+    missing_pairs.clear();
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+      missing_units.push_back(2 * p);
+      missing_units.push_back(2 * p + 1);
+      if (plan.run_alignment) missing_pairs.push_back(p);
+    }
     if (!plan.out_dir.empty()) {
       std::filesystem::create_directories(plan.out_dir);
     }
@@ -320,7 +342,165 @@ struct Campaign {
     res.mean_coverage_rtl = cov_n > 0 ? cov_sum / cov_n : 0.0;
     res.signed_off = res.rtl_passed && res.bca_passed && res.coverage_match &&
                      res.min_alignment >= plan.alignment_threshold;
+    for (char c : pair_cached) res.cached_pairs += c ? 1 : 0;
+    if (res.cached_pairs > 0) res.cache_build_json = cache_build_json;
     return res;
+  }
+};
+
+// Names the artifacts one pair job may have written to its out_dir. The
+// full waves are deliberately absent: they are bulk intermediates the
+// alignment already consumed, not results worth a cache's budget (the
+// windowed excerpts around a divergence are what triage reads).
+std::vector<std::string> pair_artifact_names(const std::string& test,
+                                             std::uint64_t seed) {
+  const std::string stem = test + "_s" + std::to_string(seed);
+  return {
+      "report_" + stem + "_rtl.txt",  "report_" + stem + "_bca.txt",
+      "alignment_" + stem + ".txt",   "triage_" + stem + ".json",
+      "excerpt_" + stem + "_rtl.vcd", "excerpt_" + stem + "_bca.vcd",
+      "flight_" + stem + "_rtl.log",  "flight_" + stem + "_bca.log",
+  };
+}
+
+// Planner side of the campaign cache: probes every pair job's JobSpec
+// hash, replays hits into their slots (narrowing the campaign's job lists
+// to the misses) and, once the pool drained, stores the freshly executed
+// pairs. Inactive (all methods no-ops) when the plan has no cache_dir.
+struct CachePlanner {
+  std::unique_ptr<cache::Cache> store;
+
+  explicit CachePlanner(const RunPlan& plan) {
+    if (plan.cache_dir.empty()) return;
+    cache::CacheOptions copts;
+    copts.dir = plan.cache_dir;
+    copts.max_bytes = plan.cache_max_mb * 1024ULL * 1024ULL;
+    copts.git_hash = build_info().git_hash;
+    copts.sanitize = build_info().sanitize;
+    store = std::make_unique<cache::Cache>(copts);
+  }
+
+  bool active() const { return store != nullptr; }
+
+  // Only suite tests reachable by name can be re-executed elsewhere, so
+  // only they are cacheable; ad-hoc TestSpecs (custom lambdas) always run.
+  static bool cacheable(const TestSpec& spec) {
+    static const std::set<std::string> suite = [] {
+      std::set<std::string> names;
+      for (const auto& t : verif::catg_test_suite()) names.insert(t.name);
+      return names;
+    }();
+    return suite.count(spec.name) > 0;
+  }
+
+  // Probes every pair of `camp` and rewrites its missing lists to the
+  // cache misses. Returns the specs of the missing cacheable pairs in
+  // slot order (the worker protocol's job list).
+  std::vector<JobSpec> probe(Campaign& camp) {
+    std::vector<JobSpec> missing_specs;
+    if (!active()) return missing_specs;
+    camp.missing_units.clear();
+    camp.missing_pairs.clear();
+    for (std::size_t p = 0; p < camp.n_pairs; ++p) {
+      const TestSpec& spec = camp.spec_of(p);
+      bool hit = false;
+      if (cacheable(spec)) {
+        const JobSpec js = job_spec_for(camp.plan, spec, camp.seed_of(p));
+        const std::string key = js.hash();
+        if (std::optional<std::string> payload = store->fetch(key)) {
+          hit = replay(camp, p, key, *payload);
+        }
+        if (!hit) missing_specs.push_back(js);
+      }
+      if (hit) {
+        camp.pair_cached[p] = 1;
+      } else {
+        camp.missing_units.push_back(2 * p);
+        camp.missing_units.push_back(2 * p + 1);
+        if (camp.plan.run_alignment) camp.missing_pairs.push_back(p);
+      }
+    }
+    return missing_specs;
+  }
+
+  // Decodes a payload into the pair's slots and re-materializes its
+  // manifest-listed artifacts. A payload that does not decode, or does not
+  // describe this job, is stale-schema garbage: invalidate it and report a
+  // miss — never crash, never poison the campaign.
+  bool replay(Campaign& camp, std::size_t p, const std::string& key,
+              const std::string& payload) {
+    PairResult pr;
+    try {
+      pr = decode_pair_result(payload);
+    } catch (const std::exception& e) {
+      log_warn() << "cache entry " << key.substr(0, 12) << " undecodable ("
+                 << e.what() << "); invalidating";
+      store->invalidate(key);
+      return false;
+    }
+    const TestSpec& spec = camp.spec_of(p);
+    const std::uint64_t seed = camp.seed_of(p);
+    if (pr.rtl.test != spec.name || pr.rtl.seed != seed ||
+        (camp.plan.run_alignment && !pr.has_alignment)) {
+      log_warn() << "cache entry " << key.substr(0, 12)
+                 << " does not describe its job; invalidating";
+      store->invalidate(key);
+      return false;
+    }
+    if (camp.cache_build_json.empty()) {
+      camp.cache_build_json = pair_build_json(pr, "");
+    }
+    pr.rtl.cached = true;
+    pr.bca.cached = true;
+    camp.outcomes[2 * p] = std::move(pr.rtl);
+    camp.outcomes[2 * p + 1] = std::move(pr.bca);
+    if (camp.plan.run_alignment) {
+      pr.alignment.cached = true;
+      camp.aligns[p] = std::move(pr.alignment);
+    }
+    if (!camp.plan.out_dir.empty()) {
+      store->materialize(key, camp.plan.out_dir);
+    }
+    if (obs::metrics_enabled()) obs::counter("regress.pairs_replayed").inc();
+    return true;
+  }
+
+  // Stores every freshly executed cacheable pair of `camp`. Must run
+  // before reduce() (which moves the slots out). Cache trouble — a full
+  // disk, permissions — degrades to a warning: the campaign's own results
+  // are already in their slots.
+  void store_results(const Campaign& camp) {
+    if (!active()) return;
+    for (std::size_t p = 0; p < camp.n_pairs; ++p) {
+      if (camp.pair_cached[p]) continue;
+      const TestSpec& spec = camp.spec_of(p);
+      if (!cacheable(spec)) continue;
+      const std::uint64_t seed = camp.seed_of(p);
+      const JobSpec js = job_spec_for(camp.plan, spec, seed);
+      PairResult pr;
+      pr.rtl = camp.outcomes[2 * p];
+      pr.bca = camp.outcomes[2 * p + 1];
+      pr.has_alignment = camp.plan.run_alignment;
+      if (pr.has_alignment) pr.alignment = camp.aligns[p];
+      const BuildInfo& bi = build_info();
+      pr.git_hash = bi.git_hash;
+      pr.compiler = bi.compiler;
+      pr.build_type = bi.build_type;
+      pr.sanitize = bi.sanitize;
+      std::vector<std::pair<std::string, std::string>> files;
+      if (!camp.plan.out_dir.empty()) {
+        for (const std::string& name : pair_artifact_names(spec.name, seed)) {
+          const std::string path = camp.plan.out_dir + "/" + name;
+          if (std::filesystem::exists(path)) files.push_back({name, path});
+        }
+      }
+      try {
+        store->store(js.hash(), encode_pair_result(pr, js.hash()), files);
+      } catch (const std::exception& e) {
+        log_warn() << "cache store failed for " << spec.name << " s" << seed
+                   << ": " << e.what();
+      }
+    }
   }
 };
 
@@ -340,14 +520,19 @@ RegressionResult Regression::run(const RunPlan& plan) {
   Campaign camp;
   camp.plan = plan;
   camp.prepare();
+  CachePlanner planner(plan);
+  planner.probe(camp);  // no cache: the missing lists stay full
 
   ThreadPool pool(resolve_jobs(plan.jobs));
-  pool.parallel_for(2 * camp.n_pairs,
-                    [&](std::size_t u) { camp.run_unit(u); });
+  pool.parallel_for(camp.missing_units.size(), [&](std::size_t k) {
+    camp.run_unit(camp.missing_units[k]);
+  });
   if (plan.run_alignment) {
-    pool.parallel_for(camp.n_pairs,
-                      [&](std::size_t p) { camp.run_alignment(p); });
+    pool.parallel_for(camp.missing_pairs.size(), [&](std::size_t k) {
+      camp.run_alignment(camp.missing_pairs[k]);
+    });
   }
+  planner.store_results(camp);
 
   RegressionResult res;
   {
@@ -383,9 +568,11 @@ MatrixResult Regression::run_matrix(
     }
     camps[i].prepare();
   }
+  CachePlanner planner(base);
+  for (auto& camp : camps) planner.probe(camp);
 
-  // Flatten every campaign's units into one global job list so a slow
-  // configuration keeps all workers busy instead of gating the batch.
+  // Flatten every campaign's missing units into one global job list so a
+  // slow configuration keeps all workers busy instead of gating the batch.
   struct Ref {
     std::size_t camp;
     std::size_t idx;
@@ -393,14 +580,8 @@ MatrixResult Regression::run_matrix(
   std::vector<Ref> units;
   std::vector<Ref> pairs;
   for (std::size_t i = 0; i < camps.size(); ++i) {
-    for (std::size_t u = 0; u < 2 * camps[i].n_pairs; ++u) {
-      units.push_back({i, u});
-    }
-    if (camps[i].plan.run_alignment) {
-      for (std::size_t p = 0; p < camps[i].n_pairs; ++p) {
-        pairs.push_back({i, p});
-      }
-    }
+    for (std::size_t u : camps[i].missing_units) units.push_back({i, u});
+    for (std::size_t p : camps[i].missing_pairs) pairs.push_back({i, p});
   }
 
   ThreadPool pool(mres.jobs);
@@ -410,6 +591,11 @@ MatrixResult Regression::run_matrix(
   pool.parallel_for(pairs.size(), [&](std::size_t k) {
     camps[pairs[k].camp].run_alignment(pairs[k].idx);
   });
+  for (const auto& camp : camps) planner.store_results(camp);
+  if (planner.active()) {
+    mres.cache_stats_json = planner.store->stats().json(
+        planner.store->entry_count(), planner.store->total_bytes());
+  }
 
   mres.all_signed_off = true;
   mres.results.reserve(camps.size());
@@ -453,6 +639,128 @@ MatrixResult Regression::run_matrix(
   return mres;
 }
 
+MatrixPlan Regression::plan_matrix(
+    const std::vector<stbus::NodeConfig>& configs, const RunPlan& base) {
+  MatrixPlan mplan;
+  CachePlanner planner(base);
+  for (const auto& cfg : configs) {
+    Campaign camp;
+    camp.plan = base;
+    camp.plan.cfg = cfg;
+    camp.plan.out_dir.clear();  // planning must not create artifact dirs
+    camp.prepare();
+    mplan.total_pairs += camp.n_pairs;
+    if (!planner.active()) {
+      for (std::size_t p = 0; p < camp.n_pairs; ++p) {
+        const TestSpec& spec = camp.spec_of(p);
+        if (!CachePlanner::cacheable(spec)) continue;
+        mplan.missing.push_back(
+            job_spec_for(camp.plan, spec, camp.seed_of(p)));
+      }
+      continue;
+    }
+    std::vector<JobSpec> missing = planner.probe(camp);
+    for (char c : camp.pair_cached) mplan.cached_pairs += c ? 1 : 0;
+    for (auto& js : missing) mplan.missing.push_back(std::move(js));
+  }
+  return mplan;
+}
+
+std::vector<WorkerOutcome> Regression::run_worker(
+    const std::vector<JobSpec>& specs, const WorkerOptions& opts) {
+  std::vector<WorkerOutcome> out;
+  out.reserve(specs.size());
+  std::unique_ptr<cache::Cache> store;
+  if (!opts.cache_dir.empty()) {
+    cache::CacheOptions copts;
+    copts.dir = opts.cache_dir;
+    copts.max_bytes = opts.cache_max_mb * 1024ULL * 1024ULL;
+    copts.git_hash = build_info().git_hash;
+    copts.sanitize = build_info().sanitize;
+    store = std::make_unique<cache::Cache>(copts);
+  }
+  const std::vector<TestSpec> suite = verif::catg_test_suite();
+  ThreadPool pool(resolve_jobs(opts.jobs));
+  for (const JobSpec& js : specs) {
+    const TestSpec* spec = nullptr;
+    for (const auto& t : suite) {
+      if (t.name == js.test) {
+        spec = &t;
+        break;
+      }
+    }
+    if (!spec) throw std::runtime_error("worker: unknown test " + js.test);
+    if (js.git_hash != build_info().git_hash) {
+      log_warn() << "worker: spec " << js.hash().substr(0, 12)
+                 << " was planned for build " << js.git_hash
+                 << ", executing with " << build_info().git_hash;
+    }
+    RunPlan plan;
+    {
+      std::istringstream is(js.config_text);
+      plan.cfg = parse_config(is, "jobspec");
+    }
+    plan.tests = {*spec};
+    plan.seeds = {js.seed};
+    plan.n_transactions = js.n_transactions;
+    plan.max_cycles = js.max_cycles;
+    plan.run_alignment = js.run_alignment;
+    plan.alignment_threshold = js.alignment_threshold;
+    plan.run_triage = js.run_triage;
+    plan.triage_window = js.triage_window;
+    plan.faults = faults_from_names(js.faults);
+    const std::string key = js.hash();
+    if (!opts.out_dir.empty()) {
+      plan.out_dir = opts.out_dir + "/" + key.substr(0, 12);
+    }
+
+    Campaign camp;
+    camp.plan = plan;
+    camp.prepare();
+    pool.parallel_for(2 * camp.n_pairs,
+                      [&](std::size_t u) { camp.run_unit(u); });
+    if (plan.run_alignment) {
+      pool.parallel_for(camp.n_pairs,
+                        [&](std::size_t p) { camp.run_alignment(p); });
+    }
+    pool.wait();
+
+    PairResult pr;
+    pr.rtl = camp.outcomes[0];
+    pr.bca = camp.outcomes[1];
+    pr.has_alignment = plan.run_alignment;
+    if (pr.has_alignment) pr.alignment = camp.aligns[0];
+    const BuildInfo& bi = build_info();
+    pr.git_hash = bi.git_hash;
+    pr.compiler = bi.compiler;
+    pr.build_type = bi.build_type;
+    pr.sanitize = bi.sanitize;
+
+    WorkerOutcome wo;
+    wo.hash = key;
+    wo.payload = encode_pair_result(pr, key);
+    wo.passed = pr.rtl.result.passed() && pr.bca.result.passed();
+    if (store) {
+      std::vector<std::pair<std::string, std::string>> files;
+      if (!plan.out_dir.empty()) {
+        for (const std::string& name :
+             pair_artifact_names(spec->name, js.seed)) {
+          const std::string path = plan.out_dir + "/" + name;
+          if (std::filesystem::exists(path)) files.push_back({name, path});
+        }
+      }
+      try {
+        store->store(key, wo.payload, files);
+      } catch (const std::exception& e) {
+        log_warn() << "worker: cache store failed for " << key.substr(0, 12)
+                   << ": " << e.what();
+      }
+    }
+    out.push_back(std::move(wo));
+  }
+  return out;
+}
+
 std::string RegressionResult::summary() const {
   std::ostringstream os;
   os << "regression: " << outcomes.size() << " runs\n";
@@ -464,6 +772,10 @@ std::string RegressionResult::summary() const {
   os << "  alignment:  min " << 100.0 * min_alignment << "% across "
      << alignments.size() << " comparisons\n";
   os << "  sign-off:   " << (signed_off ? "YES" : "NO") << "\n";
+  if (cached_pairs > 0) {
+    os << "  cache:      " << cached_pairs << " of " << outcomes.size() / 2
+       << " pairs replayed\n";
+  }
   for (const auto& o : outcomes) {
     if (!o.result.passed()) {
       os << "  FAILED: " << o.test << " seed " << o.seed << " "
@@ -489,6 +801,9 @@ std::string MatrixResult::summary() const {
        << (r.bca_passed ? "PASS" : "FAIL") << ", min alignment "
        << 100.0 * r.min_alignment << "%)\n";
   }
+  std::size_t cached = 0;
+  for (const auto& r : results) cached += r.cached_pairs;
+  if (cached > 0) os << "cache: " << cached << " pairs replayed\n";
   os << "overall: " << (all_signed_off ? "ALL SIGNED OFF" : "NOT signed off")
      << "\n";
   return os.str();

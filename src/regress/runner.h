@@ -14,6 +14,17 @@
 // outcome order, every aggregate and the JSON report are bit-identical to
 // the serial run. Regression::run_matrix batches several configurations
 // (e.g. a whole configs/ directory) through one shared pool.
+//
+// With RunPlan::cache_dir set the runner becomes a planner/worker pipeline
+// over a content-addressed result cache (DESIGN.md §13): every pair job is
+// keyed by the SHA-256 of its canonical JobSpec (config content, test,
+// seed, views, build provenance); the planner replays cache hits into
+// their slots and schedules only the missing pairs onto the pool; the
+// existing slot-ordered reduce merges replayed and fresh results, so a
+// warm-cache report is byte-identical to the cold run modulo the `cached`
+// provenance fields. plan_matrix/run_worker expose the same split across
+// processes: a spec file emitted by the planner can be executed by
+// `crve_regress --worker` anywhere the same build exists.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +59,12 @@ struct RunPlan {
   bool run_triage = true;
   // Half-width, in cycles, of the excerpt window around the divergence.
   std::uint64_t triage_window = 50;
+  // Content-addressed result cache (DESIGN.md §13). Empty = no cache. When
+  // set, pair jobs whose JobSpec hash is present replay from the cache
+  // instead of simulating; missing pairs are stored after they run.
+  std::string cache_dir;
+  // Cache size budget in MiB (LRU eviction on store); 0 = unbounded.
+  std::uint64_t cache_max_mb = 0;
 };
 
 struct TestOutcome {
@@ -56,6 +73,9 @@ struct TestOutcome {
   verif::ModelKind model{};
   verif::RunResult result;
   double wall_ms = 0.0;  // wall-clock time of this one job
+  // Replayed from the campaign cache instead of simulated. The wall_ms of
+  // a replayed outcome is the original run's, preserved in the payload.
+  bool cached = false;
 };
 
 struct AlignmentOutcome {
@@ -63,6 +83,7 @@ struct AlignmentOutcome {
   std::uint64_t seed = 0;
   stba::AlignmentReport report;
   double wall_ms = 0.0;  // wall-clock time of the STBA comparison
+  bool cached = false;   // replayed from the campaign cache
 };
 
 struct RegressionResult {
@@ -85,6 +106,15 @@ struct RegressionResult {
   // registry().reset(). Only Regression::run fills it (run_matrix campaigns
   // share one registry; see MatrixResult::metrics_json).
   std::string metrics_json;
+  // Pair jobs replayed from the campaign cache (0 = fully simulated). When
+  // non-zero the report carries a "cache" section with the originating
+  // build stamp, and every replayed run/alignment entry is marked
+  // "cached": true — provenance the baseline differ reads as a note, not
+  // as drift.
+  std::size_t cached_pairs = 0;
+  // Originating build stamp of the replayed entries (pretty JSON object,
+  // inner lines at column 0); empty when cached_pairs == 0.
+  std::string cache_build_json;
 
   std::string summary() const;
   // Machine-readable report (schema in DESIGN.md). with_timing=false omits
@@ -102,9 +132,40 @@ struct MatrixResult {
   // Batch-level analog of RegressionResult::metrics_json (the configs share
   // one process-wide registry, so the snapshot lives here, not per config).
   std::string metrics_json;
+  // Flat JSON object of cache hit/miss/store/evict counters (CacheStats
+  // schema) when the batch ran with a cache; empty otherwise.
+  std::string cache_stats_json;
 
   std::string summary() const;
   std::string json(bool with_timing = true) const;
+};
+
+struct JobSpec;  // regress/job_spec.h
+
+// Planner-only view of a batch: which pair jobs the cache cannot satisfy.
+struct MatrixPlan {
+  std::vector<JobSpec> missing;  // config order, then (test, seed) order
+  std::size_t total_pairs = 0;
+  std::size_t cached_pairs = 0;
+};
+
+// Options for executing a spec file out of process (crve_regress --worker).
+struct WorkerOptions {
+  // Artifact directory (per-job subdirectories); empty = in-memory runs
+  // with empty artifact manifests.
+  std::string out_dir;
+  unsigned jobs = 1;  // worker threads per pair job (0 = hardware threads)
+  // Non-empty: store each executed pair straight into this cache.
+  std::string cache_dir;
+  std::uint64_t cache_max_mb = 0;
+};
+
+// One executed spec: the content hash and the encoded pair payload.
+struct WorkerOutcome {
+  std::string hash;
+  std::string payload;
+  bool passed = false;  // both views passed (diagnostic only; workers
+                        // execute, the planner's reduce judges)
 };
 
 class Regression {
@@ -118,6 +179,21 @@ class Regression {
   // directory and the batch report is written to `<out_dir>/report.json`.
   static MatrixResult run_matrix(const std::vector<stbus::NodeConfig>& configs,
                                  const RunPlan& base);
+
+  // Planner half on its own: hash every pair job of the batch, probe the
+  // cache (base.cache_dir; an empty cache dir reports everything missing)
+  // and return the specs a fleet of workers would have to execute. Does
+  // not simulate anything.
+  static MatrixPlan plan_matrix(const std::vector<stbus::NodeConfig>& configs,
+                                const RunPlan& base);
+
+  // Worker half: execute the given specs (each reconstructs its
+  // configuration from canonical content and its test from the CATG suite
+  // by name) and return the encoded pair payloads, storing them into
+  // opts.cache_dir when set. Throws std::runtime_error on a spec naming an
+  // unknown test or fault.
+  static std::vector<WorkerOutcome> run_worker(
+      const std::vector<JobSpec>& specs, const WorkerOptions& opts);
 };
 
 }  // namespace crve::regress
