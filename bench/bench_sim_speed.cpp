@@ -14,7 +14,13 @@
 
 #include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
+
+#include "rtl/node.h"
+#include "rtl/register_decoder.h"
+#include "stbus/packet.h"
+#include "stbus/pins.h"
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -39,27 +45,40 @@ stbus::NodeConfig make_cfg(int n_init, int n_targ, int bus_bytes) {
 }
 
 void run_model(benchmark::State& state, verif::ModelKind model,
-               bool memoize = true) {
+               bool memoize = true,
+               sim::KernelKind kernel = sim::KernelKind::kCompiled,
+               bool sparse = false) {
   const int n_init = static_cast<int>(state.range(0));
   const int n_targ = static_cast<int>(state.range(1));
   const int bus = static_cast<int>(state.range(2));
 
   std::uint64_t cycles = 0;
   std::uint64_t evals = 0;
+  std::uint64_t skipped = 0;
   for (auto _ : state) {
     state.PauseTiming();
     verif::TestSpec spec = verif::t07_target_contention();
-    spec.profile = [](const stbus::NodeConfig& cfg, int) {
+    spec.profile = [sparse](const stbus::NodeConfig& cfg, int) {
       verif::InitiatorProfile p;
       p.windows = {cfg.address_map.front()};
       p.windows.front().size = 0x1000;
-      p.idle_permille = 0;
+      // Sparse shape: mostly-idle initiators against slow targets, the
+      // regime where the compiled kernel's change-driven skipping pays.
+      p.idle_permille = sparse ? 900 : 0;
       p.max_size_bytes = 8;
       return p;
     };
-    spec.n_transactions = 200;
+    if (sparse) {
+      spec.target = [](const stbus::NodeConfig&, int) {
+        verif::TargetProfile t;
+        t.fixed_latency = 40;
+        return t;
+      };
+    }
+    spec.n_transactions = sparse ? 100 : 200;
     verif::TestbenchOptions opts;
     opts.model = model;
+    opts.kernel = kernel;
     opts.seed = 3;
     // The paper compares *model* simulation speed; checkers/scoreboard/
     // coverage cost the same on every view, so they are left out here.
@@ -76,12 +95,16 @@ void run_model(benchmark::State& state, verif::ModelKind model,
     benchmark::DoNotOptimize(r.cycles);
     cycles += r.cycles;
     evals += r.evaluations;
+    skipped += tb.ctx().sched_skipped_evaluations();
     if (!r.completed) state.SkipWithError("run failed");
   }
   state.counters["cycles_per_s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["evals_per_cycle"] =
       cycles > 0 ? static_cast<double>(evals) / static_cast<double>(cycles)
+                 : 0.0;
+  state.counters["skipped_per_cycle"] =
+      cycles > 0 ? static_cast<double>(skipped) / static_cast<double>(cycles)
                  : 0.0;
 }
 
@@ -111,8 +134,154 @@ void BM_BcaMetricsEnabled(benchmark::State& state) {
   obs::registry().reset();
 }
 
+// Kernel axis (this PR): the same RTL and wrapped-BCA runs under the
+// reference delta-cycle interpreter, and sparse-activity variants of both
+// — mostly-idle initiators against 40-cycle targets — where change-driven
+// process skipping dominates. The compiled/interp ratio on the *Sparse
+// pairs is the headline speedup tracked in EXPERIMENTS.md.
+void BM_RtlInterp(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kRtl, /*memoize=*/true,
+            sim::KernelKind::kInterp);
+}
+// Node-level sparse harness: the RTL node with RegisterDecoder targets,
+// driven by a minimal directed FSM per initiator that issues one 4-byte
+// store every `period` cycles and sits on a bare counter in between. No
+// BFMs — their per-cycle bookkeeping (RNG draws, response matching) costs
+// the same under every kernel and would flatten the ratio this benchmark
+// exists to measure: the kernel's own per-cycle scheduling cost on a
+// mostly-idle model.
+void run_rtl_node_sparse(benchmark::State& state, sim::KernelKind kernel) {
+  const int n_init = static_cast<int>(state.range(0));
+  const int n_targ = static_cast<int>(state.range(1));
+  const int period = static_cast<int>(state.range(2));
+  constexpr int kCycles = 20000;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Context ctx;
+    ctx.set_kernel(kernel);
+    stbus::NodeConfig cfg = make_cfg(n_init, n_targ, 4);
+    cfg.validate_and_normalize();
+    std::vector<std::unique_ptr<stbus::PortPins>> ipins;
+    std::vector<std::unique_ptr<stbus::PortPins>> tpins;
+    std::vector<stbus::PortPins*> ip;
+    std::vector<stbus::PortPins*> tp;
+    for (int i = 0; i < n_init; ++i) {
+      ipins.push_back(std::make_unique<stbus::PortPins>(
+          ctx, "i" + std::to_string(i), cfg));
+      ip.push_back(ipins.back().get());
+    }
+    for (int t = 0; t < n_targ; ++t) {
+      tpins.push_back(std::make_unique<stbus::PortPins>(
+          ctx, "t" + std::to_string(t), cfg));
+      tp.push_back(tpins.back().get());
+    }
+    rtl::Node node(ctx, cfg, ip, tp);
+    std::vector<std::unique_ptr<rtl::RegisterDecoder>> decoders;
+    for (int t = 0; t < n_targ; ++t) {
+      decoders.push_back(std::make_unique<rtl::RegisterDecoder>(
+          ctx, "dec" + std::to_string(t), *tp[static_cast<std::size_t>(t)],
+          cfg.type, cfg.address_map[static_cast<std::size_t>(t)].base, 16));
+    }
+
+    struct Stim {
+      int countdown = 0;
+      int phase = 0;  // 0 = idle countdown, 1 = requesting, 2 = await rsp
+      std::size_t idx = 0;
+      std::vector<stbus::RequestCell> cells;
+    };
+    auto stims = std::make_shared<std::vector<Stim>>(
+        static_cast<std::size_t>(n_init));
+    for (int i = 0; i < n_init; ++i) {
+      Stim& s = (*stims)[static_cast<std::size_t>(i)];
+      stbus::Request req;
+      req.opc = stbus::Opcode::kSt4;
+      req.add = cfg.address_map[static_cast<std::size_t>(i % n_targ)].base;
+      req.wdata = {1, 2, 3, 4};
+      req.src = static_cast<std::uint8_t>(i);
+      s.cells = stbus::build_request(req, cfg.bus_bytes, cfg.type);
+      s.countdown = 1 + period * (i + 1) / n_init;  // staggered phases
+      ip[static_cast<std::size_t>(i)]->r_gnt.write(true);
+      ctx.add_clocked(
+          "stim" + std::to_string(i),
+          [stims, i, pins = ip[static_cast<std::size_t>(i)], period] {
+            Stim& st = (*stims)[static_cast<std::size_t>(i)];
+            switch (st.phase) {
+              case 0:
+                if (--st.countdown > 0) return;  // dead cycle: one decrement
+                st.idx = 0;
+                pins->drive_request(st.cells[0]);
+                st.phase = 1;
+                return;
+              case 1:
+                if (!pins->request_fires()) return;
+                if (++st.idx < st.cells.size()) {
+                  pins->drive_request(st.cells[st.idx]);
+                } else {
+                  pins->idle_request();
+                  st.phase = 2;
+                }
+                return;
+              default:
+                if (pins->response_fires() && pins->r_eop.read()) {
+                  st.phase = 0;
+                  st.countdown = period;
+                }
+                return;
+            }
+          });
+    }
+    ctx.initialize();
+    state.ResumeTiming();
+
+    ctx.step(kCycles);
+    benchmark::DoNotOptimize(ctx.cycle());
+    cycles += kCycles;
+    evals += ctx.evaluations();
+    skipped += ctx.sched_skipped_evaluations();
+  }
+  state.counters["cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["evals_per_cycle"] =
+      cycles > 0 ? static_cast<double>(evals) / static_cast<double>(cycles)
+                 : 0.0;
+  state.counters["skipped_per_cycle"] =
+      cycles > 0 ? static_cast<double>(skipped) / static_cast<double>(cycles)
+                 : 0.0;
+}
+
+void BM_RtlSparse(benchmark::State& state) {
+  run_rtl_node_sparse(state, sim::KernelKind::kCompiled);
+}
+void BM_RtlSparseInterp(benchmark::State& state) {
+  run_rtl_node_sparse(state, sim::KernelKind::kInterp);
+}
+void BM_BcaWrappedSparse(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kBcaWrapped, /*memoize=*/true,
+            sim::KernelKind::kCompiled, /*sparse=*/true);
+}
+void BM_BcaWrappedSparseInterp(benchmark::State& state) {
+  run_model(state, verif::ModelKind::kBcaWrapped, /*memoize=*/true,
+            sim::KernelKind::kInterp, /*sparse=*/true);
+}
+
 void shapes(benchmark::internal::Benchmark* b) {
   b->Args({2, 2, 4})->Args({4, 4, 4})->Args({8, 4, 4})->Args({4, 4, 16});
+  b->Unit(benchmark::kMillisecond);
+}
+
+void sparse_shapes(benchmark::internal::Benchmark* b) {
+  b->Args({2, 2, 4})->Args({4, 4, 4});
+  b->Unit(benchmark::kMillisecond);
+}
+
+// (n_init, n_targ, period): one store transaction per initiator every
+// `period` cycles; larger period = sparser activity.
+void rtl_sparse_shapes(benchmark::internal::Benchmark* b) {
+  b->Args({2, 2, 400})->Args({4, 4, 800})->Args({2, 2, 20000});
   b->Unit(benchmark::kMillisecond);
 }
 
@@ -120,7 +289,12 @@ BENCHMARK(BM_Bca)->Apply(shapes);
 BENCHMARK(BM_BcaNoMemo)->Apply(shapes);
 BENCHMARK(BM_BcaMetricsEnabled)->Apply(shapes);
 BENCHMARK(BM_Rtl)->Apply(shapes);
+BENCHMARK(BM_RtlInterp)->Apply(shapes);
 BENCHMARK(BM_BcaWrapped)->Apply(shapes);
+BENCHMARK(BM_RtlSparse)->Apply(rtl_sparse_shapes);
+BENCHMARK(BM_RtlSparseInterp)->Apply(rtl_sparse_shapes);
+BENCHMARK(BM_BcaWrappedSparse)->Apply(sparse_shapes);
+BENCHMARK(BM_BcaWrappedSparseInterp)->Apply(sparse_shapes);
 
 // Long sparse trace through the full tracer stack (VCD writer + toggle
 // coverage): `n_signals` registered signals, only `n_active` of them

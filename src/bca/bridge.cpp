@@ -1,6 +1,7 @@
 #include "bca/bridge.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "stbus/packet.h"
 
@@ -20,7 +21,22 @@ Bridge::Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
       dn_type_(dn_type),
       faults_(faults) {
   ctx.add_clocked(name_ + ".tick", [this] { tick(); });
-  ctx.add_comb(name_ + ".drive", [this] { drive(); });
+  // drive() reads no signals, only tick-owned members: the StateTag is its
+  // whole sensitivity list under the compiled schedule.
+  sim::CombOpts opts;
+  opts.state = &tag_;
+  ctx.add_comb(name_ + ".drive", [this] { drive(); }, std::move(opts));
+}
+
+void Bridge::tick() {
+  const int before_phase = phase_;
+  const std::size_t before_out = outbound_.size();
+  const std::size_t before_ret = returning_.size();
+  tick_fsm();
+  if (phase_ != before_phase || outbound_.size() != before_out ||
+      returning_.size() != before_ret) {
+    tag_.bump();
+  }
 }
 
 void Bridge::drive() {
@@ -38,7 +54,7 @@ void Bridge::drive() {
   }
 }
 
-void Bridge::tick() {
+void Bridge::tick_fsm() {
   switch (phase_) {
     case 0: {
       if (!(up_.req.read() && up_.gnt.read())) return;

@@ -31,9 +31,13 @@ class Bridge {
   // 0 = absorbing request, 1 = replaying request, 2 = absorbing response,
   // 3 = replaying response.
   int phase_ = 0;
+  // Bumped when tick() changes drive-visible state (phase or replay queue
+  // heads); re-dirties the drive process under the compiled schedule.
+  sim::StateTag tag_;
 
   void drive();
   void tick();
+  void tick_fsm();
 
   std::string name_;
   stbus::PortPins& up_;

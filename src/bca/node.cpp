@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "stbus/packet.h"
 
@@ -115,6 +116,13 @@ void ArbState::update(std::uint64_t next_cycle, int granted,
   }
 }
 
+bool ArbState::quiescent() const {
+  for (const int w : waited_) {
+    if (w != 0) return false;
+  }
+  return window_ <= 0 || tokens_ == quota_;
+}
+
 // ---------------------------------------------------------------------------
 // Node
 // ---------------------------------------------------------------------------
@@ -148,7 +156,54 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
   err_pending_.resize(static_cast<std::size_t>(cfg_.n_initiators));
 
   ctx.add_clocked(cfg_.name + ".tick", [this] { tick(); });
-  ctx.add_comb(cfg_.name + ".drive", [this] { drive_pins(); });
+  // Declared read-set for the compiled schedule: the exact pin superset
+  // evaluate()/drive_pins() may read. Discovery alone would miss the
+  // data-dependent reads (route(add) behind req, slot checks behind queue
+  // occupancy). Internal tick-owned state is covered by the StateTag.
+  sim::CombOpts drive_opts;
+  drive_opts.state = &tag_;
+  for (const PortPins* p : iports_) {
+    drive_opts.reads.push_back(&p->req);
+    drive_opts.reads.push_back(&p->add);
+    drive_opts.reads.push_back(&p->r_gnt);
+  }
+  for (const PortPins* p : tports_) {
+    drive_opts.reads.push_back(&p->gnt);
+    drive_opts.reads.push_back(&p->r_req);
+    drive_opts.reads.push_back(&p->r_src);
+  }
+  ctx.add_comb(cfg_.name + ".drive", [this] { drive_pins(); },
+               std::move(drive_opts));
+}
+
+bool Node::idle_cycle() const {
+  // One stamp compare while nothing anywhere commits a change: an idle
+  // tick mutates nothing this check reads, so the answer cannot flip.
+  const std::uint64_t stamp = ctx_.change_stamp();
+  if (was_idle_ && stamp == idle_stamp_) return true;
+  was_idle_ = false;
+  idle_stamp_ = stamp;
+  for (const PortPins* p : iports_) {
+    if (p->req.read()) return false;
+  }
+  for (const PortPins* p : tports_) {
+    if (p->r_req.read()) return false;
+  }
+  for (const auto& q : to_target_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& q : to_initiator_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& q : err_pending_) {
+    if (!q.empty()) return false;
+  }
+  if (prog_ != nullptr && (prog_ack_ || prog_->req.read())) return false;
+  for (const auto& a : arb_) {
+    if (!a.quiescent()) return false;
+  }
+  was_idle_ = true;
+  return true;
 }
 
 bool Node::target_slot_free(int target) const {
@@ -336,10 +391,12 @@ void Node::drive_pins() {
 }
 
 void Node::tick() {
+  ++ticks_;
+  if (idle_cycle()) return;  // provably a no-op beyond the cycle counter
+  tag_.bump();
   const Outcome out = evaluate();
   const int T = cfg_.n_targets;
   const int nres = cfg_.num_resources();
-  ++ticks_;
 
   // Response slots: retire delivered cells, then land the picked cells.
   for (int i = 0; i < cfg_.n_initiators; ++i) {

@@ -39,6 +39,11 @@ class ArbState {
   void update(std::uint64_t next_cycle, int granted, std::uint32_t requesting,
               bool holds_allocation, const Faults& faults);
 
+  // True when update(next_cycle, -1, 0, ...) is provably a no-op: no wait
+  // counters pending and the bandwidth tokens already at their quota. Lets
+  // the node skip whole idle cycles.
+  bool quiescent() const;
+
   void write_priority(int initiator, int value) {
     prio_[static_cast<std::size_t>(initiator)] = value;
   }
@@ -100,12 +105,18 @@ class Node {
   void handle_prog();
   // Highest change stamp across the pins this model is sensitive to.
   std::uint64_t input_stamp() const;
+  // True when this edge is provably a no-op (no traffic in flight, ports
+  // idle, arbiters quiescent): the tick body can be skipped entirely.
+  // Memoized against the kernel's global change stamp.
+  bool idle_cycle() const;
 
   bool target_slot_free(int target) const;
   bool initiator_slot_free(int initiator) const;
 
   sim::Context& ctx_;
   stbus::NodeConfig cfg_;
+  mutable bool was_idle_ = false;
+  mutable std::uint64_t idle_stamp_ = 0;
   std::vector<stbus::PortPins*> iports_;
   std::vector<stbus::PortPins*> tports_;
   stbus::PortPins* prog_ = nullptr;
@@ -121,6 +132,11 @@ class Node {
   std::vector<std::deque<PendingError>> err_pending_;  // per initiator
 
   std::uint64_t ticks_ = 0;
+
+  // Version of the tick-owned internal state the drive process reads
+  // (slots, allocations, arbiter state, programming FSM). Bumped on every
+  // non-idle edge so the compiled schedule re-dirties the drive process.
+  sim::StateTag tag_;
 
   // Sensitivity-list memoization: skip re-evaluation while the inputs are
   // unchanged within a cycle (what a SystemC BCA model's wait()/sensitivity

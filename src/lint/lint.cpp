@@ -63,6 +63,8 @@ const std::vector<Rule>& rule_catalogue() {
       {"CRVE060", Severity::kWarn,
        "sanitizer-instrumented build probing a campaign cache with "
        "uninstrumented entries"},
+      {"CRVE061", Severity::kWarn,
+       "duplicate literal process name in add_comb/add_clocked"},
   };
   return kRules;
 }

@@ -129,6 +129,13 @@ Report lint_cache_provenance(const std::string& cache_dir,
 // allow(CRVE0xx[, ...])` comments suppress findings on their own line (or,
 // for comment-only lines, the next line). `path` selects the per-file
 // exemptions (main.cpp, common/rng.h, deterministic-output modules).
+//
+// CRVE061 additionally scans the raw text for add_comb("x")/add_clocked("x")
+// call sites whose name argument is a plain string literal and flags
+// within-file duplicates: the kernel addresses processes by name (`after`
+// edges, cycle diagnostics) and throws on collision at elaboration, so the
+// lint surfaces the mistake before a simulation ever runs. Names built with
+// a computed suffix ("x" + std::to_string(i)) are skipped.
 Report lint_source_text(const std::string& text, const std::string& path);
 Report lint_source_file(const std::string& path);
 

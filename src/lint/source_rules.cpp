@@ -1,4 +1,5 @@
-// Source determinism rule family (CRVE050..CRVE053).
+// Source determinism rule family (CRVE050..CRVE053) and the process-name
+// collision rule (CRVE061).
 //
 // A token-level scanner, not a parser: each file is split into lines with
 // comments and string/char literals blanked out (block comments and raw
@@ -16,6 +17,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -337,6 +339,73 @@ Report lint_source_text(const std::string& text, const std::string& path) {
                   "sink and interleaves under --jobs; use CRVE_LOG or "
                   "return data to the caller");
         }
+      }
+    }
+  }
+
+  // CRVE061: two processes registered under the same literal name. The
+  // kernel addresses processes by name (`after` edges, cycle diagnostics)
+  // and throws at elaboration on collision; the lint catches the mistake
+  // statically. Scans the raw text because the per-line code view blanks
+  // string literals. Only plain literals followed directly by ',' count —
+  // a computed name ("x" + std::to_string(i)) is skipped.
+  {
+    std::vector<std::pair<int, std::string>> sites;  // (line, name)
+    for (const std::string fn : {"add_comb", "add_clocked"}) {
+      std::size_t pos = 0;
+      while ((pos = text.find(fn, pos)) != std::string::npos) {
+        const std::size_t site = pos;
+        pos += fn.size();
+        if (site > 0 && ident_char(text[site - 1])) continue;
+        std::size_t j = pos;
+        while (j < text.size() && std::isspace(static_cast<unsigned char>(
+                                      text[j]))) {
+          ++j;
+        }
+        if (j >= text.size() || text[j] != '(') continue;
+        const int line =
+            1 + static_cast<int>(
+                    std::count(text.begin(),
+                               text.begin() + static_cast<std::ptrdiff_t>(
+                                                  site),
+                               '\n'));
+        // Real call site, not a mention in a comment or string: the blanked
+        // code for this line must still carry the identifier.
+        if (line > static_cast<int>(lines.size()) ||
+            !has_word(lines[static_cast<std::size_t>(line - 1)].code, fn)) {
+          continue;
+        }
+        ++j;
+        while (j < text.size() && std::isspace(static_cast<unsigned char>(
+                                      text[j]))) {
+          ++j;
+        }
+        if (j >= text.size() || text[j] != '"') continue;
+        std::string name;
+        for (++j; j < text.size() && text[j] != '"'; ++j) {
+          if (text[j] == '\\' && j + 1 < text.size()) ++j;
+          name += text[j];
+        }
+        std::size_t k = j + 1;
+        while (k < text.size() && std::isspace(static_cast<unsigned char>(
+                                      text[k]))) {
+          ++k;
+        }
+        if (k >= text.size() || text[k] != ',') continue;  // computed name
+        sites.emplace_back(line, name);
+      }
+    }
+    // add_comb and add_clocked share one namespace; report each duplicate
+    // against the first site in file order.
+    std::sort(sites.begin(), sites.end());
+    std::map<std::string, int> first_use;
+    for (const auto& [line, name] : sites) {
+      const auto [it, inserted] = first_use.emplace(name, line);
+      if (!inserted) {
+        add("CRVE061", line,
+            "process name \"" + name + "\" already registered at line " +
+                std::to_string(it->second) +
+                "; duplicate names throw at elaboration");
       }
     }
   }

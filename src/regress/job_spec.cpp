@@ -128,7 +128,8 @@ std::string JobSpec::canonical_json() const {
      << ", \"alignment\": " << (run_alignment ? "true" : "false")
      << ", \"threshold\": " << json_number(alignment_threshold)
      << ", \"triage\": " << (run_triage ? "true" : "false")
-     << ", \"triage_window\": " << json_hex(triage_window) << ", \"faults\": [";
+     << ", \"triage_window\": " << json_hex(triage_window)
+     << ", \"kernel\": \"" << json_escape(kernel) << "\", \"faults\": [";
   for (std::size_t i = 0; i < faults.size(); ++i) {
     os << (i == 0 ? "" : ", ") << "\"" << json_escape(faults[i]) << "\"";
   }
@@ -155,6 +156,8 @@ JobSpec job_spec_for(const RunPlan& plan, const verif::TestSpec& test,
   s.alignment_threshold = plan.alignment_threshold;
   s.run_triage = plan.run_triage;
   s.triage_window = plan.triage_window;
+  s.kernel =
+      plan.kernel == sim::KernelKind::kInterp ? "interp" : "compiled";
   s.faults = fault_names(plan.faults);
   const BuildInfo& b = build_info();
   s.git_hash = b.git_hash;
@@ -224,6 +227,7 @@ std::vector<JobSpec> parse_job_specs(const std::string& text) {
     s.alignment_threshold = member(j, "threshold").num;
     s.run_triage = bool_of(j, "triage");
     s.triage_window = u64_of(j, "triage_window");
+    s.kernel = j.string_or("kernel", "compiled");
     const json::Value& faults = member(j, "faults");
     for (const json::Value& f : faults.items) s.faults.push_back(f.str);
     const json::Value& b = member(j, "build");

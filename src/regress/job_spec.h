@@ -39,6 +39,11 @@ struct JobSpec {
   double alignment_threshold = 0.99;
   bool run_triage = true;
   std::uint64_t triage_window = 50;
+  // Simulation kernel the jobs run under ("compiled" or "interp"). Part of
+  // the hash: the kernels produce byte-identical artifacts, but a cache
+  // replay must never mask a kernel-specific bug being hunted with
+  // --sim-kernel.
+  std::string kernel = "compiled";
   std::vector<std::string> faults;  // sorted active BCA fault names
   // Build provenance of the binary expected to execute this job; part of
   // the hash, so a rebuilt tree never replays another build's results.

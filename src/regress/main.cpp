@@ -20,6 +20,10 @@
 //   --jobs N           worker threads for the (config,test,seed,view)
 //                      matrix (default: 0 = one per hardware thread)
 //   --json FILE        also write the batch JSON report to FILE
+//   --sim-kernel K     simulation kernel: "compiled" (levelized static
+//                      schedule, the default) or "interp" (reference
+//                      delta-cycle interpreter, the escape hatch and the
+//                      differential-testing baseline)
 //   --no-triage        skip triage artifacts for below-threshold pairs
 //   --triage-window N  excerpt half-width in cycles around the first
 //                      divergence (default: 50)
@@ -99,6 +103,7 @@ int usage() {
                "                    [--tests t02,t05] [--tx N] [--threshold P]\n"
                "                    [--fault NAME] [--no-alignment]\n"
                "                    [--jobs N] [--json FILE]\n"
+               "                    [--sim-kernel compiled|interp]\n"
                "                    [--no-triage] [--triage-window N]\n"
                "                    [--no-lint]\n"
                "                    [--cache-dir DIR] [--cache-max-mb N]\n"
@@ -180,6 +185,7 @@ int main(int argc, char** argv) {
   bool lint = true;
   std::uint64_t triage_window = 50;
   unsigned jobs = 0;  // 0 = one worker per hardware thread
+  sim::KernelKind kernel = sim::KernelKind::kCompiled;
 
   try {
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +234,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       jobs = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--sim-kernel") {
+      const char* v = next();
+      if (!v) return usage();
+      const std::string k = v;
+      if (k == "compiled") {
+        kernel = sim::KernelKind::kCompiled;
+      } else if (k == "interp") {
+        kernel = sim::KernelKind::kInterp;
+      } else {
+        std::fprintf(stderr, "unknown kernel '%s'\n", v);
+        return 2;
+      }
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return usage();
@@ -451,6 +469,7 @@ int main(int argc, char** argv) {
 
   regress::RunPlan base;
   base.tests = tests;
+  base.kernel = kernel;
   base.seeds = seeds;
   base.n_transactions = tx;
   base.run_alignment = alignment;

@@ -151,6 +151,7 @@ struct Campaign {
 
     TestbenchOptions opts;
     opts.model = model;
+    opts.kernel = plan.kernel;
     opts.seed = seed;
     opts.max_cycles = plan.max_cycles;
     if (model != ModelKind::kRtl) opts.faults = plan.faults;
@@ -708,6 +709,8 @@ std::vector<WorkerOutcome> Regression::run_worker(
     plan.alignment_threshold = js.alignment_threshold;
     plan.run_triage = js.run_triage;
     plan.triage_window = js.triage_window;
+    plan.kernel = js.kernel == "interp" ? sim::KernelKind::kInterp
+                                        : sim::KernelKind::kCompiled;
     plan.faults = faults_from_names(js.faults);
     const std::string key = js.hash();
     if (!opts.out_dir.empty()) {

@@ -42,6 +42,8 @@ namespace crve::regress {
 struct RunPlan {
   stbus::NodeConfig cfg;
   std::vector<verif::TestSpec> tests;  // empty = full CATG suite
+  // Simulation kernel used for every job in the campaign (`--sim-kernel`).
+  sim::KernelKind kernel = sim::KernelKind::kCompiled;
   std::vector<std::uint64_t> seeds = {1};
   int n_transactions = 0;  // 0 = keep each test's default
   // Artifact directory for VCD dumps and text reports; empty = in-memory.

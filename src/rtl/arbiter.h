@@ -34,6 +34,16 @@ class Arbiter {
   void on_edge(std::uint64_t next_cycle, int granted,
                std::uint32_t requesting);
 
+  // True when on_edge(next_cycle, -1, 0) is provably a no-op: no latency
+  // wait counters pending and bandwidth tokens already at their quota.
+  // Lets the node skip whole idle cycles without touching arbiter state.
+  bool quiescent() const {
+    for (const int w : wait_) {
+      if (w != 0) return false;
+    }
+    return window_ <= 0 || tokens_ == quota_;
+  }
+
   // Programmable-priority register file (also readable for kFixedPriority).
   void set_priority(int initiator, int prio);
   int priority(int initiator) const {

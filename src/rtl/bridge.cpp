@@ -1,6 +1,7 @@
 #include "rtl/bridge.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stbus/packet.h"
 
@@ -21,7 +22,11 @@ Bridge::Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
       up_type_(up_type),
       dn_type_(dn_type) {
   ctx.add_clocked(name_ + ".edge", [this] { edge(); });
-  ctx.add_comb(name_ + ".comb", [this] { comb(); });
+  // comb() reads no signals, only edge-owned members: the StateTag is its
+  // whole sensitivity list under the compiled schedule.
+  sim::CombOpts opts;
+  opts.state = &tag_;
+  ctx.add_comb(name_ + ".comb", [this] { comb(); }, std::move(opts));
 }
 
 void Bridge::comb() {
@@ -44,6 +49,13 @@ void Bridge::comb() {
 }
 
 void Bridge::edge() {
+  const State before_state = state_;
+  const std::size_t before_idx = replay_idx_;
+  edge_fsm();
+  if (state_ != before_state || replay_idx_ != before_idx) tag_.bump();
+}
+
+void Bridge::edge_fsm() {
   switch (state_) {
     case State::kAccept: {
       if (!(up_.req.read() && up_.gnt.read())) break;

@@ -47,6 +47,7 @@ class Bridge {
 
   void comb();
   void edge();
+  void edge_fsm();
 
   std::string name_;
   stbus::PortPins& up_;
@@ -55,6 +56,10 @@ class Bridge {
   stbus::ProtocolType dn_type_;
 
   State state_ = State::kAccept;
+  // Bumped when edge() changes drive-visible state (FSM state or replay
+  // position); re-dirties the combinational process under the compiled
+  // schedule.
+  sim::StateTag tag_;
   std::vector<stbus::RequestCell> up_req_cells_;   // absorbed upstream packet
   std::vector<stbus::RequestCell> dn_req_cells_;   // rebuilt downstream packet
   std::vector<stbus::ResponseCell> dn_rsp_cells_;  // absorbed downstream rsp

@@ -1,6 +1,7 @@
 #include "rtl/node.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace crve::rtl {
 
@@ -14,6 +15,7 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
            std::vector<PortPins*> initiator_ports,
            std::vector<PortPins*> target_ports, PortPins* prog_port)
     : cfg_(std::move(cfg)),
+      ctx_(&ctx),
       iports_(std::move(initiator_ports)),
       tports_(std::move(target_ports)),
       prog_(prog_port) {
@@ -41,22 +43,79 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
   ctx.add_clocked(cfg_.name + ".edge", [this] { edge(); });
   // One combinational process per synthesizable block, arbitration first so
   // the per-port blocks read settled decision wires within the same delta.
-  ctx.add_comb(cfg_.name + ".arb", [this] { comb_arbitration(); });
+  //
+  // Compiled-schedule contracts: the arbitration block declares the full
+  // pin superset its decision functions may read (discovery only sees the
+  // all-idle branches); the per-port blocks that consume the decision
+  // "wires" (plain members, not signals) order themselves after it; blocks
+  // reading edge-owned registers depend on the node's StateTag.
+  sim::CombOpts arb_opts;
+  arb_opts.state = &tag_;
+  for (const PortPins* p : iports_) {
+    arb_opts.reads.push_back(&p->req);
+    arb_opts.reads.push_back(&p->add);
+    arb_opts.reads.push_back(&p->r_gnt);
+  }
+  for (const PortPins* p : tports_) {
+    arb_opts.reads.push_back(&p->gnt);
+    arb_opts.reads.push_back(&p->r_req);
+    arb_opts.reads.push_back(&p->r_src);
+  }
+  ctx.add_comb(cfg_.name + ".arb", [this] { comb_arbitration(); },
+               std::move(arb_opts));
+  sim::CombOpts after_arb;
+  after_arb.after.push_back(cfg_.name + ".arb");
+  sim::CombOpts tagged;
+  tagged.state = &tag_;
   for (int i = 0; i < cfg_.n_initiators; ++i) {
     ctx.add_comb(cfg_.name + ".ignt" + std::to_string(i),
-                 [this, i] { comb_initiator_gnt(i); });
+                 [this, i] { comb_initiator_gnt(i); }, after_arb);
     ctx.add_comb(cfg_.name + ".irsp" + std::to_string(i),
-                 [this, i] { comb_initiator_rsp(i); });
+                 [this, i] { comb_initiator_rsp(i); }, tagged);
   }
   for (int t = 0; t < cfg_.n_targets; ++t) {
     ctx.add_comb(cfg_.name + ".treq" + std::to_string(t),
-                 [this, t] { comb_target_req(t); });
+                 [this, t] { comb_target_req(t); }, tagged);
+    sim::CombOpts rgnt_opts = after_arb;
+    rgnt_opts.reads.push_back(&tports_[static_cast<std::size_t>(t)]->r_req);
+    rgnt_opts.reads.push_back(&tports_[static_cast<std::size_t>(t)]->r_src);
     ctx.add_comb(cfg_.name + ".trgnt" + std::to_string(t),
-                 [this, t] { comb_target_rgnt(t); });
+                 [this, t] { comb_target_rgnt(t); }, std::move(rgnt_opts));
   }
   if (prog_ != nullptr) {
-    ctx.add_comb(cfg_.name + ".prog", [this] { comb_prog(); });
+    ctx.add_comb(cfg_.name + ".prog", [this] { comb_prog(); }, tagged);
   }
+}
+
+bool Node::idle_cycle() const {
+  // While no signal anywhere commits a change, an idle node's inputs are
+  // unchanged and an idle edge mutates nothing the check reads, so the
+  // answer cannot flip: one stamp compare replaces the full scan.
+  const std::uint64_t stamp = ctx_->change_stamp();
+  if (was_idle_ && stamp == idle_stamp_) return true;
+  was_idle_ = false;
+  idle_stamp_ = stamp;
+  for (const PortPins* p : iports_) {
+    if (p->req.read()) return false;
+  }
+  for (const PortPins* p : tports_) {
+    if (p->r_req.read()) return false;
+  }
+  for (const auto& r : treg_) {
+    if (r.valid) return false;
+  }
+  for (const auto& r : ireg_) {
+    if (r.valid) return false;
+  }
+  for (const auto& q : errq_) {
+    if (!q.empty()) return false;
+  }
+  if (prog_ != nullptr && (prog_gnt_ || prog_->req.read())) return false;
+  for (const auto& a : arbs_) {
+    if (!a->quiescent()) return false;
+  }
+  was_idle_ = true;
+  return true;
 }
 
 int Node::request_target(int initiator) const {
@@ -220,6 +279,13 @@ void Node::comb_prog() {
 }
 
 void Node::edge() {
+  if (idle_cycle()) {
+    // Provably a no-op beyond the cycle counter (arbiters quiescent, no
+    // cells in flight): skip the decision recompute entirely.
+    ++edge_count_;
+    return;
+  }
+  tag_.bump();
   // Decisions recomputed from the settled values of the ending cycle;
   // identical to what comb() last produced.
   const ReqDecision rd = decide_requests();

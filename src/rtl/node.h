@@ -92,6 +92,11 @@ class Node {
   int request_target(int initiator) const;
   bool treg_can_accept(int target) const;
   bool ireg_can_accept(int initiator) const;
+  // True when this edge is provably a no-op (ports idle, registers empty,
+  // arbiters quiescent): the edge body can be skipped entirely. Memoized
+  // against the kernel's global change stamp — an idle node stays idle for
+  // free while nothing anywhere commits a change.
+  bool idle_cycle() const;
 
   ReqDecision decide_requests() const;
   RspDecision decide_responses() const;
@@ -110,9 +115,13 @@ class Node {
   void prog_edge();
 
   stbus::NodeConfig cfg_;
+  sim::Context* ctx_ = nullptr;
   std::vector<stbus::PortPins*> iports_;
   std::vector<stbus::PortPins*> tports_;
   stbus::PortPins* prog_ = nullptr;
+
+  mutable bool was_idle_ = false;
+  mutable std::uint64_t idle_stamp_ = 0;
 
   std::vector<std::unique_ptr<Arbiter>> arbs_;  // one per resource
   std::vector<int> req_owner_;                  // per resource, -1 = free
@@ -124,6 +133,11 @@ class Node {
   std::vector<std::deque<ErrDesc>> errq_;       // per initiator
 
   std::uint64_t edge_count_ = 0;  // feeds arbiter bandwidth windows
+
+  // Version of the edge-owned internal state the combinational blocks read
+  // (pipeline registers, owners, error queues, programming FSM). Bumped on
+  // every non-idle edge so the compiled schedule re-dirties those blocks.
+  sim::StateTag tag_;
 
   // Decision "wires" between the arbitration block and the port blocks.
   ReqDecision req_wires_;

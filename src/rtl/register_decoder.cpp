@@ -1,6 +1,7 @@
 #include "rtl/register_decoder.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "stbus/packet.h"
 
@@ -14,13 +15,18 @@ RegisterDecoder::RegisterDecoder(sim::Context& ctx, std::string name,
                                  stbus::ProtocolType type,
                                  std::uint32_t base_address, int n_regs)
     : name_(std::move(name)),
+      ctx_(&ctx),
       port_(port),
       type_(type),
       base_(base_address),
       regs_(static_cast<std::size_t>(n_regs), 0) {
   if (n_regs < 1) throw std::invalid_argument("RegisterDecoder: n_regs");
   ctx.add_clocked(name_ + ".edge", [this] { edge(); });
-  ctx.add_comb(name_ + ".comb", [this] { comb(); });
+  // comb() reads no signals, only the edge-owned response queue: the
+  // StateTag is its whole sensitivity list under the compiled schedule.
+  sim::CombOpts opts;
+  opts.state = &tag_;
+  ctx.add_comb(name_ + ".comb", [this] { comb(); }, std::move(opts));
 }
 
 std::uint32_t RegisterDecoder::reg(int index) const {
@@ -41,10 +47,25 @@ void RegisterDecoder::comb() {
 }
 
 void RegisterDecoder::edge() {
-  if (!rsp_queue_.empty() && port_.r_req.read() && port_.r_gnt.read()) {
-    rsp_queue_.pop_front();
+  // One stamp compare while nothing anywhere commits a change: the pins
+  // read below are frozen and the queues are only mutated here, so an edge
+  // that proved itself a no-op stays a no-op.
+  const std::uint64_t stamp = ctx_->change_stamp();
+  if (was_idle_ && stamp == idle_stamp_) return;
+  was_idle_ = false;
+  idle_stamp_ = stamp;
+  const bool rsp_fire =
+      !rsp_queue_.empty() && port_.r_req.read() && port_.r_gnt.read();
+  const bool req_fire = port_.req.read() && port_.gnt.read();
+  if (!rsp_fire && !req_fire) {
+    was_idle_ = true;
+    return;
   }
-  if (!(port_.req.read() && port_.gnt.read())) return;
+  if (rsp_fire) {
+    rsp_queue_.pop_front();
+    tag_.bump();
+  }
+  if (!req_fire) return;
   req_cells_.push_back(port_.sample_request());
   if (!req_cells_.back().eop) return;
 
@@ -89,6 +110,7 @@ void RegisterDecoder::edge() {
                                      port_.bus_bytes, type_, head.src,
                                      head.tid);
   rsp_queue_.insert(rsp_queue_.end(), cells.begin(), cells.end());
+  tag_.bump();
   req_cells_.clear();
 }
 

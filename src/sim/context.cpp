@@ -1,43 +1,85 @@
 #include "sim/context.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "sim/schedule.h"
 
 namespace crve::sim {
 
 SignalBase::SignalBase(Context& ctx, std::string name, int width)
-    : ctx_(ctx), name_(std::move(name)), width_(width) {
-  ctx_.register_signal(this);
+    : name_(std::move(name)), width_(width) {
+  ctx.register_signal(this);
 }
 
-void SignalBase::mark_dirty() { ctx_.mark_dirty(this); }
+Context::Context() = default;
+Context::~Context() = default;
+
+void Context::check_unique_name(const std::string& name) {
+  if (!proc_names_.insert(name).second) {
+    throw SimError("duplicate process name: " + name);
+  }
+}
 
 void Context::add_clocked(std::string name, std::function<void()> fn) {
-  clocked_.push_back({std::move(name), std::move(fn)});
+  check_unique_name(name);
+  clocked_.push_back({std::move(name), std::move(fn), {}});
 }
 
 void Context::add_comb(std::string name, std::function<void()> fn) {
-  comb_.push_back({std::move(name), std::move(fn)});
+  add_comb(std::move(name), std::move(fn), CombOpts{});
+}
+
+void Context::add_comb(std::string name, std::function<void()> fn,
+                       CombOpts opts) {
+  check_unique_name(name);
+  comb_.push_back({std::move(name), std::move(fn), std::move(opts)});
+}
+
+void Context::set_kernel(KernelKind k) {
+  if (initialized_) {
+    throw SimError("set_kernel() after initialize()");
+  }
+  kernel_ = k;
 }
 
 bool Context::commit_dirty() {
   bool changed = false;
-  // A signal may be written several times in one evaluation; dedupe cheaply.
-  std::sort(dirty_.begin(), dirty_.end());
-  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
-  for (SignalBase* s : dirty_) {
-    if (s->commit()) {
-      s->set_stamp(++change_stamp_);
+  // Dirty signals were deduped at write time via the arena flag byte, so
+  // the commit walk is a single pass over the insertion-order list.
+  for (const int idx : arena_.dirty) {
+    const auto i = static_cast<std::size_t>(idx);
+    arena_.flags[i] &= static_cast<std::uint8_t>(~SignalArena::kDirtyFlag);
+    if (signals_[i]->commit()) {
+      arena_.stamps[i] = ++change_stamp_;
       changed = true;
-      if (!s->in_changed_set_) {
-        s->in_changed_set_ = true;
-        changed_.push_back(s->index_);
+      if (!(arena_.flags[i] & SignalArena::kInChangedFlag)) {
+        arena_.flags[i] |= SignalArena::kInChangedFlag;
+        changed_.push_back(idx);
+      }
+      if (sched_) {
+        // Change-driven skipping: only the static readers of this signal
+        // need to re-evaluate.
+        for (const int p : sched_->signal_readers[i]) mark_proc_dirty(p);
       }
     }
   }
-  dirty_.clear();
+  arena_.dirty.clear();
   return changed;
+}
+
+void Context::snapshot_all() {
+  for (const int i : changed_) {
+    arena_.flags[static_cast<std::size_t>(i)] &=
+        static_cast<std::uint8_t>(~SignalArena::kInChangedFlag);
+  }
+  changed_.clear();
+  changed_.reserve(signals_.size());
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    changed_.push_back(static_cast<int>(i));
+  }
 }
 
 void Context::sample_tracers() {
@@ -46,7 +88,8 @@ void Context::sample_tracers() {
   changed_samples_ += changed_.size();
   for (Tracer* t : tracers_) t->sample(cycle_, signals_, changed_);
   for (const int i : changed_) {
-    signals_[static_cast<std::size_t>(i)]->in_changed_set_ = false;
+    arena_.flags[static_cast<std::size_t>(i)] &=
+        static_cast<std::uint8_t>(~SignalArena::kInChangedFlag);
   }
   changed_.clear();
 }
@@ -67,6 +110,142 @@ void Context::settle() {
   }
 }
 
+std::string Context::dirty_proc_names() const {
+  std::string names;
+  for (std::size_t i = 0; i < comb_.size(); ++i) {
+    if (!proc_dirty_[i]) continue;
+    if (!names.empty()) names += ", ";
+    names += comb_[i].name;
+  }
+  return names;
+}
+
+void Context::build_compiled_schedule() {
+  std::vector<ProcNode> nodes;
+  nodes.reserve(comb_.size());
+  std::vector<char> seen(signals_.size(), 0);
+  // Discovery pass: one instrumented run of every combinational process, in
+  // registration order with commits deferred — exactly the interpreter's
+  // first delta iteration, so both kernels settle construction-time writes
+  // to the same fixpoint.
+  for (auto& p : comb_) {
+    arena_.begin_recording();
+    p.fn();
+    ++evaluations_;
+    ProcNode node;
+    node.name = p.name;
+    node.dynamic = p.opts.dynamic;
+    node.reads = arena_.reads;
+    node.writes = arena_.writes;
+    arena_.end_recording();
+    // The effective read-set is recorded ∪ declared: discovery only sees
+    // the branches taken on the initial all-idle evaluation.
+    for (const int s : node.reads) seen[static_cast<std::size_t>(s)] = 1;
+    for (const SignalBase* sig : p.opts.reads) {
+      const int s = sig->index();
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = 1;
+        node.reads.push_back(s);
+      }
+    }
+    for (const int s : node.reads) seen[static_cast<std::size_t>(s)] = 0;
+    nodes.push_back(std::move(node));
+  }
+
+  std::unordered_map<std::string, int> comb_index;
+  for (std::size_t i = 0; i < comb_.size(); ++i) {
+    comb_index[comb_[i].name] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < comb_.size(); ++i) {
+    for (const std::string& producer : comb_[i].opts.after) {
+      const auto it = comb_index.find(producer);
+      if (it == comb_index.end()) {
+        throw SimError("CombOpts::after names unknown process '" + producer +
+                       "' (required by " + comb_[i].name + ")");
+      }
+      nodes[i].after.push_back(it->second);
+    }
+  }
+
+  std::vector<std::string> signal_names;
+  signal_names.reserve(signals_.size());
+  for (const SignalBase* s : signals_) signal_names.push_back(s->name());
+
+  sched_ = std::make_unique<CompiledSchedule>(
+      build_schedule(nodes, signals_.size(), signal_names));
+  sched_ranks_ = sched_->n_ranks();
+
+  proc_dirty_.assign(comb_.size(), 0);
+  n_dirty_ = 0;
+  tag_groups_.clear();
+  for (std::size_t i = 0; i < comb_.size(); ++i) {
+    const StateTag* tag = comb_[i].opts.state;
+    if (tag == nullptr || comb_[i].opts.dynamic) continue;
+    auto it = std::find_if(tag_groups_.begin(), tag_groups_.end(),
+                           [tag](const TagGroup& g) { return g.tag == tag; });
+    if (it == tag_groups_.end()) {
+      tag_groups_.push_back({tag, tag->version, {}});
+      it = std::prev(tag_groups_.end());
+    }
+    it->procs.push_back(static_cast<int>(i));
+  }
+}
+
+void Context::settle_compiled() {
+  const bool has_dynamic = !sched_->dynamic_procs.empty();
+  if (n_dirty_ == 0 && !has_dynamic) {
+    // Nothing changed this cycle: the whole schedule is skipped.
+    sched_skipped_ += sched_->n_static;
+    return;
+  }
+  for (int outer = 0;; ++outer) {
+    if (outer >= delta_limit_) {
+      throw SimError("combinational loop: processes still dirty after " +
+                     std::to_string(delta_limit_) +
+                     " schedule passes at cycle " + std::to_string(cycle_) +
+                     ": " + dirty_proc_names());
+    }
+    if (outer > 0) ++delta_iterations_;
+    for (const auto& rank : sched_->ranks) {
+      for (const int p : rank) {
+        if (proc_dirty_[static_cast<std::size_t>(p)]) {
+          proc_dirty_[static_cast<std::size_t>(p)] = 0;
+          --n_dirty_;
+          comb_[static_cast<std::size_t>(p)].fn();
+          ++evaluations_;
+          for (const int d : sched_->run_dependents[static_cast<std::size_t>(p)]) {
+            mark_proc_dirty(d);
+          }
+        } else {
+          ++sched_skipped_;
+        }
+      }
+      commit_dirty();
+    }
+    if (has_dynamic) {
+      // Fallback rank: processes with data-dependent read-sets settle by
+      // fixpoint, exactly like the interpreter (restricted to the tail).
+      for (int iter = 0;; ++iter) {
+        if (iter >= delta_limit_) {
+          throw SimError(
+              "combinational loop: dynamic fallback did not settle after " +
+              std::to_string(delta_limit_) + " iterations at cycle " +
+              std::to_string(cycle_));
+        }
+        for (const int p : sched_->dynamic_procs) {
+          comb_[static_cast<std::size_t>(p)].fn();
+          ++evaluations_;
+        }
+        ++sched_fallback_;
+        if (!commit_dirty()) break;
+      }
+    }
+    // Static ranks cannot re-dirty themselves (edges only point to higher
+    // ranks); only the dynamic tail's commits can force another pass.
+    if (n_dirty_ == 0) break;
+  }
+}
+
 void Context::publish_metrics() const {
   if (!obs::metrics_enabled()) return;
   obs::counter("sim.runs").inc();
@@ -75,27 +254,46 @@ void Context::publish_metrics() const {
   obs::counter("sim.delta_iterations").add(delta_iterations_);
   obs::counter("sim.changed_signal_samples").add(changed_samples_);
   obs::histogram("sim.cycles_per_run").observe(cycle_);
+  if (kernel_ == KernelKind::kCompiled) {
+    obs::counter("sim.sched.ranks").add(sched_ranks_);
+    obs::counter("sim.sched.skipped_evaluations").add(sched_skipped_);
+    obs::counter("sim.sched.fallback_iterations").add(sched_fallback_);
+  }
 }
 
 void Context::initialize() {
   if (initialized_) return;
   initialized_ = true;
   commit_dirty();  // writes made during construction
-  settle();
+  if (kernel_ == KernelKind::kInterp) {
+    settle();
+  } else {
+    // Discovery + levelization; a true combinational cycle throws here, at
+    // elaboration, before any settling is attempted.
+    build_compiled_schedule();
+    commit_dirty();  // discovery writes; marks changed signals' readers
+    settle_compiled();
+  }
   // First sample: every signal is "changed" so tracers take a full snapshot.
-  for (const int i : changed_) {
-    signals_[static_cast<std::size_t>(i)]->in_changed_set_ = false;
-  }
-  changed_.clear();
-  changed_.reserve(signals_.size());
-  for (std::size_t i = 0; i < signals_.size(); ++i) {
-    changed_.push_back(static_cast<int>(i));
-  }
+  snapshot_all();
   sample_tracers();
 }
 
 void Context::step(int n) {
   initialize();
+  if (kernel_ == KernelKind::kInterp) {
+    for (int i = 0; i < n; ++i) {
+      ++cycle_;
+      for (auto& p : clocked_) {
+        p.fn();
+        ++evaluations_;
+      }
+      commit_dirty();
+      settle();
+      sample_tracers();
+    }
+    return;
+  }
   for (int i = 0; i < n; ++i) {
     ++cycle_;
     for (auto& p : clocked_) {
@@ -103,7 +301,16 @@ void Context::step(int n) {
       ++evaluations_;
     }
     commit_dirty();
-    settle();
+    for (auto& g : tag_groups_) {
+      const std::uint64_t v = g.tag->version;
+      if (g.seen != v) {
+        g.seen = v;
+        for (const int p : g.procs) mark_proc_dirty(p);
+      }
+    }
+    // Exactly one scheduled evaluation per cycle on a static graph.
+    ++delta_iterations_;
+    settle_compiled();
     sample_tracers();
   }
 }

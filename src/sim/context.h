@@ -1,21 +1,39 @@
-// Cycle-based simulation kernel with delta-cycle settling.
+// Cycle-based simulation kernel: compiled schedule + interpreter fallback.
 //
 // One implicit clock domain (the paper's testbenches drive one clock from
 // the VHDL testbench; everything else is driven by processes). Each step():
 //   1. clocked processes run (reading pre-edge values, scheduling writes),
 //   2. writes commit,
-//   3. combinational processes run to a fixpoint (delta cycles),
+//   3. combinational processes settle,
 //   4. tracers sample the settled cycle.
+//
+// Two kernels implement phase 3 (DESIGN.md §14):
+//
+//   * kCompiled (default): at initialize() every combinational process runs
+//     once under instrumented signals; the recorded read/write sets (union
+//     of recorded and CombOpts-declared reads) are levelized into a static
+//     rank-ordered schedule (schedule.h). Steady-state cycles evaluate each
+//     rank once, skipping any process none of whose inputs committed a
+//     change — true combinational cycles are rejected at elaboration with a
+//     named cycle path.
+//   * kInterp: the original delta-cycle interpreter — every combinational
+//     process re-runs until fixpoint. Kept as the differential-testing
+//     escape hatch (--sim-kernel interp); both kernels produce byte-
+//     identical reports, VCDs and alignment results.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/signal.h"
 
 namespace crve::sim {
+
+struct CompiledSchedule;
 
 // Observer sampling settled signal values once per cycle (e.g. VCD writer).
 //
@@ -40,15 +58,47 @@ class SimError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+enum class KernelKind { kCompiled, kInterp };
+
+// Scheduling contract of a combinational process under the compiled kernel.
+// Interpreted kernels ignore everything here.
+struct CombOpts {
+  // Signals the process may read beyond what elaboration-time discovery
+  // observes. Models whose read-set is data-dependent (e.g. a mux that
+  // skips idle ports) must declare the full superset here; discovery only
+  // sees the reads taken on the initial all-idle evaluation.
+  std::vector<const SignalBase*> reads;
+  // Names of combinational processes that must evaluate before this one and
+  // whose execution re-dirties it — for decision "wires" passed through
+  // module members instead of signals.
+  std::vector<std::string> after;
+  // Module-internal state the process reads that is mutated by clocked
+  // processes (queues, FSM phases). The process is re-dirtied whenever the
+  // owning module bumps the tag.
+  const StateTag* state = nullptr;
+  // Opt out of static scheduling entirely: the process is excluded from the
+  // dependency graph (it cannot form an elaboration-time cycle) and runs in
+  // a fixpoint tail after the static ranks, every cycle.
+  bool dynamic = false;
+};
+
 class Context {
  public:
-  Context() = default;
+  Context();
+  ~Context();
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
   // --- construction phase -------------------------------------------------
+  // Process names must be unique (kernel diagnostics and `after` edges
+  // address processes by name); duplicates throw SimError.
   void add_clocked(std::string name, std::function<void()> fn);
   void add_comb(std::string name, std::function<void()> fn);
+  void add_comb(std::string name, std::function<void()> fn, CombOpts opts);
+
+  // Selects the settling kernel; must be called before initialize().
+  void set_kernel(KernelKind k);
+  KernelKind kernel() const { return kernel_; }
 
   // Registered automatically by SignalBase; exposed for tracers.
   const std::vector<SignalBase*>& signals() const { return signals_; }
@@ -56,8 +106,10 @@ class Context {
   void attach_tracer(Tracer* t) { tracers_.push_back(t); }
 
   // --- run phase ------------------------------------------------------
-  // Settles combinational logic before the first edge. Called implicitly by
-  // the first step(); callable explicitly for tests.
+  // Settles combinational logic before the first edge; under the compiled
+  // kernel this also runs dependency discovery and levelization, throwing
+  // SimError with a named path on a true combinational cycle. Called
+  // implicitly by the first step(); callable explicitly for tests.
   void initialize();
 
   // Advances n clock cycles.
@@ -66,53 +118,101 @@ class Context {
   std::uint64_t cycle() const { return cycle_; }
   // Total process evaluations, a proxy for simulator work (bench_sim_speed).
   std::uint64_t evaluations() const { return evaluations_; }
-  // Delta iterations run by settle() (>= 1 per cycle; the excess over the
-  // cycle count measures combinational churn).
+  // Scheduled settling passes. Interpreter: delta iterations (>= 1 per
+  // cycle; the excess measures combinational churn). Compiled kernel:
+  // exactly 1 per cycle on a static graph, +1 per re-pass forced by the
+  // dynamic fixpoint tail.
   std::uint64_t delta_iterations() const { return delta_iterations_; }
   // Sum of per-cycle changed-set sizes handed to tracers (the initial
   // full-snapshot sample included) — the trace path's true workload.
   std::uint64_t changed_signal_samples() const { return changed_samples_; }
 
+  // Compiled-schedule counters (zero under the interpreter).
+  // Monotonic count of committed value changes across all signals. A model
+  // that proved itself idle can stay idle for free while this stands still
+  // (nothing anywhere changed, so in particular none of its inputs did).
+  std::uint64_t change_stamp() const { return change_stamp_; }
+
+  std::uint64_t sched_ranks() const { return sched_ranks_; }
+  std::uint64_t sched_skipped_evaluations() const { return sched_skipped_; }
+  std::uint64_t sched_fallback_iterations() const { return sched_fallback_; }
+
   // Publishes this kernel's counters (cycles, evaluations, delta
-  // iterations, changed-signal samples) into the obs metrics registry.
-  // No-op while collection is disabled. Call at end of run; the counters
-  // are kept as plain members during simulation so the hot loop never pays
-  // for instrumentation.
+  // iterations, changed-signal samples, sim.sched.*) into the obs metrics
+  // registry. No-op while collection is disabled. Call at end of run; the
+  // counters are kept as plain members during simulation so the hot loop
+  // never pays for instrumentation.
   void publish_metrics() const;
 
-  // Max delta iterations before declaring a combinational loop.
+  // Max settling iterations before declaring a combinational loop (the
+  // interpreter's delta limit; the compiled kernel's re-pass/fallback bound).
   void set_delta_limit(int limit) { delta_limit_ = limit; }
 
  private:
   friend class SignalBase;
   void register_signal(SignalBase* s) {
-    s->index_ = static_cast<int>(signals_.size());
+    s->index_ = arena_.add_signal();
+    s->arena_ = &arena_;
     signals_.push_back(s);
   }
-  void mark_dirty(SignalBase* s) { dirty_.push_back(s); }
 
   // Commits pending writes; returns whether any visible value changed.
+  // Under an active compiled schedule, marks the static readers of every
+  // changed signal dirty.
   bool commit_dirty();
-  void settle();
+  void settle();           // interpreter fixpoint
+  void settle_compiled();  // rank passes + dynamic fixpoint tail
+  void build_compiled_schedule();
+  void mark_proc_dirty(int p) {
+    if (!proc_dirty_[static_cast<std::size_t>(p)]) {
+      proc_dirty_[static_cast<std::size_t>(p)] = 1;
+      ++n_dirty_;
+    }
+  }
+  // Resets the changed-set and refills it with every signal index, so the
+  // next sample_tracers() hands tracers a full snapshot (first-sample
+  // semantics, shared by both kernel paths).
+  void snapshot_all();
   // Sorts the cycle's changed-set, hands it to every tracer, resets it.
   void sample_tracers();
+  std::string dirty_proc_names() const;
+  void check_unique_name(const std::string& name);
 
   struct Process {
     std::string name;
     std::function<void()> fn;
+    CombOpts opts;  // comb processes only
   };
 
+  SignalArena arena_;
   std::vector<SignalBase*> signals_;
-  std::vector<SignalBase*> dirty_;
   std::vector<int> changed_;  // indices changed since the last sample
   std::vector<Process> clocked_;
   std::vector<Process> comb_;
   std::vector<Tracer*> tracers_;
+  std::unordered_set<std::string> proc_names_;
+
+  KernelKind kernel_ = KernelKind::kCompiled;
+  std::unique_ptr<CompiledSchedule> sched_;
+  std::vector<std::uint8_t> proc_dirty_;   // per comb process
+  std::size_t n_dirty_ = 0;
+  // StateTag checks grouped by unique tag: many processes share one model's
+  // tag, so the per-cycle scan compares one version per tag, not per proc.
+  struct TagGroup {
+    const StateTag* tag;
+    std::uint64_t seen;
+    std::vector<int> procs;
+  };
+  std::vector<TagGroup> tag_groups_;
+
   std::uint64_t cycle_ = 0;
   std::uint64_t evaluations_ = 0;
   std::uint64_t delta_iterations_ = 0;
   std::uint64_t changed_samples_ = 0;
   std::uint64_t change_stamp_ = 0;
+  std::uint64_t sched_ranks_ = 0;
+  std::uint64_t sched_skipped_ = 0;
+  std::uint64_t sched_fallback_ = 0;
   int delta_limit_ = 64;
   bool initialized_ = false;
 };

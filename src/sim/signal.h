@@ -5,18 +5,90 @@
 // evaluations (register semantics for clocked processes, delta-cycle
 // settling for combinational ones). This mirrors the VHDL/SystemC signal
 // model the paper's testbenches rely on.
+//
+// Per-signal kernel state (two-phase values for bool/u64 signals, dirty and
+// changed flags, change stamps) lives in a packed SignalArena owned by the
+// Context and indexed by SignalBase::index(), so the hot commit/settle loops
+// walk contiguous vectors instead of chasing per-object storage. The arena
+// also carries the elaboration-time read/write instrumentation the compiled
+// schedule uses for dependency discovery (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/bits.h"
 
 namespace crve::sim {
 
 class Context;
+
+// Packed per-signal kernel state, indexed by SignalBase::index() (flags,
+// stamps, dirty list) and by a separately allocated value slot (two-phase
+// cur/next storage for bool and u64 signals; Bits payloads stay in the
+// signal object). Owned by the Context; signals keep a stable pointer.
+class SignalArena {
+ public:
+  static constexpr std::uint8_t kDirtyFlag = 1;      // pending uncommitted write
+  static constexpr std::uint8_t kInChangedFlag = 2;  // in this cycle's changed-set
+
+  int add_signal() {
+    stamps.push_back(0);
+    flags.push_back(0);
+    read_seen.push_back(0);
+    write_seen.push_back(0);
+    return static_cast<int>(stamps.size()) - 1;
+  }
+  int add_slot() {
+    cur.push_back(0);
+    next.push_back(0);
+    return static_cast<int>(cur.size()) - 1;
+  }
+
+  // --- discovery instrumentation (elaboration only) ----------------------
+  void begin_recording() {
+    recording = true;
+    reads.clear();
+    writes.clear();
+  }
+  void end_recording() {
+    recording = false;
+    for (const int i : reads) read_seen[static_cast<std::size_t>(i)] = 0;
+    for (const int i : writes) write_seen[static_cast<std::size_t>(i)] = 0;
+  }
+  void note_read(int index) {
+    auto& seen = read_seen[static_cast<std::size_t>(index)];
+    if (!seen) {
+      seen = 1;
+      reads.push_back(index);
+    }
+  }
+  void note_write(int index) {
+    auto& seen = write_seen[static_cast<std::size_t>(index)];
+    if (!seen) {
+      seen = 1;
+      writes.push_back(index);
+    }
+  }
+
+  // Indexed by SignalBase::index().
+  std::vector<std::uint64_t> stamps;
+  std::vector<std::uint8_t> flags;
+  std::vector<int> dirty;  // indices with kDirtyFlag set, insertion order
+
+  // Indexed by value slot (bool/u64 signals only; bools stored as 0/1).
+  std::vector<std::uint64_t> cur;
+  std::vector<std::uint64_t> next;
+
+  bool recording = false;
+  std::vector<int> reads;   // current process's recorded read-set
+  std::vector<int> writes;  // current process's recorded write-set
+  std::vector<std::uint8_t> read_seen;
+  std::vector<std::uint8_t> write_seen;
+};
 
 class SignalBase {
  public:
@@ -33,8 +105,12 @@ class SignalBase {
   // Monotonic change stamp: bumped by the kernel whenever a commit changes
   // the visible value. Models with sensitivity-list semantics (the BCA
   // view) use it to skip re-evaluation when their inputs are unchanged.
-  std::uint64_t stamp() const { return stamp_; }
-  void set_stamp(std::uint64_t s) { stamp_ = s; }
+  std::uint64_t stamp() const {
+    return arena_->stamps[static_cast<std::size_t>(index_)];
+  }
+  void set_stamp(std::uint64_t s) {
+    arena_->stamps[static_cast<std::size_t>(index_)] = s;
+  }
 
   // Position in Context::signals(), fixed at registration. Tracers use it
   // to address per-signal state from the kernel's changed-set.
@@ -59,18 +135,35 @@ class SignalBase {
   }
 
  protected:
-  void mark_dirty();
+  // Read hook: during elaboration-time discovery the arena records which
+  // signals the running process touched; outside discovery this is one
+  // well-predicted branch.
+  void note_read() const {
+    if (arena_->recording) arena_->note_read(index_);
+  }
+  // Same, for writes filtered out at the write site (same-value): the
+  // discovery write-set must stay conservative even when no commit is due.
+  void note_write() const {
+    if (arena_->recording) arena_->note_write(index_);
+  }
+  // Write hook: flags the signal dirty (deduped via the arena flag byte —
+  // no sort needed at commit) and feeds the discovery write-set.
+  void mark_dirty() {
+    if (arena_->recording) arena_->note_write(index_);
+    auto& f = arena_->flags[static_cast<std::size_t>(index_)];
+    if (!(f & SignalArena::kDirtyFlag)) {
+      f |= SignalArena::kDirtyFlag;
+      arena_->dirty.push_back(index_);
+    }
+  }
+
+  SignalArena* arena_ = nullptr;  // set at registration, stable thereafter
 
  private:
   friend class Context;
-  Context& ctx_;
   std::string name_;
   int width_;
   int index_ = -1;
-  std::uint64_t stamp_ = 0;
-  // Scratch flag owned by Context: true while the signal sits in the
-  // current cycle's changed-set (dedupes multiple commits per cycle).
-  bool in_changed_set_ = false;
 };
 
 namespace detail {
@@ -97,61 +190,88 @@ inline std::uint64_t masked(std::uint64_t v, int width) {
 
 }  // namespace detail
 
-// Single-bit signal.
+// Single-bit signal; value stored in the arena's packed slot vectors.
 class SignalBool : public SignalBase {
  public:
   SignalBool(Context& ctx, std::string name)
-      : SignalBase(ctx, std::move(name), 1) {}
+      : SignalBase(ctx, std::move(name), 1), slot_(arena_->add_slot()) {}
 
-  bool read() const { return cur_; }
+  bool read() const {
+    note_read();
+    return arena_->cur[static_cast<std::size_t>(slot_)] != 0;
+  }
   void write(bool v) {
-    next_ = v;
-    mark_dirty();
+    // Same-value writes are filtered at the write site: drivers that
+    // re-assert idle levels every cycle never touch the dirty list, which
+    // is what lets the compiled kernel skip their readers entirely.
+    auto& next = arena_->next[static_cast<std::size_t>(slot_)];
+    const std::uint64_t m = v ? 1u : 0u;
+    if (next != m) {
+      next = m;
+      mark_dirty();
+    } else {
+      note_write();
+    }
   }
   bool commit() override {
-    const bool changed = cur_ != next_;
-    cur_ = next_;
+    auto& cur = arena_->cur[static_cast<std::size_t>(slot_)];
+    const std::uint64_t next = arena_->next[static_cast<std::size_t>(slot_)];
+    const bool changed = cur != next;
+    cur = next;
     return changed;
   }
   void append_vcd(std::string& out) const override {
-    detail::append_vcd(out, cur_, 1);
+    detail::append_vcd(out, arena_->cur[static_cast<std::size_t>(slot_)] != 0,
+                       1);
   }
 
  private:
-  bool cur_ = false;
-  bool next_ = false;
+  int slot_;
 };
 
 // Unsigned signal of declared width (1..64 bits). Writes are masked.
 class SignalU64 : public SignalBase {
  public:
   SignalU64(Context& ctx, std::string name, int width)
-      : SignalBase(ctx, std::move(name), width) {
+      : SignalBase(ctx, std::move(name), width), slot_(arena_->add_slot()) {
     if (width < 1 || width > 64) {
       throw std::invalid_argument("SignalU64 width out of range");
     }
   }
 
-  std::uint64_t read() const { return cur_; }
+  std::uint64_t read() const {
+    note_read();
+    return arena_->cur[static_cast<std::size_t>(slot_)];
+  }
   void write(std::uint64_t v) {
-    next_ = detail::masked(v, width());
-    mark_dirty();
+    auto& next = arena_->next[static_cast<std::size_t>(slot_)];
+    const std::uint64_t m = detail::masked(v, width());
+    if (next != m) {
+      next = m;
+      mark_dirty();
+    } else {
+      note_write();
+    }
   }
   bool commit() override {
-    const bool changed = cur_ != next_;
-    cur_ = next_;
+    auto& cur = arena_->cur[static_cast<std::size_t>(slot_)];
+    const std::uint64_t next = arena_->next[static_cast<std::size_t>(slot_)];
+    const bool changed = cur != next;
+    cur = next;
     return changed;
   }
   void append_vcd(std::string& out) const override {
-    detail::append_vcd(out, cur_, width());
+    detail::append_vcd(out, arena_->cur[static_cast<std::size_t>(slot_)],
+                       width());
   }
 
  private:
-  std::uint64_t cur_ = 0;
-  std::uint64_t next_ = 0;
+  int slot_;
 };
 
 // Wide-data signal; the written Bits value must match the declared width.
+// The payload stays in the signal object (variable width), only the kernel
+// bookkeeping lives in the arena.
 class SignalBits : public SignalBase {
  public:
   SignalBits(Context& ctx, std::string name, int width)
@@ -159,25 +279,44 @@ class SignalBits : public SignalBase {
         cur_(width),
         next_(width) {}
 
-  const Bits& read() const { return cur_; }
+  const Bits& read() const {
+    note_read();
+    return cur_;
+  }
   void write(const Bits& v) {
     if (v.width() != width()) {
       throw std::invalid_argument("SignalBits::write: width mismatch on " +
                                   name());
     }
-    next_ = v;
-    mark_dirty();
+    if (next_ != v) {
+      next_ = v;
+      mark_dirty();
+    } else {
+      note_write();
+    }
   }
   bool commit() override {
-    const bool changed = !(cur_ == next_);
+    // Compare first: skip the wide-data copy when the value is unchanged.
+    if (cur_ == next_) return false;
     cur_ = next_;
-    return changed;
+    return true;
   }
   void append_vcd(std::string& out) const override { cur_.append_bin(out); }
 
  private:
   Bits cur_;
   Bits next_;
+};
+
+// Version counter for module-internal state read by a combinational process
+// but mutated only by clocked processes (queues, FSM phases, pipeline
+// registers). The owning module bumps it whenever such state changes; the
+// compiled schedule re-dirties every process registered against the tag, so
+// member-state reads participate in change-driven skipping without being
+// signals (DESIGN.md §14).
+struct StateTag {
+  std::uint64_t version = 0;
+  void bump() { ++version; }
 };
 
 }  // namespace crve::sim

@@ -71,6 +71,7 @@ std::vector<std::string> Testbench::port_signal_names(
 Testbench::Testbench(stbus::NodeConfig cfg, const TestSpec& spec,
                      TestbenchOptions opts)
     : cfg_(std::move(cfg)), opts_(std::move(opts)) {
+  ctx_.set_kernel(opts_.kernel);
   if (spec.adjust) spec.adjust(cfg_);
   if (spec.prog) cfg_.programming_port = true;
   cfg_.validate_and_normalize();

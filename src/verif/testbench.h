@@ -60,6 +60,9 @@ struct TestSpec {
 
 struct TestbenchOptions {
   ModelKind model = ModelKind::kRtl;
+  // Simulation kernel: compiled levelized schedule (default) or the
+  // reference delta-cycle interpreter (`--sim-kernel interp`).
+  sim::KernelKind kernel = sim::KernelKind::kCompiled;
   std::uint64_t seed = 1;
   bca::Faults faults;        // applied to the BCA view only
   bool bca_memoization = true;  // ablation knob (bench_sim_speed)

@@ -340,6 +340,39 @@ TEST(LintSource, InlineSuppressionAndUnusedSuppression) {
   EXPECT_TRUE(has_rule(r, "CRVE053"));
 }
 
+TEST(LintSource, DuplicateProcessNameLiterals) {
+  // Same literal twice — including across add_comb/add_clocked, which share
+  // one namespace in the kernel.
+  const char* dup =
+      "void build(sim::Context& ctx) {\n"
+      "  ctx.add_comb(\"arb\", [] {});\n"
+      "  ctx.add_clocked(\"arb\", [] {});\n"
+      "}\n";
+  const Report r = lint_source_text(dup, "src/verif/x.cpp");
+  ASSERT_TRUE(has_rule(r, "CRVE061"));
+  EXPECT_NE(r.findings.front().message.find("\"arb\""), std::string::npos);
+  EXPECT_NE(r.findings.front().message.find("line 2"), std::string::npos);
+
+  // Computed names (literal + suffix) are out of scope for a static check.
+  const char* computed =
+      "void build(sim::Context& ctx, int i) {\n"
+      "  ctx.add_comb(\"arb\" + std::to_string(i), [] {});\n"
+      "  ctx.add_comb(\"arb\" + std::to_string(i + 1), [] {});\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source_text(computed, "src/verif/x.cpp"),
+                        "CRVE061"));
+
+  // Distinct literals are clean; mentions in comments don't count as sites.
+  const char* clean =
+      "// ctx.add_comb(\"arb\", ...) registers the arbitration block\n"
+      "void build(sim::Context& ctx) {\n"
+      "  ctx.add_comb(\"arb\", [] {});\n"
+      "  ctx.add_comb(\"mux\", [] {});\n"
+      "}\n";
+  EXPECT_FALSE(
+      has_rule(lint_source_text(clean, "src/verif/x.cpp"), "CRVE061"));
+}
+
 TEST(LintSource, RealSourceTreeHasZeroUnsuppressedFindings) {
   const Report r = lint_source_tree(CRVE_SOURCE_DIR "/src");
   for (const auto& f : r.findings) ADD_FAILURE() << f.text();
