@@ -150,7 +150,8 @@ void BM_RtlInterp(benchmark::State& state) {
 // the same under every kernel and would flatten the ratio this benchmark
 // exists to measure: the kernel's own per-cycle scheduling cost on a
 // mostly-idle model.
-void run_rtl_node_sparse(benchmark::State& state, sim::KernelKind kernel) {
+void run_rtl_node_sparse(benchmark::State& state, sim::KernelKind kernel,
+                         bool profile = false) {
   const int n_init = static_cast<int>(state.range(0));
   const int n_targ = static_cast<int>(state.range(1));
   const int period = static_cast<int>(state.range(2));
@@ -163,6 +164,7 @@ void run_rtl_node_sparse(benchmark::State& state, sim::KernelKind kernel) {
     state.PauseTiming();
     sim::Context ctx;
     ctx.set_kernel(kernel);
+    ctx.set_profiling(profile);
     stbus::NodeConfig cfg = make_cfg(n_init, n_targ, 4);
     cfg.validate_and_normalize();
     std::vector<std::unique_ptr<stbus::PortPins>> ipins;
@@ -293,6 +295,22 @@ BENCHMARK(BM_RtlInterp)->Apply(shapes);
 BENCHMARK(BM_BcaWrapped)->Apply(shapes);
 BENCHMARK(BM_RtlSparse)->Apply(rtl_sparse_shapes);
 BENCHMARK(BM_RtlSparseInterp)->Apply(rtl_sparse_shapes);
+
+// Profiler overhead guard (DESIGN.md §15): the same sparse node harness
+// with the kernel hotspot profiler off vs on. The disabled run must track
+// BM_RtlSparse within noise — every collection site is one well-predicted
+// branch, and the <2% obs overhead budget covers it. The enabled run pays
+// two monotonic-clock reads per process evaluation; on this sparse shape
+// most scheduling slots are skips (a counter bump), so the gap bounds the
+// worst case, not the typical one.
+void BM_ProfilerDisabled(benchmark::State& state) {
+  run_rtl_node_sparse(state, sim::KernelKind::kCompiled, /*profile=*/false);
+}
+void BM_ProfilerEnabled(benchmark::State& state) {
+  run_rtl_node_sparse(state, sim::KernelKind::kCompiled, /*profile=*/true);
+}
+BENCHMARK(BM_ProfilerDisabled)->Apply(rtl_sparse_shapes);
+BENCHMARK(BM_ProfilerEnabled)->Apply(rtl_sparse_shapes);
 BENCHMARK(BM_BcaWrappedSparse)->Apply(sparse_shapes);
 BENCHMARK(BM_BcaWrappedSparseInterp)->Apply(sparse_shapes);
 

@@ -65,6 +65,9 @@ const std::vector<Rule>& rule_catalogue() {
        "uninstrumented entries"},
       {"CRVE061", Severity::kWarn,
        "duplicate literal process name in add_comb/add_clocked"},
+      {"CRVE062", Severity::kWarn,
+       "duplicate literal observability name in counter/gauge/histogram/"
+       "CRVE_SPAN"},
   };
   return kRules;
 }

@@ -136,11 +136,24 @@ Report lint_cache_provenance(const std::string& cache_dir,
 // edges, cycle diagnostics) and throws on collision at elaboration, so the
 // lint surfaces the mistake before a simulation ever runs. Names built with
 // a computed suffix ("x" + std::to_string(i)) are skipped.
+//
+// CRVE062 applies the same raw-text scan to the observability name
+// registries — counter("x"), gauge("x"), histogram("x", v) and
+// CRVE_SPAN("x") — where a duplicated literal does NOT throw: both sites
+// silently merge into one metric series or span name, which is usually a
+// copy-paste and never diagnosable from the output. Within-file duplicates
+// are flagged here; lint_source_tree extends the accounting across files.
+// An intentional shared name is suppressed at its site with `crve-lint:
+// allow(CRVE062)`, which removes the site from both scopes; because file
+// scope cannot see cross-file duplication, a CRVE062 suppression always
+// counts as used and is never flagged by CRVE053.
 Report lint_source_text(const std::string& text, const std::string& path);
 Report lint_source_file(const std::string& path);
 
 // Recursively lints every .h/.hpp/.cpp/.cc/.cxx under `dir`, skipping
 // hidden directories and build trees; paths are visited in sorted order.
+// Also the cross-file half of CRVE062: observability names surviving each
+// file's scan are checked for collisions across the whole tree.
 Report lint_source_tree(const std::string& dir);
 
 // --- Renderers (render.cpp) -----------------------------------------------

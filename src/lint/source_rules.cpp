@@ -1,5 +1,5 @@
-// Source determinism rule family (CRVE050..CRVE053) and the process-name
-// collision rule (CRVE061).
+// Source determinism rule family (CRVE050..CRVE053) and the literal-name
+// collision rules (CRVE061 process names, CRVE062 observability names).
 //
 // A token-level scanner, not a parser: each file is split into lines with
 // comments and string/char literals blanked out (block comments and raw
@@ -211,6 +211,68 @@ bool is_output_module(const std::string& path) {
          stem == "metrics";
 }
 
+// Raw-text scan for `fn("literal"...)` call sites whose first argument is
+// a plain string literal (CRVE061/CRVE062 share this). Scans the raw text
+// because the per-line code view blanks string literals; a site only
+// counts when the blanked code of its line still carries the identifier,
+// which filters mentions inside comments and strings. The literal must be
+// terminated by ',' — or, with allow_close_paren, by ')' for zero-payload
+// registrations like counter("x") — so a computed name
+// ("x" + std::to_string(i)) is skipped.
+std::vector<std::pair<int, std::string>> literal_call_sites(
+    const std::string& text, const std::vector<ScannedLine>& lines,
+    const std::string& fn, bool allow_close_paren) {
+  std::vector<std::pair<int, std::string>> sites;
+  std::size_t pos = 0;
+  while ((pos = text.find(fn, pos)) != std::string::npos) {
+    const std::size_t site = pos;
+    pos += fn.size();
+    if (site > 0 && ident_char(text[site - 1])) continue;
+    std::size_t j = pos;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (j >= text.size() || text[j] != '(') continue;
+    const int line =
+        1 + static_cast<int>(std::count(
+                text.begin(),
+                text.begin() + static_cast<std::ptrdiff_t>(site), '\n'));
+    if (line > static_cast<int>(lines.size()) ||
+        !has_word(lines[static_cast<std::size_t>(line - 1)].code, fn)) {
+      continue;
+    }
+    ++j;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (j >= text.size() || text[j] != '"') continue;
+    std::string name;
+    for (++j; j < text.size() && text[j] != '"'; ++j) {
+      if (text[j] == '\\' && j + 1 < text.size()) ++j;
+      name += text[j];
+    }
+    std::size_t k = j + 1;
+    while (k < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[k]))) {
+      ++k;
+    }
+    if (k >= text.size()) continue;
+    if (text[k] != ',' && !(allow_close_paren && text[k] == ')')) continue;
+    sites.emplace_back(line, name);
+  }
+  return sites;
+}
+
+// One surviving (unsuppressed) CRVE062 observability-name site, exported to
+// lint_source_tree for the cross-file half of the accounting.
+struct ObsSite {
+  int line = 0;
+  std::string fn;
+  std::string name;
+};
+
 // Per-line suppression sets parsed from `crve-lint: allow(...)` comments.
 struct Suppression {
   std::set<std::string> rules;
@@ -245,9 +307,12 @@ void parse_suppressions(const std::string& comment, int line,
   }
 }
 
-}  // namespace
-
-Report lint_source_text(const std::string& text, const std::string& path) {
+// Shared implementation of lint_source_text: with a non-null export_sites,
+// the surviving CRVE062 sites (first use of each name within this file,
+// suppressed sites dropped) are appended for lint_source_tree's cross-file
+// accounting.
+Report lint_source_text_impl(const std::string& text, const std::string& path,
+                             std::vector<ObsSite>* export_sites) {
   const std::string p = normalize(path);
   const bool rng_exempt = ends_with(p, "common/rng.h") ||
                           basename_of(p) == "rng.h";
@@ -346,53 +411,13 @@ Report lint_source_text(const std::string& text, const std::string& path) {
   // CRVE061: two processes registered under the same literal name. The
   // kernel addresses processes by name (`after` edges, cycle diagnostics)
   // and throws at elaboration on collision; the lint catches the mistake
-  // statically. Scans the raw text because the per-line code view blanks
-  // string literals. Only plain literals followed directly by ',' count —
-  // a computed name ("x" + std::to_string(i)) is skipped.
+  // statically.
   {
     std::vector<std::pair<int, std::string>> sites;  // (line, name)
-    for (const std::string fn : {"add_comb", "add_clocked"}) {
-      std::size_t pos = 0;
-      while ((pos = text.find(fn, pos)) != std::string::npos) {
-        const std::size_t site = pos;
-        pos += fn.size();
-        if (site > 0 && ident_char(text[site - 1])) continue;
-        std::size_t j = pos;
-        while (j < text.size() && std::isspace(static_cast<unsigned char>(
-                                      text[j]))) {
-          ++j;
-        }
-        if (j >= text.size() || text[j] != '(') continue;
-        const int line =
-            1 + static_cast<int>(
-                    std::count(text.begin(),
-                               text.begin() + static_cast<std::ptrdiff_t>(
-                                                  site),
-                               '\n'));
-        // Real call site, not a mention in a comment or string: the blanked
-        // code for this line must still carry the identifier.
-        if (line > static_cast<int>(lines.size()) ||
-            !has_word(lines[static_cast<std::size_t>(line - 1)].code, fn)) {
-          continue;
-        }
-        ++j;
-        while (j < text.size() && std::isspace(static_cast<unsigned char>(
-                                      text[j]))) {
-          ++j;
-        }
-        if (j >= text.size() || text[j] != '"') continue;
-        std::string name;
-        for (++j; j < text.size() && text[j] != '"'; ++j) {
-          if (text[j] == '\\' && j + 1 < text.size()) ++j;
-          name += text[j];
-        }
-        std::size_t k = j + 1;
-        while (k < text.size() && std::isspace(static_cast<unsigned char>(
-                                      text[k]))) {
-          ++k;
-        }
-        if (k >= text.size() || text[k] != ',') continue;  // computed name
-        sites.emplace_back(line, name);
+    for (const char* fn : {"add_comb", "add_clocked"}) {
+      for (auto& s :
+           literal_call_sites(text, lines, fn, /*allow_close_paren=*/false)) {
+        sites.push_back(std::move(s));
       }
     }
     // add_comb and add_clocked share one namespace; report each duplicate
@@ -410,6 +435,52 @@ Report lint_source_text(const std::string& text, const std::string& path) {
     }
   }
 
+  // CRVE062: one observability name, one call site. The metric cells and
+  // span names live in process-wide registries where a duplicated literal
+  // does not throw — both sites silently merge into one series, which is
+  // usually a copy-paste and never diagnosable from the output. Suppression
+  // is consumed at site-collection time: an allowed site vanishes from the
+  // within-file accounting here AND from lint_source_tree's cross-file
+  // pass, and the suppression always counts as used (file scope cannot see
+  // whether the name collides elsewhere).
+  {
+    std::vector<ObsSite> sites;
+    for (const char* fn : {"counter", "gauge", "histogram", "CRVE_SPAN"}) {
+      for (auto& [line, name] :
+           literal_call_sites(text, lines, fn, /*allow_close_paren=*/true)) {
+        bool suppressed = false;
+        for (Suppression* sup : covers[static_cast<std::size_t>(line)]) {
+          if (sup->rules.count("CRVE062")) {
+            sup->used = true;
+            suppressed = true;
+          }
+        }
+        if (suppressed) continue;
+        sites.push_back({line, fn, std::move(name)});
+      }
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const ObsSite& a, const ObsSite& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.name < b.name;
+              });
+    std::map<std::string, const ObsSite*> first_use;
+    for (const auto& s : sites) {
+      const auto [it, inserted] = first_use.emplace(s.name, &s);
+      if (!inserted) {
+        add("CRVE062", s.line,
+            "observability name \"" + s.name + "\" already used by " +
+                it->second->fn + "() at line " +
+                std::to_string(it->second->line) +
+                "; duplicate metric/span names merge into one series — "
+                "rename, or mark intentional sharing with crve-lint: "
+                "allow(CRVE062)");
+      } else if (export_sites != nullptr) {
+        export_sites->push_back(s);
+      }
+    }
+  }
+
   for (const auto& sup : sups) {
     if (!sup.used) {
       std::string ids;
@@ -421,6 +492,12 @@ Report lint_source_text(const std::string& text, const std::string& path) {
   }
   out.sort();
   return out;
+}
+
+}  // namespace
+
+Report lint_source_text(const std::string& text, const std::string& path) {
+  return lint_source_text_impl(text, path, nullptr);
 }
 
 Report lint_source_file(const std::string& path) {
@@ -457,7 +534,33 @@ Report lint_source_tree(const std::string& dir) {
   }
   std::sort(files.begin(), files.end());
   Report out;
-  for (const auto& f : files) out.merge(lint_source_file(f));
+  // Cross-file CRVE062: first use of each observability name wins (files in
+  // sorted order, sites in file order), every later file re-using it is
+  // flagged once against that site.
+  std::map<std::string, std::pair<std::string, ObsSite>> first_use;
+  for (const auto& f : files) {
+    std::ifstream is(f);
+    if (!is) {
+      out.add("CRVE001", f, 0, "cannot open file");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::vector<ObsSite> sites;
+    out.merge(lint_source_text_impl(buf.str(), f, &sites));
+    for (const auto& s : sites) {
+      const auto [it, inserted] = first_use.emplace(s.name, std::make_pair(f, s));
+      if (!inserted) {
+        out.add("CRVE062", f, s.line,
+                "observability name \"" + s.name + "\" already used by " +
+                    it->second.second.fn + "() at " + it->second.first + ":" +
+                    std::to_string(it->second.second.line) +
+                    "; duplicate metric/span names merge into one series — "
+                    "rename, or mark intentional sharing with crve-lint: "
+                    "allow(CRVE062)");
+      }
+    }
+  }
   out.sort();
   return out;
 }

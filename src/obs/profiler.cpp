@@ -1,0 +1,202 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+namespace crve::obs {
+
+namespace {
+
+// Process and signal names are code-controlled identifiers; escape
+// defensively anyway (obs stays below common/ in the link order, so this
+// mirrors metrics.cpp's local helper instead of using common/json.h).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Shortest round-trip decimal form (locale-independent), matching the
+// formatting rule every JSON artifact in the tree follows.
+std::string number(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::uint64_t ProfileData::total_wall_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& p : procs) total += p.wall_ns;
+  return total;
+}
+
+void ProfileData::merge(const ProfileData& other) {
+  runs += other.runs;
+  cycles += other.cycles;
+
+  std::map<std::string, ProcProfile> by_name;
+  for (auto& p : procs) by_name.emplace(p.name, std::move(p));
+  for (const auto& p : other.procs) {
+    auto [it, inserted] = by_name.emplace(p.name, p);
+    if (!inserted) {
+      ProcProfile& dst = it->second;
+      dst.evals += p.evals;
+      dst.skips += p.skips;
+      dst.wall_ns += p.wall_ns;
+      // Rank is a property of the process's position in its config's
+      // schedule; across configs the same name may land on different
+      // ranks, where the smallest is kept to stay order-independent.
+      dst.rank = std::min(dst.rank, p.rank);
+    }
+  }
+  procs.clear();
+  for (auto& [name, p] : by_name) procs.push_back(std::move(p));
+
+  std::map<int, RankProfile> by_rank;
+  for (const auto& r : ranks) by_rank.emplace(r.rank, r);
+  for (const auto& r : other.ranks) {
+    auto [it, inserted] = by_rank.emplace(r.rank, r);
+    if (!inserted) {
+      it->second.processes += r.processes;
+      it->second.evals += r.evals;
+      it->second.skips += r.skips;
+    }
+  }
+  ranks.clear();
+  for (auto& [rank, r] : by_rank) ranks.push_back(r);
+
+  std::map<std::string, SignalProfile> by_sig;
+  for (auto& s : signals) by_sig.emplace(s.name, std::move(s));
+  for (const auto& s : other.signals) {
+    auto [it, inserted] = by_sig.emplace(s.name, s);
+    if (!inserted) {
+      it->second.commits += s.commits;
+      it->second.reader_marks += s.reader_marks;
+    }
+  }
+  signals.clear();
+  for (auto& [name, s] : by_sig) signals.push_back(std::move(s));
+}
+
+double skip_rate(const ProcProfile& p) {
+  const std::uint64_t scheduled = p.evals + p.skips;
+  return scheduled == 0 ? 0.0
+                        : static_cast<double>(p.skips) /
+                              static_cast<double>(scheduled);
+}
+
+std::vector<ProcProfile> top_hotspots(const ProfileData& pd, std::size_t n) {
+  std::vector<ProcProfile> rows;
+  for (const auto& p : pd.procs) {
+    if (p.wall_ns > 0) rows.push_back(p);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProcProfile& a, const ProcProfile& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              return a.name < b.name;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+namespace {
+
+const char* kind_str(const ProcProfile& p) {
+  return p.clocked ? "clocked" : "comb";
+}
+
+void write_proc_row(std::ostream& os, const ProcProfile& p,
+                    bool with_timing) {
+  os << "{\"name\": \"" << escape(p.name) << "\", \"kind\": \""
+     << kind_str(p) << "\", \"rank\": " << p.rank
+     << ", \"evals\": " << p.evals << ", \"skips\": " << p.skips
+     << ", \"skip_rate\": " << number(skip_rate(p));
+  if (with_timing) os << ", \"wall_ns\": " << p.wall_ns;
+  os << "}";
+}
+
+}  // namespace
+
+std::string profile_json(const ProfileData& pd, bool with_timing,
+                         const std::string& indent) {
+  std::ostringstream os;
+  const std::string in1 = indent + "  ";
+  const std::string in2 = in1 + "  ";
+  const std::string in3 = in2 + "  ";
+  os << "{\n" << in1 << "\"stable\": {\n";
+  os << in2 << "\"runs\": " << pd.runs << ",\n";
+  os << in2 << "\"cycles\": " << pd.cycles << ",\n";
+  os << in2 << "\"processes\": [";
+  for (std::size_t i = 0; i < pd.procs.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << in3;
+    write_proc_row(os, pd.procs[i], /*with_timing=*/false);
+  }
+  os << (pd.procs.empty() ? "" : "\n" + in2) << "],\n";
+  os << in2 << "\"ranks\": [";
+  for (std::size_t i = 0; i < pd.ranks.size(); ++i) {
+    const RankProfile& r = pd.ranks[i];
+    const std::uint64_t scheduled = r.evals + r.skips;
+    const double occupancy =
+        scheduled == 0 ? 0.0
+                       : static_cast<double>(r.evals) /
+                             static_cast<double>(scheduled);
+    os << (i == 0 ? "\n" : ",\n") << in3 << "{\"rank\": " << r.rank
+       << ", \"processes\": " << r.processes << ", \"evals\": " << r.evals
+       << ", \"skips\": " << r.skips
+       << ", \"occupancy\": " << number(occupancy) << "}";
+  }
+  os << (pd.ranks.empty() ? "" : "\n" + in2) << "],\n";
+  os << in2 << "\"signals\": [";
+  for (std::size_t i = 0; i < pd.signals.size(); ++i) {
+    const SignalProfile& s = pd.signals[i];
+    os << (i == 0 ? "\n" : ",\n") << in3 << "{\"name\": \""
+       << escape(s.name) << "\", \"commits\": " << s.commits
+       << ", \"reader_marks\": " << s.reader_marks << "}";
+  }
+  os << (pd.signals.empty() ? "" : "\n" + in2) << "]\n";
+  os << in1 << "}";
+  if (with_timing) {
+    const std::uint64_t total = pd.total_wall_ns();
+    os << ",\n" << in1 << "\"timing\": {\n";
+    os << in2 << "\"total_wall_ns\": " << total << ",\n";
+    os << in2 << "\"hotspots\": [";
+    const auto hot = top_hotspots(pd, 20);
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      const ProcProfile& p = hot[i];
+      const double share =
+          total == 0 ? 0.0
+                     : static_cast<double>(p.wall_ns) /
+                           static_cast<double>(total);
+      os << (i == 0 ? "\n" : ",\n") << in3 << "{\"name\": \""
+         << escape(p.name) << "\", \"kind\": \"" << kind_str(p)
+         << "\", \"wall_ns\": " << p.wall_ns
+         << ", \"share\": " << number(share)
+         << ", \"evals\": " << p.evals << "}";
+    }
+    os << (hot.empty() ? "" : "\n" + in2) << "]\n";
+    os << in1 << "}";
+  }
+  os << "\n" << indent << "}";
+  return os.str();
+}
+
+}  // namespace crve::obs

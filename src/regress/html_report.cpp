@@ -7,6 +7,7 @@
 
 #include "common/build_info.h"
 #include "common/json.h"
+#include "obs/profiler.h"
 #include "regress/report.h"
 
 namespace crve::regress {
@@ -203,6 +204,11 @@ td.hm.breach a { color: inherit; }
 .hist-axis { stroke: var(--axis); stroke-width: 1; }
 .hist-label { fill: var(--muted); font-size: 9px; }
 .muted { color: var(--muted); }
+.tl-row { fill: var(--series-1); }
+.tl-row.fail { fill: var(--critical); }
+.tl-row.cached { fill: var(--axis); }
+.tl-label { fill: var(--ink-2); font-size: 10px; }
+.tl-axis { stroke: var(--axis); stroke-width: 1; }
 footer { color: var(--muted); font-size: 12px; margin-top: 20px; }
 )css";
 
@@ -318,6 +324,146 @@ void render_config(std::string& out, const RegressionResult& r,
   out += "</table>\n</section>\n";
 }
 
+// Kernel hotspot panel (DESIGN.md §15): rendered only when the campaign
+// ran with --profile-out, so an unprofiled dashboard stays byte-identical
+// to previous releases.
+void render_hotspots(std::string& out, const obs::ProfileData& pd) {
+  out += "<section class=\"card\">\n<h2>Kernel hotspots</h2>\n";
+  out += "<p class=\"muted\">" + std::to_string(pd.runs) + " profiled runs, " +
+         std::to_string(pd.cycles) + " cycles, " +
+         json::number(static_cast<double>(pd.total_wall_ns()) / 1e6) +
+         " ms in processes</p>\n";
+
+  const auto hot = obs::top_hotspots(pd, 15);
+  if (!hot.empty()) {
+    const double total = static_cast<double>(pd.total_wall_ns());
+    out += "<h3>Top processes by exclusive time</h3>\n<table>\n"
+           "<tr><th>process</th><th>kind</th><th class=\"num\">rank</th>"
+           "<th class=\"num\">evals</th><th class=\"num\">wall ms</th>"
+           "<th>share</th><th class=\"num\"></th></tr>\n";
+    for (const auto& p : hot) {
+      const double share =
+          total > 0.0 ? static_cast<double>(p.wall_ns) / total : 0.0;
+      out += "<tr><td>" + html_escape(p.name) + "</td><td>" +
+             (p.clocked ? "clocked" : "comb") + "</td><td class=\"num\">" +
+             (p.rank < 0 ? std::string("&mdash;") : std::to_string(p.rank)) +
+             "</td><td class=\"num\">" + std::to_string(p.evals) +
+             "</td><td class=\"num\">" +
+             json::number(static_cast<double>(p.wall_ns) / 1e6) + "</td><td>";
+      pct_bar(out, 100.0 * share);
+      out += "</td><td class=\"num\">" + pct(share) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  if (!pd.ranks.empty()) {
+    out += "<h3>Rank occupancy</h3>\n<table>\n"
+           "<tr><th class=\"num\">rank</th><th class=\"num\">processes</th>"
+           "<th class=\"num\">evals</th><th class=\"num\">skips</th>"
+           "<th>occupancy</th><th class=\"num\"></th></tr>\n";
+    for (const auto& r : pd.ranks) {
+      const std::uint64_t scheduled = r.evals + r.skips;
+      const double occ = scheduled == 0
+                             ? 0.0
+                             : static_cast<double>(r.evals) /
+                                   static_cast<double>(scheduled);
+      out += "<tr><td class=\"num\">" + std::to_string(r.rank) +
+             "</td><td class=\"num\">" + std::to_string(r.processes) +
+             "</td><td class=\"num\">" + std::to_string(r.evals) +
+             "</td><td class=\"num\">" + std::to_string(r.skips) + "</td><td>";
+      pct_bar(out, 100.0 * occ);
+      out += "</td><td class=\"num\">" + pct(occ) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  // Skip effectiveness: the most-scheduled comb processes and how often the
+  // change-driven kernel proved them idle.
+  std::vector<obs::ProcProfile> sched;
+  for (const auto& p : pd.procs) {
+    if (!p.clocked && p.evals + p.skips > 0) sched.push_back(p);
+  }
+  std::sort(sched.begin(), sched.end(),
+            [](const obs::ProcProfile& a, const obs::ProcProfile& b) {
+              const std::uint64_t sa = a.evals + a.skips;
+              const std::uint64_t sb = b.evals + b.skips;
+              if (sa != sb) return sa > sb;
+              return a.name < b.name;
+            });
+  if (sched.size() > 15) sched.resize(15);
+  if (!sched.empty()) {
+    out += "<h3>Skip effectiveness (most-scheduled comb processes)</h3>\n"
+           "<table>\n<tr><th>process</th><th class=\"num\">scheduled</th>"
+           "<th class=\"num\">skipped</th><th>skip rate</th>"
+           "<th class=\"num\"></th></tr>\n";
+    for (const auto& p : sched) {
+      const double rate = obs::skip_rate(p);
+      out += "<tr><td>" + html_escape(p.name) + "</td><td class=\"num\">" +
+             std::to_string(p.evals + p.skips) + "</td><td class=\"num\">" +
+             std::to_string(p.skips) + "</td><td>";
+      pct_bar(out, 100.0 * rate);
+      out += "</td><td class=\"num\">" + pct(rate) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+  out += "</section>\n";
+}
+
+// Campaign timeline from the progress stream: one bar per finished job,
+// completion order top to bottom, x = campaign-relative wall clock.
+void render_timeline(std::string& out, const std::vector<JobRecord>& recs) {
+  if (recs.empty()) return;
+  double t_end = 0.0;
+  for (const auto& r : recs) t_end = std::max(t_end, r.end_ms);
+  if (t_end <= 0.0) t_end = 1.0;
+  const int label_w = 260;
+  const int plot_w = 640;
+  const int row_h = 14;
+  const int height = static_cast<int>(recs.size()) * row_h + 18;
+  out += "<section class=\"card\">\n<h2>Campaign timeline</h2>\n";
+  out += "<p class=\"muted\">" + std::to_string(recs.size()) +
+         " jobs over " + json::number(t_end) +
+         " ms (cached replays shown as ticks at their finish time)</p>\n";
+  out += "<svg viewBox=\"0 0 " + std::to_string(label_w + plot_w + 10) +
+         " " + std::to_string(height) + "\" width=\"" +
+         std::to_string(label_w + plot_w + 10) + "\" height=\"" +
+         std::to_string(height) + "\" role=\"img\">";
+  int y = 0;
+  for (const auto& r : recs) {
+    const std::string label = r.config + ":" + r.test + ":s" +
+                              std::to_string(r.seed) + ":" + r.view;
+    const double x0 = r.start_ms / t_end * plot_w;
+    const double x1 = r.end_ms / t_end * plot_w;
+    const double w = std::max(x1 - x0, 1.0);
+    std::string cls = "tl-row";
+    if (r.verdict != "pass") cls += " fail";
+    if (r.cached) cls += " cached";
+    out += "<text x=\"" + std::to_string(label_w - 6) + "\" y=\"" +
+           std::to_string(y * row_h + 11) +
+           "\" text-anchor=\"end\" class=\"tl-label\">" + html_escape(label) +
+           "</text>";
+    out += "<rect x=\"" +
+           json::number(label_w + x0) + "\" y=\"" +
+           std::to_string(y * row_h + 2) + "\" width=\"" + json::number(w) +
+           "\" height=\"" + std::to_string(row_h - 4) +
+           "\" rx=\"2\" class=\"" + cls + "\"><title>" + html_escape(label) +
+           ": " + html_escape(r.verdict) + ", " +
+           json::number(r.end_ms - r.start_ms) + " ms</title></rect>";
+    ++y;
+  }
+  out += "<line x1=\"" + std::to_string(label_w) + "\" y1=\"" +
+         std::to_string(y * row_h + 2) + "\" x2=\"" +
+         std::to_string(label_w + plot_w) + "\" y2=\"" +
+         std::to_string(y * row_h + 2) + "\" class=\"tl-axis\"/>";
+  out += "<text x=\"" + std::to_string(label_w) + "\" y=\"" +
+         std::to_string(y * row_h + 14) + "\" class=\"tl-label\">0</text>";
+  out += "<text x=\"" + std::to_string(label_w + plot_w) + "\" y=\"" +
+         std::to_string(y * row_h + 14) +
+         "\" text-anchor=\"end\" class=\"tl-label\">" + json::number(t_end) +
+         " ms</text>";
+  out += "</svg>\n</section>\n";
+}
+
 }  // namespace
 
 std::string html_report(const MatrixResult& mres,
@@ -347,6 +493,9 @@ std::string html_report(const MatrixResult& mres,
   for (const RegressionResult& r : mres.results) {
     render_config(out, r, opts);
   }
+
+  if (!mres.profile.empty()) render_hotspots(out, mres.profile);
+  if (opts.timeline) render_timeline(out, *opts.timeline);
 
   if (stable_metrics) {
     const obs::Registry::Snapshot& snap = *stable_metrics;

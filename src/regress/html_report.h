@@ -18,8 +18,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "regress/progress.h"
 #include "regress/runner.h"
 
 namespace crve::regress {
@@ -32,6 +34,11 @@ struct HtmlOptions {
   // Emit links to `<config>/flight_<test>_s<seed>_<view>.log` for failed
   // runs. Enable only when a flight recorder was installed.
   bool flight_links = false;
+  // Finished-job records from the progress tracker (quiescent read after
+  // the pool drained); non-null adds the campaign timeline panel. The
+  // timeline carries wall-clock data, so it sits outside the dashboard's
+  // byte-determinism guarantee — exactly like the hotspot wall times.
+  const std::vector<JobRecord>* timeline = nullptr;
 };
 
 // Renders the dashboard. `stable_metrics` may be null (metrics section is

@@ -58,19 +58,44 @@
 //   --gate-coverage-drop X  max tolerated coverage drop in percentage
 //                           points (default: 0 = any drop fails)
 //
-// Observability (DESIGN.md §10):
+// Observability (DESIGN.md §10, §15):
 //   --metrics-out FILE enable metrics collection; write the full registry
-//                      (timing metrics included) as JSON after the batch
+//                      (timing metrics included) as JSON after the batch.
+//                      Orthogonal to --profile-out and --progress-out: the
+//                      registry aggregates campaign-level counters, the
+//                      profiler attributes kernel time per process, and the
+//                      progress stream reports job lifecycle. Any
+//                      combination is valid and none changes the others'
+//                      output.
 //   --trace-out FILE   record phase spans; write a Chrome trace-event file
 //                      loadable in Perfetto / chrome://tracing
 //   --flight-recorder N
 //                      keep the last N log lines (info and up) in a ring;
-//                      a failing job dumps them next to its artifacts
+//                      a failing, throwing or timing-out job dumps them
+//                      next to its artifacts
+//   --profile-out FILE enable the kernel hotspot profiler on every job;
+//                      write the merged campaign hotspot report to FILE,
+//                      plus per-job profile_<test>_s<seed>_<view>.json
+//                      artifacts under --out. Profiling never perturbs the
+//                      campaign cache key, so a profiled rerun still
+//                      replays its cache hits.
+//   --progress-out FILE
+//                      stream NDJSON campaign telemetry to FILE: job
+//                      lifecycle with verdicts and cache hits, heartbeats
+//                      with in-flight set and ETA, eviction counts
+//                      (schema in DESIGN.md §15)
+//   --progress         single-line live status display on stderr
 //
 // Exit status: 0 when every configuration signs off (and, with --baseline,
 // no drift regression exceeds its threshold); 1 on campaign failure;
 // 2 on usage errors or error-severity lint findings; 3 when the campaign
-// passed but the drift gate failed.
+// passed but the drift gate failed. Every output-file flag fails fast: an
+// unwritable path (--json, --diff, --cache-stats, --metrics-out,
+// --trace-out, --profile-out, --progress-out) is a usage error, reported
+// with exit 2 before the campaign starts — never after it spent its wall
+// clock. The file's parent directory is created if missing (so an output
+// file inside the --out directory works before the runner makes it); only
+// a path that cannot be created fails.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -90,6 +115,7 @@
 #include "regress/baseline.h"
 #include "regress/config_file.h"
 #include "regress/job_spec.h"
+#include "regress/progress.h"
 #include "regress/runner.h"
 #include "verif/tests.h"
 
@@ -113,6 +139,9 @@ int usage() {
                "[--gate-coverage-drop X]\n"
                "                    [--metrics-out FILE] [--trace-out FILE]\n"
                "                    [--flight-recorder N]\n"
+               "                    [--profile-out FILE] "
+               "[--progress-out FILE]\n"
+               "                    [--progress]\n"
                "       crve_regress --worker FILE [--results FILE]\n"
                "                    [--out DIR] [--jobs N] [--cache-dir DIR]\n"
                "       crve_regress --ingest FILE --cache-dir DIR\n"
@@ -164,11 +193,32 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+// Fail-fast preflight for an output-file flag: an unwritable path is a
+// usage error detected before any simulation starts, not a surprise after
+// the campaign spent its wall clock. An explicitly requested output file
+// implies its directory (mirroring what the runner does for --out), so
+// `--profile-out fresh_dir/profile.json` works; only a path that cannot be
+// created is an error. Append mode, so an existing file's contents survive
+// until the real writer truncates it.
+bool check_writable(const std::string& path) {
+  if (path.empty()) return true;
+  const auto parent = std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string config_dir, out_dir, sample_dir, json_path;
-  std::string metrics_path, trace_path;
+  std::string metrics_path, trace_path, profile_path, progress_path;
+  bool progress_tty = false;
   std::string baseline_path, diff_path;
   std::string cache_dir, cache_stats_path;
   std::string emit_specs_path, worker_path, results_path, ingest_path;
@@ -310,6 +360,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       trace_path = v;
+    } else if (arg == "--profile-out") {
+      const char* v = next();
+      if (!v) return usage();
+      profile_path = v;
+    } else if (arg == "--progress-out") {
+      const char* v = next();
+      if (!v) return usage();
+      progress_path = v;
+    } else if (arg == "--progress") {
+      progress_tty = true;
     } else if (arg == "--flight-recorder") {
       const char* v = next();
       if (!v) return usage();
@@ -481,6 +541,7 @@ int main(int argc, char** argv) {
   base.triage_window = triage_window;
   base.cache_dir = cache_dir;
   base.cache_max_mb = cache_max_mb;
+  base.profile_out = profile_path;
 
   if (!diff_path.empty() && baseline_path.empty()) {
     std::fprintf(stderr, "--diff requires --baseline\n");
@@ -542,13 +603,33 @@ int main(int argc, char** argv) {
     std::printf("=== %s ===\n", cfg.summary().c_str());
   }
 
-  // Observability setup (all off by default; see DESIGN.md §10).
+  // Fail-fast: reject unwritable output paths before any simulation runs.
+  for (const std::string* p : {&json_path, &diff_path, &cache_stats_path,
+                               &metrics_path, &trace_path, &profile_path,
+                               &progress_path}) {
+    if (!check_writable(*p)) return usage();
+  }
+
+  // Observability setup (all off by default; see DESIGN.md §10, §15).
   if (!metrics_path.empty()) obs::set_metrics_enabled(true);
   if (!trace_path.empty()) obs::trace_begin();
   std::unique_ptr<FlightRecorder> recorder;
   if (flight_lines > 0) {
     recorder = std::make_unique<FlightRecorder>(flight_lines);
     set_flight_recorder(recorder.get(), LogLevel::kInfo);
+  }
+  std::unique_ptr<regress::ProgressTracker> progress;
+  if (!progress_path.empty() || progress_tty) {
+    regress::ProgressOptions popts;
+    popts.out_path = progress_path;
+    popts.tty = progress_tty;
+    try {
+      progress = std::make_unique<regress::ProgressTracker>(popts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return usage();
+    }
+    base.progress = progress.get();
   }
 
   int exit_code = 1;

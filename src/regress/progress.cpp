@@ -1,0 +1,181 @@
+#include "regress/progress.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace crve::regress {
+
+namespace {
+
+std::string job_key(const std::string& config, const std::string& test,
+                    std::uint64_t seed, const std::string& view) {
+  return config + ":" + test + ":s" + std::to_string(seed) + ":" + view;
+}
+
+}  // namespace
+
+ProgressTracker::ProgressTracker(ProgressOptions opts)
+    : opts_(std::move(opts)) {
+  if (!opts_.out_path.empty()) {
+    out_.open(opts_.out_path, std::ios::trunc);
+    if (!out_) {
+      throw std::runtime_error("cannot write progress stream: " +
+                               opts_.out_path);
+    }
+  }
+  t0_ns_ = obs::now_ns();
+}
+
+ProgressTracker::~ProgressTracker() {
+  if (tty_active_) std::fprintf(stderr, "\n");
+}
+
+double ProgressTracker::elapsed_ms() const {
+  return static_cast<double>(obs::now_ns() - t0_ns_) / 1e6;
+}
+
+void ProgressTracker::write_line(const std::string& line) {
+  if (out_.is_open()) {
+    out_ << line << "\n";
+    out_.flush();
+  }
+}
+
+void ProgressTracker::render_tty() {
+  if (!opts_.tty) return;
+  std::string line = "[crve] " + std::to_string(done_) + "/" +
+                     std::to_string(total_jobs_) + " jobs";
+  if (failed_ > 0) line += ", " + std::to_string(failed_) + " failed";
+  line += ", " + std::to_string(in_flight_.size()) + " in flight";
+  std::fprintf(stderr, "\r%-79s", line.c_str());
+  std::fflush(stderr);
+  tty_active_ = true;
+}
+
+void ProgressTracker::maybe_heartbeat() {
+  std::uint64_t now = obs::now_ns();
+  if (last_heartbeat_ns_ != 0 &&
+      now - last_heartbeat_ns_ < opts_.heartbeat_ms * 1000000ULL) {
+    return;
+  }
+  last_heartbeat_ns_ = now;
+
+  double elapsed_s = static_cast<double>(now - t0_ns_) / 1e9;
+  double rate = 0.0;
+  double eta_ms = -1.0;
+  if (fresh_done_ > 0 && elapsed_s > 0.0) {
+    rate = static_cast<double>(fresh_done_) / elapsed_s;
+    std::size_t remaining =
+        total_jobs_ > done_ ? total_jobs_ - done_ : 0;
+    eta_ms = static_cast<double>(remaining) / rate * 1000.0;
+  }
+
+  std::string line = "{\"event\":\"heartbeat\",\"t_ms\":" +
+                     json::number(elapsed_ms()) +
+                     ",\"done\":" + std::to_string(done_) +
+                     ",\"total\":" + std::to_string(total_jobs_) +
+                     ",\"in_flight\":[";
+  bool first = true;
+  for (const auto& [key, start] : in_flight_) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json::escape(key) + "\"";
+  }
+  line += "],\"rate_jobs_per_s\":" + json::number(rate) +
+          ",\"eta_ms\":" + json::number(eta_ms) + "}";
+  write_line(line);
+}
+
+void ProgressTracker::campaign_start(std::size_t configs,
+                                     std::size_t total_jobs,
+                                     std::size_t cached_jobs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_jobs_ = total_jobs;
+  write_line("{\"event\":\"campaign_start\",\"t_ms\":" +
+             json::number(elapsed_ms()) +
+             ",\"configs\":" + std::to_string(configs) +
+             ",\"total_jobs\":" + std::to_string(total_jobs) +
+             ",\"cached_jobs\":" + std::to_string(cached_jobs) + "}");
+  render_tty();
+}
+
+void ProgressTracker::job_start(const std::string& config,
+                                const std::string& test, std::uint64_t seed,
+                                const std::string& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double t = elapsed_ms();
+  in_flight_.emplace(job_key(config, test, seed, view), t);
+  write_line("{\"event\":\"job_start\",\"t_ms\":" + json::number(t) +
+             ",\"config\":\"" + json::escape(config) + "\",\"test\":\"" +
+             json::escape(test) + "\",\"seed\":" + std::to_string(seed) +
+             ",\"view\":\"" + json::escape(view) + "\"}");
+  maybe_heartbeat();
+  render_tty();
+}
+
+void ProgressTracker::job_finish(const std::string& config,
+                                 const std::string& test, std::uint64_t seed,
+                                 const std::string& view,
+                                 const std::string& verdict, bool cached,
+                                 double wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double t = elapsed_ms();
+  std::string key = job_key(config, test, seed, view);
+  JobRecord rec;
+  rec.config = config;
+  rec.test = test;
+  rec.seed = seed;
+  rec.view = view;
+  rec.end_ms = t;
+  rec.verdict = verdict;
+  rec.cached = cached;
+  auto it = in_flight_.find(key);
+  if (it != in_flight_.end()) {
+    rec.start_ms = it->second;
+    in_flight_.erase(it);
+  } else {
+    rec.start_ms = t;  // cached replay: never had a job_start
+  }
+  records_.push_back(std::move(rec));
+
+  ++done_;
+  if (verdict != "pass") ++failed_;
+  if (!cached) ++fresh_done_;
+
+  write_line("{\"event\":\"job_finish\",\"t_ms\":" + json::number(t) +
+             ",\"config\":\"" + json::escape(config) + "\",\"test\":\"" +
+             json::escape(test) + "\",\"seed\":" + std::to_string(seed) +
+             ",\"view\":\"" + json::escape(view) + "\",\"verdict\":\"" +
+             json::escape(verdict) + "\",\"cached\":" +
+             (cached ? "true" : "false") +
+             ",\"wall_ms\":" + json::number(wall_ms) + "}");
+  maybe_heartbeat();
+  render_tty();
+}
+
+void ProgressTracker::evictions(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  write_line("{\"event\":\"eviction\",\"t_ms\":" + json::number(elapsed_ms()) +
+             ",\"evictions\":" + std::to_string(n) + "}");
+}
+
+void ProgressTracker::campaign_end(bool signed_off) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double t = elapsed_ms();
+  write_line("{\"event\":\"campaign_end\",\"t_ms\":" + json::number(t) +
+             ",\"done\":" + std::to_string(done_) +
+             ",\"failed\":" + std::to_string(failed_) + ",\"signed_off\":" +
+             (signed_off ? "true" : "false") +
+             ",\"wall_ms\":" + json::number(t) + "}");
+  if (tty_active_) {
+    std::fprintf(stderr, "\n");
+    tty_active_ = false;
+  }
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace crve::regress

@@ -1,0 +1,113 @@
+// Streaming campaign telemetry (DESIGN.md §15).
+//
+// A ProgressTracker turns the runner's job lifecycle into an append-only
+// NDJSON event stream — one self-contained JSON object per line — plus an
+// optional single-line TTY status display. The stream is the wire format
+// remote workers will send back in the fleet-orchestration PR (ROADMAP
+// item 1): every event carries an "event" discriminator and a campaign-
+// relative "t_ms" timestamp, so a consumer can tail the file (or a socket
+// carrying the same lines) and reconstruct campaign state at any moment.
+//
+// Event schema (all fields always present for a given event type):
+//   {"event":"campaign_start","t_ms":T,"configs":N,"total_jobs":J,
+//    "cached_jobs":C}
+//   {"event":"job_start","t_ms":T,"config":"...","test":"...","seed":S,
+//    "view":"rtl"|"bca"|"align"}
+//   {"event":"job_finish","t_ms":T,"config":"...","test":"...","seed":S,
+//    "view":"...","verdict":"pass"|"fail"|"error","cached":B,"wall_ms":W}
+//   {"event":"heartbeat","t_ms":T,"done":D,"total":J,"in_flight":[...],
+//    "rate_jobs_per_s":R,"eta_ms":E}          (E = -1 while unknown)
+//   {"event":"eviction","t_ms":T,"evictions":N}
+//   {"event":"campaign_end","t_ms":T,"done":D,"failed":F,"signed_off":B,
+//    "wall_ms":W}
+//
+// All writes are serialized through one mutex and flushed per line, so
+// events from concurrent worker threads never interleave mid-line and a
+// consumer never sees a torn tail. The ETA is a running-rate estimate:
+// fresh (non-cached) completions per elapsed second, applied to the jobs
+// still outstanding. Heartbeats are emitted opportunistically on job
+// boundaries, rate-limited to one per heartbeat_ms — no background thread,
+// so the tracker adds nothing to the TSan surface and dies with the
+// campaign.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crve::regress {
+
+struct ProgressOptions {
+  // NDJSON event stream path; empty = no stream file.
+  std::string out_path;
+  // Single-line \r status display on stderr (--progress).
+  bool tty = false;
+  // Minimum gap between heartbeat events (0 = one per job boundary).
+  std::uint64_t heartbeat_ms = 1000;
+};
+
+// One job's lifecycle as observed by the tracker; the dashboard renders
+// these as the campaign timeline.
+struct JobRecord {
+  std::string config;
+  std::string test;
+  std::uint64_t seed = 0;
+  std::string view;  // "rtl" | "bca" | "align"
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::string verdict;  // "pass" | "fail" | "error"
+  bool cached = false;
+};
+
+class ProgressTracker {
+ public:
+  // Opens the stream file (truncating) immediately; throws
+  // std::runtime_error when it cannot be written, so the CLI fails fast
+  // with a usage error before any simulation starts — not mid-campaign.
+  explicit ProgressTracker(ProgressOptions opts);
+  ~ProgressTracker();
+
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  void campaign_start(std::size_t configs, std::size_t total_jobs,
+                      std::size_t cached_jobs);
+  void job_start(const std::string& config, const std::string& test,
+                 std::uint64_t seed, const std::string& view);
+  // verdict: "pass" | "fail" | "error"; cached jobs report their original
+  // wall_ms from the cache payload.
+  void job_finish(const std::string& config, const std::string& test,
+                  std::uint64_t seed, const std::string& view,
+                  const std::string& verdict, bool cached, double wall_ms);
+  void evictions(std::uint64_t n);
+  void campaign_end(bool signed_off);
+
+  // Finished-job rows in completion order. Quiescent read only (after the
+  // pool drained / campaign_end) — the runner reads it for the dashboard.
+  const std::vector<JobRecord>& records() const { return records_; }
+
+ private:
+  double elapsed_ms() const;
+  void write_line(const std::string& line);  // caller holds mu_
+  void maybe_heartbeat();                    // caller holds mu_
+  void render_tty();                         // caller holds mu_
+
+  ProgressOptions opts_;
+  std::ofstream out_;
+  std::mutex mu_;
+  std::uint64_t t0_ns_ = 0;
+  std::size_t total_jobs_ = 0;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t fresh_done_ = 0;  // non-cached completions (rate estimate)
+  std::uint64_t last_heartbeat_ns_ = 0;
+  bool tty_active_ = false;
+  // Deterministically ordered in-flight set: key -> start time in ms.
+  std::map<std::string, double> in_flight_;
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace crve::regress

@@ -13,10 +13,12 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "regress/config_file.h"
 #include "regress/html_report.h"
 #include "regress/job_spec.h"
+#include "regress/progress.h"
 #include "stba/triage.h"
 #include "vcd/excerpt.h"
 
@@ -141,12 +143,12 @@ struct Campaign {
     const std::uint64_t seed = seed_of(pair);
     const bool to_disk = !plan.out_dir.empty();
     const ModelKind model = m == 0 ? ModelKind::kRtl : ModelKind::kBca;
+    const std::string view = m == 0 ? "rtl" : "bca";
 
     obs::SpanGuard job_span("job");
     if (obs::tracing_enabled()) {
       job_span.set_detail(plan.cfg.name + ":" + spec.name + ":s" +
-                          std::to_string(seed) + ":" +
-                          (m == 0 ? "rtl" : "bca"));
+                          std::to_string(seed) + ":" + view);
     }
 
     TestbenchOptions opts;
@@ -154,6 +156,7 @@ struct Campaign {
     opts.kernel = plan.kernel;
     opts.seed = seed;
     opts.max_cycles = plan.max_cycles;
+    opts.profile = !plan.profile_out.empty();
     if (model != ModelKind::kRtl) opts.faults = plan.faults;
     std::ostringstream wave;
     if (plan.run_alignment || to_disk) {
@@ -169,16 +172,31 @@ struct Campaign {
     TestSpec s = spec;
     if (plan.n_transactions > 0) s.n_transactions = plan.n_transactions;
 
+    if (plan.progress) {
+      plan.progress->job_start(plan.cfg.name, spec.name, seed, view);
+    }
     const auto t0 = Clock::now();
     std::optional<Testbench> tb;
-    {
-      CRVE_SPAN("build");
-      tb.emplace(plan.cfg, s, opts);
-    }
     RunResult r;
-    {
-      CRVE_SPAN("sim");
-      r = tb->run();
+    try {
+      {
+        CRVE_SPAN("build");
+        tb.emplace(plan.cfg, s, opts);
+      }
+      {
+        CRVE_SPAN("sim");
+        r = tb->run();
+      }
+    } catch (...) {
+      // A job that throws (elaboration failure, resource exhaustion) never
+      // reaches the !passed() dump below; preserve the flight-recorder
+      // context for it too, before the exception unwinds the pool.
+      dump_flight_recorder(spec.name, seed, view);
+      if (plan.progress) {
+        plan.progress->job_finish(plan.cfg.name, spec.name, seed, view,
+                                  "error", /*cached=*/false, ms_since(t0));
+      }
+      throw;
     }
     tb.reset();  // closes the VCD before alignment may read it
     log_info() << plan.cfg.name << ": " << spec.name << " seed " << seed
@@ -191,7 +209,7 @@ struct Campaign {
       // explicit failure count.
       obs::counter("regress.failures").add(r.passed() ? 0 : 1);
     }
-    if (!r.passed()) dump_flight_recorder(spec.name, seed, m);
+    if (!r.passed()) dump_flight_recorder(spec.name, seed, view);
 
     TestOutcome& out = outcomes[unit];
     out.test = spec.name;
@@ -203,12 +221,21 @@ struct Campaign {
       CRVE_SPAN("artifacts");
       if (to_disk) {
         write_text(plan.out_dir + "/report_" + spec.name + "_s" +
-                       std::to_string(seed) + "_" + (m == 0 ? "rtl" : "bca") +
-                       ".txt",
+                       std::to_string(seed) + "_" + view + ".txt",
                    run_report(out));
+        if (opts.profile) {
+          write_text(plan.out_dir + "/profile_" + spec.name + "_s" +
+                         std::to_string(seed) + "_" + view + ".json",
+                     obs::profile_json(r.profile));
+        }
       } else if (plan.run_alignment) {
         waves[unit] = wave.str();
       }
+    }
+    if (plan.progress) {
+      plan.progress->job_finish(plan.cfg.name, spec.name, seed, view,
+                                r.passed() ? "pass" : "fail",
+                                /*cached=*/false, out.wall_ms);
     }
   }
 
@@ -218,20 +245,19 @@ struct Campaign {
   // under a parallel run the dump may interleave lines from other jobs —
   // still exactly the context a post-mortem wants.
   void dump_flight_recorder(const std::string& test, std::uint64_t seed,
-                            int m) const {
+                            const std::string& view) const {
     FlightRecorder* fr = flight_recorder();
     if (!fr) return;
     const std::string dump = fr->dump();
     if (dump.empty()) return;
     if (!plan.out_dir.empty()) {
       write_text(plan.out_dir + "/flight_" + test + "_s" +
-                     std::to_string(seed) + "_" + (m == 0 ? "rtl" : "bca") +
-                     ".log",
+                     std::to_string(seed) + "_" + view + ".log",
                  dump);
     } else {
       log_error() << "flight recorder (last " << fr->capacity()
                   << " lines) before " << test << " seed " << seed << " "
-                  << (m == 0 ? "rtl" : "bca") << " failure:\n"
+                  << view << " failure:\n"
                   << dump;
     }
   }
@@ -250,34 +276,54 @@ struct Campaign {
     }
     if (obs::metrics_enabled()) obs::counter("regress.alignments").inc();
 
+    if (plan.progress) {
+      plan.progress->job_start(plan.cfg.name, spec.name, seed, "align");
+    }
     const auto t0 = Clock::now();
     stba::AlignmentReport rep;
     // Parse the traces explicitly (instead of compare_files) so a failing
     // pair can reuse them for the triage deep-dive without a second parse.
     vcd::Trace ta, tb;
-    if (to_disk) {
-      ta = vcd::Trace::parse_file(wave_paths[2 * pair]);
-      tb = vcd::Trace::parse_file(wave_paths[2 * pair + 1]);
-    } else {
-      std::istringstream a(waves[2 * pair]);
-      std::istringstream b(waves[2 * pair + 1]);
-      ta = vcd::Trace::parse(a);
-      tb = vcd::Trace::parse(b);
-    }
-    rep = stba::Analyzer::compare(ta, tb, ports);
-    if (to_disk) {
-      write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
-                     std::to_string(seed) + ".txt",
-                 rep.summary());
-      if (plan.run_triage && !rep.signed_off(plan.alignment_threshold)) {
-        run_triage(spec.name, seed, ta, tb, ports);
+    try {
+      if (to_disk) {
+        ta = vcd::Trace::parse_file(wave_paths[2 * pair]);
+        tb = vcd::Trace::parse_file(wave_paths[2 * pair + 1]);
+      } else {
+        std::istringstream a(waves[2 * pair]);
+        std::istringstream b(waves[2 * pair + 1]);
+        ta = vcd::Trace::parse(a);
+        tb = vcd::Trace::parse(b);
       }
+      rep = stba::Analyzer::compare(ta, tb, ports);
+      if (to_disk) {
+        write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
+                       std::to_string(seed) + ".txt",
+                   rep.summary());
+        if (plan.run_triage && !rep.signed_off(plan.alignment_threshold)) {
+          run_triage(spec.name, seed, ta, tb, ports);
+        }
+      }
+    } catch (...) {
+      // Same forensics contract as run_unit: a comparison that throws
+      // (unreadable wave, parse error) still dumps the flight recorder.
+      dump_flight_recorder(spec.name, seed, "align");
+      if (plan.progress) {
+        plan.progress->job_finish(plan.cfg.name, spec.name, seed, "align",
+                                  "error", /*cached=*/false, ms_since(t0));
+      }
+      throw;
     }
     AlignmentOutcome& out = aligns[pair];
     out.test = spec.name;
     out.seed = seed;
     out.report = std::move(rep);
     out.wall_ms = ms_since(t0);
+    if (plan.progress) {
+      plan.progress->job_finish(
+          plan.cfg.name, spec.name, seed, "align",
+          out.report.signed_off(plan.alignment_threshold) ? "pass" : "fail",
+          /*cached=*/false, out.wall_ms);
+    }
   }
 
   // Root-cause artifacts for a pair that missed sign-off: the triage report
@@ -337,6 +383,12 @@ struct Campaign {
         res.min_alignment =
             std::min(res.min_alignment, aligns[p].report.min_rate());
       }
+    }
+    if (!plan.profile_out.empty()) {
+      // Replayed pairs carry empty profiles (profiling never perturbs the
+      // cache key), so they merge as no-ops and the merged report reflects
+      // exactly the freshly simulated work.
+      for (const auto& o : outcomes) res.profile.merge(o.result.profile);
     }
     res.outcomes = std::move(outcomes);
     res.alignments = std::move(aligns);
@@ -512,6 +564,55 @@ void write_campaign_artifacts(const RunPlan& plan,
   write_text(plan.out_dir + "/report.json", res.json());
 }
 
+// Campaign-level hotspot report (RunPlan::profile_out): the merged profile
+// with the build stamp spliced in after the opening brace, mirroring how
+// the JSON report carries provenance.
+void write_profile_report(const std::string& path,
+                          const obs::ProfileData& pd) {
+  std::string doc = obs::profile_json(pd);
+  doc.insert(2, "  \"build\": " + build_info_json("  ") + ",\n");
+  write_text(path, doc);
+}
+
+// Telemetry job accounting: every (test, seed) pair is two view units plus
+// one alignment comparison when enabled.
+std::size_t campaign_total_jobs(const Campaign& camp) {
+  return camp.n_pairs * (camp.plan.run_alignment ? 3u : 2u);
+}
+
+std::size_t campaign_cached_jobs(const Campaign& camp) {
+  std::size_t cached_pairs = 0;
+  for (char c : camp.pair_cached) cached_pairs += c ? 1 : 0;
+  return cached_pairs * (camp.plan.run_alignment ? 3u : 2u);
+}
+
+// Cache hits never enter the pool, so their lifecycle events are emitted
+// here, straight after the probe: one job_finish per replayed unit with
+// cached=true and the original run's wall clock from the payload.
+void emit_cached_finishes(const Campaign& camp, ProgressTracker* progress) {
+  if (!progress) return;
+  for (std::size_t p = 0; p < camp.n_pairs; ++p) {
+    if (!camp.pair_cached[p]) continue;
+    const TestSpec& spec = camp.spec_of(p);
+    const std::uint64_t seed = camp.seed_of(p);
+    const TestOutcome& rtl = camp.outcomes[2 * p];
+    const TestOutcome& bca = camp.outcomes[2 * p + 1];
+    progress->job_finish(camp.plan.cfg.name, spec.name, seed, "rtl",
+                         rtl.result.passed() ? "pass" : "fail",
+                         /*cached=*/true, rtl.wall_ms);
+    progress->job_finish(camp.plan.cfg.name, spec.name, seed, "bca",
+                         bca.result.passed() ? "pass" : "fail",
+                         /*cached=*/true, bca.wall_ms);
+    if (camp.plan.run_alignment) {
+      const AlignmentOutcome& a = camp.aligns[p];
+      progress->job_finish(
+          camp.plan.cfg.name, spec.name, seed, "align",
+          a.report.signed_off(camp.plan.alignment_threshold) ? "pass" : "fail",
+          /*cached=*/true, a.wall_ms);
+    }
+  }
+}
+
 }  // namespace
 
 RegressionResult Regression::run(const RunPlan& plan) {
@@ -523,6 +624,11 @@ RegressionResult Regression::run(const RunPlan& plan) {
   camp.prepare();
   CachePlanner planner(plan);
   planner.probe(camp);  // no cache: the missing lists stay full
+  if (plan.progress) {
+    plan.progress->campaign_start(1, campaign_total_jobs(camp),
+                                  campaign_cached_jobs(camp));
+    emit_cached_finishes(camp, plan.progress);
+  }
 
   ThreadPool pool(resolve_jobs(plan.jobs));
   pool.parallel_for(camp.missing_units.size(), [&](std::size_t k) {
@@ -534,6 +640,9 @@ RegressionResult Regression::run(const RunPlan& plan) {
     });
   }
   planner.store_results(camp);
+  if (plan.progress && planner.active()) {
+    plan.progress->evictions(planner.store->stats().evictions);
+  }
 
   RegressionResult res;
   {
@@ -550,6 +659,10 @@ RegressionResult Regression::run(const RunPlan& plan) {
   }
   res.wall_ms = ms_since(t0);
   write_campaign_artifacts(plan, res);
+  if (!plan.profile_out.empty()) {
+    write_profile_report(plan.profile_out, res.profile);
+  }
+  if (plan.progress) plan.progress->campaign_end(res.signed_off);
   return res;
 }
 
@@ -571,6 +684,16 @@ MatrixResult Regression::run_matrix(
   }
   CachePlanner planner(base);
   for (auto& camp : camps) planner.probe(camp);
+  if (base.progress) {
+    std::size_t total = 0;
+    std::size_t cached = 0;
+    for (const auto& camp : camps) {
+      total += campaign_total_jobs(camp);
+      cached += campaign_cached_jobs(camp);
+    }
+    base.progress->campaign_start(configs.size(), total, cached);
+    for (const auto& camp : camps) emit_cached_finishes(camp, base.progress);
+  }
 
   // Flatten every campaign's missing units into one global job list so a
   // slow configuration keeps all workers busy instead of gating the batch.
@@ -596,11 +719,18 @@ MatrixResult Regression::run_matrix(
   if (planner.active()) {
     mres.cache_stats_json = planner.store->stats().json(
         planner.store->entry_count(), planner.store->total_bytes());
+    if (base.progress) {
+      base.progress->evictions(planner.store->stats().evictions);
+    }
   }
 
   mres.all_signed_off = true;
   mres.results.reserve(camps.size());
   {
+    // Intentionally the same span name as Regression::run's reduce: both
+    // cover the one slot-ordered aggregation phase, whichever entry point
+    // ran it, so traces stay comparable across the two.
+    // crve-lint: allow(CRVE062)
     CRVE_SPAN("reduce");
     for (auto& camp : camps) {
       RegressionResult res = camp.reduce();
@@ -610,6 +740,7 @@ MatrixResult Regression::run_matrix(
       for (const auto& a : res.alignments) res.wall_ms += a.wall_ms;
       write_campaign_artifacts(camp.plan, res);
       mres.all_signed_off = mres.all_signed_off && res.signed_off;
+      if (!base.profile_out.empty()) mres.profile.merge(res.profile);
       mres.results.push_back(std::move(res));
     }
   }
@@ -619,6 +750,9 @@ MatrixResult Regression::run_matrix(
     mres.metrics_json = obs::registry().json(/*include_timing=*/false);
   }
   mres.wall_ms = ms_since(t0);
+  if (!base.profile_out.empty()) {
+    write_profile_report(base.profile_out, mres.profile);
+  }
   if (!base.out_dir.empty()) {
     write_text(base.out_dir + "/report.json", mres.json());
     // Campaign dashboard next to the report. Link targets mirror what the
@@ -627,6 +761,9 @@ MatrixResult Regression::run_matrix(
     HtmlOptions hopts;
     hopts.triage_links = base.run_triage;
     hopts.flight_links = flight_recorder() != nullptr;
+    // Quiescent read: the pool drained above, so the tracker's record list
+    // is complete and stable for the timeline panel.
+    if (base.progress) hopts.timeline = &base.progress->records();
     if (obs::metrics_enabled()) {
       const obs::Registry::Snapshot snap =
           obs::registry().snapshot(/*include_timing=*/false);
@@ -637,6 +774,7 @@ MatrixResult Regression::run_matrix(
                  html_report(mres, nullptr, hopts));
     }
   }
+  if (base.progress) base.progress->campaign_end(mres.all_signed_off);
   return mres;
 }
 

@@ -39,6 +39,8 @@
 
 namespace crve::regress {
 
+class ProgressTracker;  // regress/progress.h
+
 struct RunPlan {
   stbus::NodeConfig cfg;
   std::vector<verif::TestSpec> tests;  // empty = full CATG suite
@@ -67,6 +69,16 @@ struct RunPlan {
   std::string cache_dir;
   // Cache size budget in MiB (LRU eviction on store); 0 = unbounded.
   std::uint64_t cache_max_mb = 0;
+  // Kernel hotspot profiler (DESIGN.md §15). Non-empty: every job runs with
+  // the per-process profiler enabled, per-job `profile_<test>_s<seed>_
+  // <view>.json` artifacts land in out_dir, and the campaign-level merged
+  // hotspot report is written to this path. Deliberately absent from
+  // JobSpec: profiling never perturbs the cache key, so a profiled rerun
+  // still replays its hits (replayed pairs simply contribute no samples).
+  std::string profile_out;
+  // Streaming campaign telemetry (--progress-out / --progress); not owned.
+  // The runner emits job lifecycle events through it; null = no telemetry.
+  ProgressTracker* progress = nullptr;
 };
 
 struct TestOutcome {
@@ -117,6 +129,11 @@ struct RegressionResult {
   // Originating build stamp of the replayed entries (pretty JSON object,
   // inner lines at column 0); empty when cached_pairs == 0.
   std::string cache_build_json;
+  // Merged per-process hotspot profile across every freshly simulated job
+  // (RunPlan::profile_out); empty when profiling was off. Not part of
+  // json() — the profiler writes its own artifact — so report.json stays
+  // byte-identical whether or not the campaign was profiled.
+  obs::ProfileData profile;
 
   std::string summary() const;
   // Machine-readable report (schema in DESIGN.md). with_timing=false omits
@@ -137,6 +154,9 @@ struct MatrixResult {
   // Flat JSON object of cache hit/miss/store/evict counters (CacheStats
   // schema) when the batch ran with a cache; empty otherwise.
   std::string cache_stats_json;
+  // Batch-level merge of every config's profile (RunPlan::profile_out);
+  // empty when profiling was off.
+  obs::ProfileData profile;
 
   std::string summary() const;
   std::string json(bool with_timing = true) const;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/schedule.h"
 
 namespace crve::sim {
@@ -45,6 +46,13 @@ void Context::set_kernel(KernelKind k) {
   kernel_ = k;
 }
 
+void Context::set_profiling(bool on) {
+  if (initialized_) {
+    throw SimError("set_profiling() after initialize()");
+  }
+  profiling_ = on;
+}
+
 bool Context::commit_dirty() {
   bool changed = false;
   // Dirty signals were deduped at write time via the arena flag byte, so
@@ -63,6 +71,12 @@ bool Context::commit_dirty() {
         // Change-driven skipping: only the static readers of this signal
         // need to re-evaluate.
         for (const int p : sched_->signal_readers[i]) mark_proc_dirty(p);
+      }
+      if (profiling_) {
+        // Fan-out churn: each commit marks this signal's static readers
+        // dirty, so commits x fan-out is its induced scheduling work.
+        ++prof_sig_commits_[i];
+        if (sched_) prof_sig_marks_[i] += sched_->signal_readers[i].size();
       }
     }
   }
@@ -94,6 +108,23 @@ void Context::sample_tracers() {
   changed_.clear();
 }
 
+void Context::run_clocked() {
+  if (!profiling_) {
+    for (auto& p : clocked_) {
+      p.fn();
+      ++evaluations_;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < clocked_.size(); ++i) {
+    const std::uint64_t t0 = obs::now_ns();
+    clocked_[i].fn();
+    prof_clocked_[i].wall_ns += obs::now_ns() - t0;
+    ++prof_clocked_[i].evals;
+    ++evaluations_;
+  }
+}
+
 void Context::settle() {
   for (int iter = 0;; ++iter) {
     if (iter >= delta_limit_) {
@@ -102,9 +133,19 @@ void Context::settle() {
                      std::to_string(cycle_));
     }
     ++delta_iterations_;
-    for (auto& p : comb_) {
-      p.fn();
-      ++evaluations_;
+    if (!profiling_) {
+      for (auto& p : comb_) {
+        p.fn();
+        ++evaluations_;
+      }
+    } else {
+      for (std::size_t i = 0; i < comb_.size(); ++i) {
+        const std::uint64_t t0 = obs::now_ns();
+        comb_[i].fn();
+        prof_comb_[i].wall_ns += obs::now_ns() - t0;
+        ++prof_comb_[i].evals;
+        ++evaluations_;
+      }
     }
     if (!commit_dirty()) break;
   }
@@ -174,6 +215,14 @@ void Context::build_compiled_schedule() {
   sched_ = std::make_unique<CompiledSchedule>(
       build_schedule(nodes, signals_.size(), signal_names));
   sched_ranks_ = sched_->n_ranks();
+  if (profiling_) {
+    prof_rank_.assign(comb_.size(), -1);
+    for (std::size_t r = 0; r < sched_->ranks.size(); ++r) {
+      for (const int p : sched_->ranks[r]) {
+        prof_rank_[static_cast<std::size_t>(p)] = static_cast<int>(r);
+      }
+    }
+  }
 
   proc_dirty_.assign(comb_.size(), 0);
   n_dirty_ = 0;
@@ -196,6 +245,13 @@ void Context::settle_compiled() {
   if (n_dirty_ == 0 && !has_dynamic) {
     // Nothing changed this cycle: the whole schedule is skipped.
     sched_skipped_ += sched_->n_static;
+    if (profiling_) {
+      // Attribute the whole-schedule skip per process so skip-effectiveness
+      // stays exact on idle-dominated shapes.
+      for (const auto& rank : sched_->ranks) {
+        for (const int p : rank) ++prof_comb_[static_cast<std::size_t>(p)].skips;
+      }
+    }
     return;
   }
   for (int outer = 0;; ++outer) {
@@ -211,13 +267,22 @@ void Context::settle_compiled() {
         if (proc_dirty_[static_cast<std::size_t>(p)]) {
           proc_dirty_[static_cast<std::size_t>(p)] = 0;
           --n_dirty_;
-          comb_[static_cast<std::size_t>(p)].fn();
+          if (!profiling_) {
+            comb_[static_cast<std::size_t>(p)].fn();
+          } else {
+            ProcStats& ps = prof_comb_[static_cast<std::size_t>(p)];
+            const std::uint64_t t0 = obs::now_ns();
+            comb_[static_cast<std::size_t>(p)].fn();
+            ps.wall_ns += obs::now_ns() - t0;
+            ++ps.evals;
+          }
           ++evaluations_;
           for (const int d : sched_->run_dependents[static_cast<std::size_t>(p)]) {
             mark_proc_dirty(d);
           }
         } else {
           ++sched_skipped_;
+          if (profiling_) ++prof_comb_[static_cast<std::size_t>(p)].skips;
         }
       }
       commit_dirty();
@@ -233,7 +298,15 @@ void Context::settle_compiled() {
               std::to_string(cycle_));
         }
         for (const int p : sched_->dynamic_procs) {
-          comb_[static_cast<std::size_t>(p)].fn();
+          if (!profiling_) {
+            comb_[static_cast<std::size_t>(p)].fn();
+          } else {
+            ProcStats& ps = prof_comb_[static_cast<std::size_t>(p)];
+            const std::uint64_t t0 = obs::now_ns();
+            comb_[static_cast<std::size_t>(p)].fn();
+            ps.wall_ns += obs::now_ns() - t0;
+            ++ps.evals;
+          }
           ++evaluations_;
         }
         ++sched_fallback_;
@@ -261,9 +334,72 @@ void Context::publish_metrics() const {
   }
 }
 
+obs::ProfileData Context::profile() const {
+  obs::ProfileData pd;
+  if (!profiling_) return pd;
+  pd.runs = 1;
+  pd.cycles = cycle_;
+  pd.procs.reserve(clocked_.size() + comb_.size());
+  for (std::size_t i = 0; i < clocked_.size(); ++i) {
+    obs::ProcProfile p;
+    p.name = clocked_[i].name;
+    p.clocked = true;
+    p.evals = prof_clocked_[i].evals;
+    p.wall_ns = prof_clocked_[i].wall_ns;
+    pd.procs.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < comb_.size(); ++i) {
+    obs::ProcProfile p;
+    p.name = comb_[i].name;
+    p.rank = prof_rank_.empty() ? -1 : prof_rank_[i];
+    p.evals = prof_comb_[i].evals;
+    p.skips = prof_comb_[i].skips;
+    p.wall_ns = prof_comb_[i].wall_ns;
+    pd.procs.push_back(std::move(p));
+  }
+  std::sort(pd.procs.begin(), pd.procs.end(),
+            [](const obs::ProcProfile& a, const obs::ProcProfile& b) {
+              return a.name < b.name;
+            });
+  if (sched_) {
+    for (std::size_t r = 0; r < sched_->ranks.size(); ++r) {
+      obs::RankProfile row;
+      row.rank = static_cast<int>(r);
+      row.processes = sched_->ranks[r].size();
+      for (const int p : sched_->ranks[r]) {
+        row.evals += prof_comb_[static_cast<std::size_t>(p)].evals;
+        row.skips += prof_comb_[static_cast<std::size_t>(p)].skips;
+      }
+      pd.ranks.push_back(row);
+    }
+  }
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (prof_sig_commits_[i] == 0) continue;
+    obs::SignalProfile s;
+    s.name = signals_[i]->name();
+    s.commits = prof_sig_commits_[i];
+    s.reader_marks = prof_sig_marks_[i];
+    pd.signals.push_back(std::move(s));
+  }
+  std::sort(pd.signals.begin(), pd.signals.end(),
+            [](const obs::SignalProfile& a, const obs::SignalProfile& b) {
+              return a.name < b.name;
+            });
+  return pd;
+}
+
 void Context::initialize() {
   if (initialized_) return;
   initialized_ = true;
+  if (profiling_) {
+    // Every signal and process is registered by now (construction phase);
+    // size the accumulators before the first commit walks them.
+    prof_clocked_.assign(clocked_.size(), {});
+    prof_comb_.assign(comb_.size(), {});
+    prof_rank_.assign(comb_.size(), -1);
+    prof_sig_commits_.assign(signals_.size(), 0);
+    prof_sig_marks_.assign(signals_.size(), 0);
+  }
   commit_dirty();  // writes made during construction
   if (kernel_ == KernelKind::kInterp) {
     settle();
@@ -284,10 +420,7 @@ void Context::step(int n) {
   if (kernel_ == KernelKind::kInterp) {
     for (int i = 0; i < n; ++i) {
       ++cycle_;
-      for (auto& p : clocked_) {
-        p.fn();
-        ++evaluations_;
-      }
+      run_clocked();
       commit_dirty();
       settle();
       sample_tracers();
@@ -296,10 +429,7 @@ void Context::step(int n) {
   }
   for (int i = 0; i < n; ++i) {
     ++cycle_;
-    for (auto& p : clocked_) {
-      p.fn();
-      ++evaluations_;
-    }
+    run_clocked();
     commit_dirty();
     for (auto& g : tag_groups_) {
       const std::uint64_t v = g.tag->version;

@@ -31,6 +31,10 @@
 
 #include "sim/signal.h"
 
+namespace crve::obs {
+struct ProfileData;
+}
+
 namespace crve::sim {
 
 struct CompiledSchedule;
@@ -148,6 +152,19 @@ class Context {
   // interpreter's delta limit; the compiled kernel's re-pass/fallback bound).
   void set_delta_limit(int limit) { delta_limit_ = limit; }
 
+  // --- kernel hotspot profiler (DESIGN.md §15) ----------------------------
+  // Off by default: every collection site in the hot loops is one
+  // well-predicted branch, keeping the disabled path inside the obs <2%
+  // overhead budget (BM_ProfilerDisabled). Enabled, each process
+  // evaluation pays two monotonic-clock reads and each signal commit a
+  // couple of counter bumps. Must be set before initialize().
+  void set_profiling(bool on);
+  bool profiling() const { return profiling_; }
+
+  // Snapshot of the per-process / per-rank / per-signal counters collected
+  // so far (runs = 1). Signals that never committed a change are omitted.
+  obs::ProfileData profile() const;
+
  private:
   friend class SignalBase;
   void register_signal(SignalBase* s) {
@@ -160,6 +177,7 @@ class Context {
   // Under an active compiled schedule, marks the static readers of every
   // changed signal dirty.
   bool commit_dirty();
+  void run_clocked();      // clocked phase of one edge (profiling-aware)
   void settle();           // interpreter fixpoint
   void settle_compiled();  // rank passes + dynamic fixpoint tail
   void build_compiled_schedule();
@@ -204,6 +222,21 @@ class Context {
     std::vector<int> procs;
   };
   std::vector<TagGroup> tag_groups_;
+
+  // Profiler accumulators, sized at initialize() when profiling is on.
+  // Indexed like clocked_/comb_/signals_; wall_ns is exclusive time inside
+  // the process fn (a process never calls another process).
+  struct ProcStats {
+    std::uint64_t evals = 0;
+    std::uint64_t skips = 0;
+    std::uint64_t wall_ns = 0;
+  };
+  std::vector<ProcStats> prof_clocked_;
+  std::vector<ProcStats> prof_comb_;
+  std::vector<int> prof_rank_;  // rank per comb process; -1 = unranked
+  std::vector<std::uint64_t> prof_sig_commits_;
+  std::vector<std::uint64_t> prof_sig_marks_;
+  bool profiling_ = false;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t evaluations_ = 0;

@@ -72,6 +72,7 @@ Testbench::Testbench(stbus::NodeConfig cfg, const TestSpec& spec,
                      TestbenchOptions opts)
     : cfg_(std::move(cfg)), opts_(std::move(opts)) {
   ctx_.set_kernel(opts_.kernel);
+  if (opts_.profile) ctx_.set_profiling(true);
   if (spec.adjust) spec.adjust(cfg_);
   if (spec.prog) cfg_.programming_port = true;
   cfg_.validate_and_normalize();
@@ -314,6 +315,7 @@ RunResult Testbench::run() {
   };
   for (const auto& m : imons_) add_util(*m);
   for (const auto& m : tmons_) add_util(*m);
+  if (opts_.profile) res.profile = ctx_.profile();
   ctx_.publish_metrics();
   if (obs::metrics_enabled()) {
     obs::counter("verif.runs").inc();

@@ -17,6 +17,7 @@
 
 #include "bca/faults.h"
 #include "bca/node.h"
+#include "obs/profiler.h"
 #include "rtl/node.h"
 #include "sim/context.h"
 #include "stbus/config.h"
@@ -85,6 +86,11 @@ struct TestbenchOptions {
   bool enable_toggle_coverage = false;
   bool keep_history = false;  // record completed transactions in the BFMs
   std::uint64_t max_cycles = 500000;
+  // Kernel hotspot profiler (DESIGN.md §15): attribute wall time and
+  // evaluation/skip counts to every named process; RunResult::profile
+  // carries the per-run snapshot. Off by default — the disabled path is one
+  // branch per evaluation site, inside the obs <2% overhead budget.
+  bool profile = false;
 };
 
 struct RunResult {
@@ -108,6 +114,8 @@ struct RunResult {
   std::vector<Violation> violations;         // first ~100
   std::vector<ScoreboardError> sb_errors;    // first ~100
   std::vector<ReferenceError> ref_errors;    // first ~100
+  // Per-process hotspot profile (empty unless TestbenchOptions::profile).
+  obs::ProfileData profile;
 
   bool passed() const {
     return completed && checker_violations == 0 && scoreboard_errors == 0 &&

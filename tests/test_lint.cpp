@@ -373,6 +373,82 @@ TEST(LintSource, DuplicateProcessNameLiterals) {
       has_rule(lint_source_text(clean, "src/verif/x.cpp"), "CRVE061"));
 }
 
+TEST(LintSource, DuplicateObservabilityNameLiterals) {
+  // counter/gauge/histogram/CRVE_SPAN share one observability namespace: a
+  // repeated literal silently merges two series into one.
+  const char* dup =
+      "void f() {\n"
+      "  obs::counter(\"regress.jobs\").inc();\n"
+      "  obs::gauge(\"regress.jobs\").set(1);\n"
+      "}\n";
+  const Report r = lint_source_text(dup, "src/verif/x.cpp");
+  ASSERT_TRUE(has_rule(r, "CRVE062"));
+  EXPECT_NE(r.findings.front().message.find("\"regress.jobs\""),
+            std::string::npos);
+  EXPECT_NE(r.findings.front().message.find("line 2"), std::string::npos);
+
+  // Intentional sharing is suppressed at the site; because file scope
+  // cannot prove the absence of a cross-file duplicate, the suppression
+  // always counts as used (no CRVE053).
+  const char* suppressed =
+      "void f() {\n"
+      "  CRVE_SPAN(\"build\");\n"
+      "  // crve-lint: allow(CRVE062)\n"
+      "  CRVE_SPAN(\"build\");\n"
+      "}\n";
+  const Report ok = lint_source_text(suppressed, "src/verif/x.cpp");
+  EXPECT_FALSE(has_rule(ok, "CRVE062"));
+  EXPECT_FALSE(has_rule(ok, "CRVE053"));
+
+  // Computed names, distinct literals and comment mentions are all clean.
+  const char* clean =
+      "// obs::counter(\"regress.jobs\") is bumped once per job\n"
+      "void f(int i) {\n"
+      "  obs::counter(\"jobs.\" + std::to_string(i)).inc();\n"
+      "  obs::counter(\"jobs.\" + std::to_string(i + 1)).inc();\n"
+      "  obs::histogram(\"regress.wall_ms\", 1.0).observe(2.0);\n"
+      "  obs::counter(\"regress.jobs\").inc();\n"
+      "}\n";
+  EXPECT_FALSE(
+      has_rule(lint_source_text(clean, "src/verif/x.cpp"), "CRVE062"));
+}
+
+TEST(LintSource, DuplicateObservabilityNameAcrossFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "crve_lint_obs_tree";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream a(dir / "alpha.cpp");
+    a << "void a() { obs::counter(\"shared.series\").inc(); }\n";
+    std::ofstream b(dir / "beta.cpp");
+    b << "void b() { CRVE_SPAN(\"shared.series\"); }\n";
+  }
+
+  const Report r = lint_source_tree(dir.string());
+  ASSERT_TRUE(has_rule(r, "CRVE062"));
+  // The later file (sorted order) is flagged against the first use.
+  const Finding* f = nullptr;
+  for (const auto& finding : r.findings) {
+    if (finding.rule_id == "CRVE062") f = &finding;
+  }
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->file.find("beta.cpp"), std::string::npos);
+  EXPECT_NE(f->message.find("alpha.cpp"), std::string::npos);
+  EXPECT_NE(f->message.find("\"shared.series\""), std::string::npos);
+
+  // A site-level suppression removes the name from the cross-file
+  // accounting too.
+  {
+    std::ofstream b(dir / "beta.cpp");
+    b << "// crve-lint: allow(CRVE062)\n"
+      << "void b() { CRVE_SPAN(\"shared.series\"); }\n";
+  }
+  EXPECT_FALSE(has_rule(lint_source_tree(dir.string()), "CRVE062"));
+
+  fs::remove_all(dir);
+}
+
 TEST(LintSource, RealSourceTreeHasZeroUnsuppressedFindings) {
   const Report r = lint_source_tree(CRVE_SOURCE_DIR "/src");
   for (const auto& f : r.findings) ADD_FAILURE() << f.text();

@@ -1,0 +1,423 @@
+// Kernel hotspot profiler + streaming campaign telemetry (DESIGN.md §15).
+//
+// The profiler's contract has four load-bearing properties: attribution is
+// exact under both kernels (evals/skips/ranks/signal churn), the merge is
+// order-independent, the stable JSON section is byte-identical for any
+// worker count, and enabling profiling never perturbs anything else — not
+// the report, not the cache key. The telemetry stream's contract is that
+// every line is one self-contained JSON object bracketed by campaign_start
+// and campaign_end, and that failure paths still emit their job_finish and
+// preserve flight-recorder forensics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "obs/profiler.h"
+#include "regress/job_spec.h"
+#include "regress/progress.h"
+#include "regress/runner.h"
+#include "sim/context.h"
+#include "sim/signal.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+namespace fs = std::filesystem;
+
+const obs::ProcProfile* find_proc(const obs::ProfileData& pd,
+                                  const std::string& name) {
+  for (const auto& p : pd.procs) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+// A three-process pipeline whose counter only changes every 4th cycle, so
+// both evaluation and skip accounting are observable: tick (clocked) ->
+// decode (rank 0) -> sum (rank 1).
+struct SmallCircuit {
+  sim::Context ctx;
+  sim::SignalU64 cnt{ctx, "cnt", 8};
+  sim::SignalU64 dec{ctx, "dec", 8};
+  sim::SignalU64 out{ctx, "out", 8};
+  std::uint64_t n = 0;
+
+  explicit SmallCircuit(sim::KernelKind kernel, bool profile = true) {
+    ctx.set_kernel(kernel);
+    ctx.add_clocked("tick", [this] { cnt.write(n++ / 4); });
+    ctx.add_comb("decode", [this] { dec.write(cnt.read() * 2); });
+    ctx.add_comb("sum", [this] { out.write(dec.read() + 1); });
+    ctx.set_profiling(profile);
+  }
+};
+
+TEST(Profiler, CompiledKernelAttribution) {
+  SmallCircuit c(sim::KernelKind::kCompiled);
+  c.ctx.step(40);
+  const obs::ProfileData pd = c.ctx.profile();
+
+  EXPECT_FALSE(pd.empty());
+  EXPECT_EQ(pd.runs, 1u);
+  EXPECT_EQ(pd.cycles, 40u);
+  ASSERT_EQ(pd.procs.size(), 3u);
+  // Sorted by name — the invariant the byte-identical merge rests on.
+  EXPECT_EQ(pd.procs[0].name, "decode");
+  EXPECT_EQ(pd.procs[1].name, "sum");
+  EXPECT_EQ(pd.procs[2].name, "tick");
+
+  const obs::ProcProfile* tick = find_proc(pd, "tick");
+  ASSERT_NE(tick, nullptr);
+  EXPECT_TRUE(tick->clocked);
+  EXPECT_EQ(tick->rank, -1);
+  EXPECT_EQ(tick->evals, 40u);
+  EXPECT_EQ(tick->skips, 0u);
+
+  // The comb chain is levelized into two ranks; cnt changes 10 times in 40
+  // cycles, so most of each process's scheduling slots are skips.
+  const obs::ProcProfile* decode = find_proc(pd, "decode");
+  const obs::ProcProfile* sum = find_proc(pd, "sum");
+  ASSERT_NE(decode, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_FALSE(decode->clocked);
+  EXPECT_EQ(decode->rank, 0);
+  EXPECT_EQ(sum->rank, 1);
+  EXPECT_GT(decode->evals, 0u);
+  EXPECT_GT(decode->skips, 0u);
+  EXPECT_GT(skip_rate(*decode), 0.5);
+  EXPECT_GT(sum->skips, 0u);
+
+  ASSERT_EQ(pd.ranks.size(), 2u);
+  EXPECT_EQ(pd.ranks[0].rank, 0);
+  EXPECT_EQ(pd.ranks[0].processes, 1u);
+  EXPECT_EQ(pd.ranks[0].evals, decode->evals);
+  EXPECT_EQ(pd.ranks[0].skips, decode->skips);
+
+  // Every signal committed at least once; each cnt commit fans out to its
+  // one static reader.
+  ASSERT_EQ(pd.signals.size(), 3u);
+  EXPECT_EQ(pd.signals[0].name, "cnt");
+  EXPECT_GT(pd.signals[0].commits, 0u);
+  EXPECT_EQ(pd.signals[0].reader_marks, pd.signals[0].commits);
+}
+
+TEST(Profiler, InterpreterFallbackAttribution) {
+  SmallCircuit c(sim::KernelKind::kInterp);
+  c.ctx.step(40);
+  const obs::ProfileData pd = c.ctx.profile();
+
+  EXPECT_EQ(pd.cycles, 40u);
+  ASSERT_EQ(pd.procs.size(), 3u);
+  // No compiled schedule: no ranks, no skips, no fan-out marks — but
+  // evaluation counts and signal commits are still attributed.
+  EXPECT_TRUE(pd.ranks.empty());
+  const obs::ProcProfile* decode = find_proc(pd, "decode");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_EQ(decode->rank, -1);
+  EXPECT_GT(decode->evals, 0u);
+  EXPECT_EQ(decode->skips, 0u);
+  ASSERT_FALSE(pd.signals.empty());
+  EXPECT_GT(pd.signals[0].commits, 0u);
+  EXPECT_EQ(pd.signals[0].reader_marks, 0u);
+}
+
+TEST(Profiler, DisabledProfileIsEmpty) {
+  SmallCircuit c(sim::KernelKind::kCompiled, /*profile=*/false);
+  c.ctx.step(10);
+  EXPECT_TRUE(c.ctx.profile().empty());
+}
+
+TEST(Profiler, SetProfilingAfterInitializeThrows) {
+  SmallCircuit c(sim::KernelKind::kCompiled, /*profile=*/false);
+  c.ctx.initialize();
+  EXPECT_THROW(c.ctx.set_profiling(true), sim::SimError);
+}
+
+TEST(Profiler, MergeIsOrderIndependent) {
+  SmallCircuit a(sim::KernelKind::kCompiled);
+  a.ctx.step(16);
+  SmallCircuit b(sim::KernelKind::kCompiled);
+  b.ctx.step(48);
+
+  obs::ProfileData ab = a.ctx.profile();
+  ab.merge(b.ctx.profile());
+  obs::ProfileData ba = b.ctx.profile();
+  ba.merge(a.ctx.profile());
+
+  EXPECT_EQ(ab.runs, 2u);
+  EXPECT_EQ(ab.cycles, 64u);
+  // Summation is commutative, so even the timing section agrees here; the
+  // campaign-level guarantee only covers the stable section.
+  EXPECT_EQ(obs::profile_json(ab), obs::profile_json(ba));
+  EXPECT_EQ(obs::profile_json(ab, /*with_timing=*/false),
+            obs::profile_json(ba, /*with_timing=*/false));
+
+  const obs::ProcProfile* tick = find_proc(ab, "tick");
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(tick->evals, 64u);
+}
+
+TEST(Profiler, ProfileJsonShape) {
+  SmallCircuit c(sim::KernelKind::kCompiled);
+  c.ctx.step(20);
+  const obs::ProfileData pd = c.ctx.profile();
+
+  const auto doc = json::parse(obs::profile_json(pd));
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* stable = doc.find("stable");
+  ASSERT_NE(stable, nullptr);
+  EXPECT_EQ(stable->number_or("runs", -1), 1);
+  EXPECT_EQ(stable->number_or("cycles", -1), 20);
+  EXPECT_EQ(stable->find("processes")->items.size(), 3u);
+  EXPECT_EQ(stable->find("ranks")->items.size(), 2u);
+  const json::Value* timing = doc.find("timing");
+  ASSERT_NE(timing, nullptr);
+  ASSERT_NE(timing->find("hotspots"), nullptr);
+
+  // with_timing=false drops the timing member and every wall_ns field.
+  const std::string untimed = obs::profile_json(pd, /*with_timing=*/false);
+  EXPECT_EQ(untimed.find("\"timing\""), std::string::npos);
+  EXPECT_EQ(untimed.find("wall_ns"), std::string::npos);
+}
+
+// --- campaign-level invariants --------------------------------------------
+
+regress::RunPlan tiny_plan() {
+  stbus::NodeConfig cfg;
+  cfg.name = "node_p";
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+
+  regress::RunPlan plan;
+  plan.cfg = cfg;
+  plan.tests = {verif::t02_random_all_opcodes()};
+  plan.seeds = {1, 2};
+  plan.n_transactions = 20;
+  return plan;
+}
+
+TEST(Profiler, StableSectionByteIdenticalAcrossWorkerCounts) {
+  const fs::path dir = fs::temp_directory_path() / "crve_profiler_jobs";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.profile_out = (dir / "p1.json").string();
+  plan.jobs = 1;
+  const auto serial = regress::Regression::run(plan);
+  plan.profile_out = (dir / "p4.json").string();
+  plan.jobs = 4;
+  const auto parallel = regress::Regression::run(plan);
+
+  ASSERT_FALSE(serial.profile.empty());
+  ASSERT_FALSE(parallel.profile.empty());
+  // 2 pairs x 2 views merged in slot vs completion order — identical bytes.
+  EXPECT_EQ(serial.profile.runs, 4u);
+  EXPECT_EQ(obs::profile_json(serial.profile, /*with_timing=*/false),
+            obs::profile_json(parallel.profile, /*with_timing=*/false));
+
+  // The campaign report artifact is well-formed and build-stamped.
+  std::ifstream is(dir / "p4.json");
+  std::ostringstream os;
+  os << is.rdbuf();
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_NE(doc.find("build"), nullptr);
+  ASSERT_NE(doc.find("stable"), nullptr);
+  EXPECT_GT(doc.find("stable")->find("processes")->items.size(), 0u);
+  EXPECT_NE(doc.find("timing"), nullptr);
+
+  fs::remove_all(dir);
+}
+
+TEST(Profiler, ReportByteIdenticalWithProfilingOff) {
+  const fs::path out = fs::temp_directory_path() / "crve_profiler_report.json";
+
+  regress::RunPlan plan = tiny_plan();
+  plan.jobs = 2;
+  const auto plain = regress::Regression::run(plan);
+  EXPECT_TRUE(plain.profile.empty());
+
+  plan.profile_out = out.string();
+  const auto profiled = regress::Regression::run(plan);
+  EXPECT_FALSE(profiled.profile.empty());
+
+  // The profiler writes its own artifact; report.json must not move by a
+  // byte when profiling is switched on.
+  EXPECT_EQ(plain.json(/*with_timing=*/false),
+            profiled.json(/*with_timing=*/false));
+
+  fs::remove(out);
+}
+
+TEST(Profiler, JobSpecHashIgnoresProfileKnob) {
+  regress::RunPlan plan = tiny_plan();
+  const auto spec_plain = regress::job_spec_for(plan, plan.tests[0], 7);
+  plan.profile_out = "/tmp/anywhere.json";
+  const auto spec_prof = regress::job_spec_for(plan, plan.tests[0], 7);
+  // Profiling never perturbs the cache key: a profiled rerun of a cached
+  // campaign must still replay its hits.
+  EXPECT_EQ(spec_plain.canonical_json(), spec_prof.canonical_json());
+  EXPECT_EQ(spec_plain.hash(), spec_prof.hash());
+}
+
+// --- streaming telemetry ---------------------------------------------------
+
+std::vector<std::string> read_lines(const fs::path& p) {
+  std::ifstream is(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Progress, NdjsonStreamIsValid) {
+  const fs::path out = fs::temp_directory_path() / "crve_progress.ndjson";
+  {
+    regress::ProgressOptions opts;
+    opts.out_path = out.string();
+    opts.heartbeat_ms = 0;  // one heartbeat per job boundary
+    regress::ProgressTracker tracker(opts);
+    tracker.campaign_start(1, 2, 0);
+    tracker.job_start("node_p", "t02", 1, "rtl");
+    tracker.job_finish("node_p", "t02", 1, "rtl", "pass", false, 12.5);
+    tracker.job_start("node_p", "t02", 1, "bca");
+    tracker.job_finish("node_p", "t02", 1, "bca", "fail", false, 8.0);
+    tracker.evictions(3);
+    tracker.campaign_end(false);
+
+    ASSERT_EQ(tracker.records().size(), 2u);
+    EXPECT_EQ(tracker.records()[0].view, "rtl");
+    EXPECT_EQ(tracker.records()[0].verdict, "pass");
+    EXPECT_EQ(tracker.records()[1].verdict, "fail");
+  }
+
+  const auto lines = read_lines(out);
+  ASSERT_GE(lines.size(), 7u);
+  bool saw_heartbeat = false;
+  for (const auto& line : lines) {
+    const auto doc = json::parse(line);  // throws on a torn/invalid line
+    ASSERT_TRUE(doc.is_object()) << line;
+    EXPECT_NE(doc.find("event"), nullptr) << line;
+    EXPECT_GE(doc.number_or("t_ms", -1), 0) << line;
+    if (doc.string_or("event", "") == "heartbeat") {
+      saw_heartbeat = true;
+      EXPECT_NE(doc.find("in_flight"), nullptr);
+      EXPECT_GE(doc.number_or("eta_ms", -2), -1);
+      EXPECT_EQ(doc.number_or("total", -1), 2);
+    }
+  }
+  EXPECT_TRUE(saw_heartbeat);
+
+  const auto first = json::parse(lines.front());
+  EXPECT_EQ(first.string_or("event", ""), "campaign_start");
+  EXPECT_EQ(first.number_or("total_jobs", -1), 2);
+  const auto last = json::parse(lines.back());
+  EXPECT_EQ(last.string_or("event", ""), "campaign_end");
+  EXPECT_EQ(last.number_or("done", -1), 2);
+  EXPECT_EQ(last.number_or("failed", -1), 1);
+  EXPECT_FALSE(last.bool_or("signed_off", true));
+
+  fs::remove(out);
+}
+
+TEST(Progress, UnwritablePathFailsFast) {
+  regress::ProgressOptions opts;
+  opts.out_path = (fs::temp_directory_path() / "crve_no_such_dir" /
+                   "deep" / "events.ndjson")
+                      .string();
+  EXPECT_THROW(regress::ProgressTracker{opts}, std::runtime_error);
+}
+
+TEST(Progress, RunnerEmitsFullLifecycle) {
+  const fs::path out = fs::temp_directory_path() / "crve_progress_run.ndjson";
+
+  regress::ProgressOptions opts;
+  opts.out_path = out.string();
+  regress::ProgressTracker tracker(opts);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.jobs = 2;
+  plan.progress = &tracker;
+  const auto res = regress::Regression::run(plan);
+  tracker.campaign_end(res.signed_off);
+  ASSERT_TRUE(res.signed_off) << res.summary();
+
+  // 2 pairs x (rtl + bca + align) in completion order, all fresh passes.
+  ASSERT_EQ(tracker.records().size(), 6u);
+  for (const auto& rec : tracker.records()) {
+    EXPECT_EQ(rec.verdict, "pass") << rec.test;
+    EXPECT_FALSE(rec.cached);
+    EXPECT_GE(rec.end_ms, rec.start_ms);
+  }
+
+  const auto lines = read_lines(out);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(json::parse(lines.front()).string_or("event", ""),
+            "campaign_start");
+  EXPECT_EQ(json::parse(lines.back()).string_or("event", ""), "campaign_end");
+  int starts = 0;
+  int finishes = 0;
+  for (const auto& line : lines) {
+    const auto doc = json::parse(line);
+    const std::string event = doc.string_or("event", "");
+    starts += event == "job_start";
+    finishes += event == "job_finish";
+    if (event == "job_finish") {
+      EXPECT_EQ(doc.string_or("verdict", ""), "pass") << line;
+    }
+  }
+  EXPECT_EQ(starts, 6);
+  EXPECT_EQ(finishes, 6);
+
+  fs::remove(out);
+}
+
+TEST(Progress, ThrowingJobDumpsFlightRecorderAndReportsError) {
+  const fs::path dir = fs::temp_directory_path() / "crve_progress_throw";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  FlightRecorder recorder(16);
+  recorder.push("[info ] context line before the crash\n");
+  FlightRecorder* prev = set_flight_recorder(&recorder, LogLevel::kDebug);
+
+  regress::ProgressOptions opts;
+  regress::ProgressTracker tracker(opts);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.seeds = {1};
+  plan.out_dir = dir.string();
+  plan.jobs = 1;
+  plan.progress = &tracker;
+  verif::TestSpec& spec = plan.tests[0];
+  spec.profile = [](const stbus::NodeConfig&,
+                    int) -> verif::InitiatorProfile {
+    throw std::runtime_error("injected elaboration failure");
+  };
+
+  EXPECT_THROW(regress::Regression::run(plan), std::runtime_error);
+  set_flight_recorder(prev);
+
+  // The exception path preserved the flight-recorder context next to the
+  // job's artifacts and still emitted a job_finish with verdict "error".
+  EXPECT_TRUE(fs::exists(dir / ("flight_" + spec.name + "_s1_rtl.log")));
+  ASSERT_FALSE(tracker.records().empty());
+  EXPECT_EQ(tracker.records().front().verdict, "error");
+  EXPECT_EQ(tracker.records().front().view, "rtl");
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crve
