@@ -311,6 +311,58 @@ void BM_ProfilerEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfilerDisabled)->Apply(rtl_sparse_shapes);
 BENCHMARK(BM_ProfilerEnabled)->Apply(rtl_sparse_shapes);
+
+// Txn-tracer overhead guard (DESIGN.md §16): the full monitored testbench
+// with transaction-lifecycle tracing off vs on. With the option off no
+// tracer, taps or hooks exist at all — the disabled run must track a plain
+// monitored run within noise (the <2% obs overhead budget, EXPERIMENTS.md).
+// The enabled run pays one tap callback per completed packet and one hook
+// call per issued request — per-transaction, never per-cycle — so the gap
+// stays bounded even under dense traffic.
+void run_txn_model(benchmark::State& state, bool traced) {
+  const int n_init = static_cast<int>(state.range(0));
+  const int n_targ = static_cast<int>(state.range(1));
+  const int bus = static_cast<int>(state.range(2));
+
+  std::uint64_t cycles = 0;
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    verif::TestSpec spec = verif::t07_target_contention();
+    spec.n_transactions = 200;
+    verif::TestbenchOptions opts;
+    opts.model = verif::ModelKind::kRtl;
+    opts.seed = 3;
+    // Monitors are the tracer's substrate and stay on in both runs; the
+    // other verification components cost the same either way and are left
+    // out so the tap overhead isn't diluted.
+    opts.enable_checkers = false;
+    opts.enable_scoreboard = false;
+    opts.enable_coverage = false;
+    opts.enable_reference_model = false;
+    opts.txn_trace = traced;
+    verif::Testbench tb(make_cfg(n_init, n_targ, bus), spec, opts);
+    state.ResumeTiming();
+
+    verif::RunResult r = tb.run();
+    benchmark::DoNotOptimize(r.cycles);
+    cycles += r.cycles;
+    spans += r.txn.total_spans();
+    if (!r.completed) state.SkipWithError("run failed");
+  }
+  state.counters["cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["spans_per_s"] = benchmark::Counter(
+      static_cast<double>(spans), benchmark::Counter::kIsRate);
+}
+void BM_TxnTracerDisabled(benchmark::State& state) {
+  run_txn_model(state, /*traced=*/false);
+}
+void BM_TxnTracerEnabled(benchmark::State& state) {
+  run_txn_model(state, /*traced=*/true);
+}
+BENCHMARK(BM_TxnTracerDisabled)->Apply(sparse_shapes);
+BENCHMARK(BM_TxnTracerEnabled)->Apply(sparse_shapes);
 BENCHMARK(BM_BcaWrappedSparse)->Apply(sparse_shapes);
 BENCHMARK(BM_BcaWrappedSparseInterp)->Apply(sparse_shapes);
 

@@ -67,7 +67,7 @@ const std::vector<Rule>& rule_catalogue() {
        "duplicate literal process name in add_comb/add_clocked"},
       {"CRVE062", Severity::kWarn,
        "duplicate literal observability name in counter/gauge/histogram/"
-       "CRVE_SPAN"},
+       "CRVE_SPAN/SpanGuard"},
   };
   return kRules;
 }

@@ -138,8 +138,9 @@ Report lint_cache_provenance(const std::string& cache_dir,
 // a computed suffix ("x" + std::to_string(i)) are skipped.
 //
 // CRVE062 applies the same raw-text scan to the observability name
-// registries — counter("x"), gauge("x"), histogram("x", v) and
-// CRVE_SPAN("x") — where a duplicated literal does NOT throw: both sites
+// registries — counter("x"), gauge("x"), histogram("x", v), CRVE_SPAN("x")
+// and the named-guard form SpanGuard var("x") — where a duplicated literal
+// does NOT throw: both sites
 // silently merge into one metric series or span name, which is usually a
 // copy-paste and never diagnosable from the output. Within-file duplicates
 // are flagged here; lint_source_tree extends the accounting across files.

@@ -15,6 +15,7 @@
 // finding is itself reported (CRVE053) so stale ones cannot accumulate.
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -218,10 +219,14 @@ bool is_output_module(const std::string& path) {
 // which filters mentions inside comments and strings. The literal must be
 // terminated by ',' — or, with allow_close_paren, by ')' for zero-payload
 // registrations like counter("x") — so a computed name
-// ("x" + std::to_string(i)) is skipped.
+// ("x" + std::to_string(i)) is skipped. With allow_decl_form, one
+// whitespace-separated identifier may sit between fn and the '(' — the
+// named-guard declaration `SpanGuard var("name")` — while the glued form
+// `fn_suffix(` still never matches.
 std::vector<std::pair<int, std::string>> literal_call_sites(
     const std::string& text, const std::vector<ScannedLine>& lines,
-    const std::string& fn, bool allow_close_paren) {
+    const std::string& fn, bool allow_close_paren,
+    bool allow_decl_form = false) {
   std::vector<std::pair<int, std::string>> sites;
   std::size_t pos = 0;
   while ((pos = text.find(fn, pos)) != std::string::npos) {
@@ -232,6 +237,13 @@ std::vector<std::pair<int, std::string>> literal_call_sites(
     while (j < text.size() &&
            std::isspace(static_cast<unsigned char>(text[j]))) {
       ++j;
+    }
+    if (allow_decl_form && j > pos && j < text.size() && ident_char(text[j])) {
+      while (j < text.size() && ident_char(text[j])) ++j;
+      while (j < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
     }
     if (j >= text.size() || text[j] != '(') continue;
     const int line =
@@ -445,9 +457,14 @@ Report lint_source_text_impl(const std::string& text, const std::string& path,
   // whether the name collides elsewhere).
   {
     std::vector<ObsSite> sites;
-    for (const char* fn : {"counter", "gauge", "histogram", "CRVE_SPAN"}) {
-      for (auto& [line, name] :
-           literal_call_sites(text, lines, fn, /*allow_close_paren=*/true)) {
+    // SpanGuard rides with the macro form: a named guard declaration
+    // (`SpanGuard var("name")`) registers the same span namespace as
+    // CRVE_SPAN("name"), so both spellings feed one accounting.
+    for (const char* fn :
+         {"counter", "gauge", "histogram", "CRVE_SPAN", "SpanGuard"}) {
+      const bool decl = std::strcmp(fn, "SpanGuard") == 0;
+      for (auto& [line, name] : literal_call_sites(
+               text, lines, fn, /*allow_close_paren=*/true, decl)) {
         bool suppressed = false;
         for (Suppression* sup : covers[static_cast<std::size_t>(line)]) {
           if (sup->rules.count("CRVE062")) {

@@ -1,0 +1,597 @@
+#include "obs/txn_trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crve::obs {
+
+namespace {
+
+// Same bucketing as the metrics registry: bucket 0 holds value 0, bucket
+// k>=1 holds [2^(k-1), 2^k).
+int bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  int b = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void hist_observe(HistogramValue& h, std::uint64_t v) {
+  ++h.count;
+  h.sum += v;
+  ++h.buckets[bucket_of(v)];
+}
+
+void hist_merge(HistogramValue& into, const HistogramValue& from) {
+  into.count += from.count;
+  into.sum += from.sum;
+  for (int b = 0; b < kHistBuckets; ++b) into.buckets[b] += from.buckets[b];
+}
+
+// Total order on spans for the slowest table: latency first, then the full
+// key so ties rank identically no matter which job produced them.
+bool slower(const TxnSpan& a, const TxnSpan& b) {
+  if (a.total() != b.total()) return a.total() > b.total();
+  if (a.label != b.label) return a.label < b.label;
+  if (a.port != b.port) return a.port < b.port;
+  if (a.src != b.src) return a.src < b.src;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  return a.seq < b.seq;
+}
+
+bool worse_delta(const TxnDelta& a, const TxnDelta& b) {
+  if (a.abs_delta() != b.abs_delta()) return a.abs_delta() > b.abs_delta();
+  if (a.label != b.label) return a.label < b.label;
+  if (a.port != b.port) return a.port < b.port;
+  if (a.src != b.src) return a.src < b.src;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  return a.seq < b.seq;
+}
+
+// Key order for the per-run span list and the delta join.
+bool key_less(const TxnSpan& a, const TxnSpan& b) {
+  if (a.port != b.port) return a.port < b.port;
+  if (a.src != b.src) return a.src < b.src;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  return a.seq < b.seq;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void render_hist(std::ostream& os, const HistogramValue& h) {
+  os << "{\"count\": " << h.count << ", \"sum\": " << h.sum
+     << ", \"buckets\": [";
+  bool first = true;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+    os << (first ? "" : ", ") << "[" << lo << ", " << h.buckets[b] << "]";
+    first = false;
+  }
+  os << "]}";
+}
+
+void render_cycle(std::ostream& os, const char* key, std::uint64_t c) {
+  os << ", \"" << key << "\": ";
+  if (c == kTxnNoCycle) {
+    os << "null";
+  } else {
+    os << c;
+  }
+}
+
+void render_span(std::ostream& os, const TxnSpan& s) {
+  os << "{\"port\": \"" << json_escape(s.port) << "\", \"src\": " << s.src
+     << ", \"tid\": " << s.tid << ", \"seq\": " << s.seq << ", \"opc\": \""
+     << json_escape(s.opc) << "\"";
+  if (!s.label.empty()) os << ", \"label\": \"" << json_escape(s.label) << "\"";
+  render_cycle(os, "issue", s.issue);
+  render_cycle(os, "grant", s.grant);
+  render_cycle(os, "req_end", s.req_end);
+  render_cycle(os, "rsp_start", s.rsp_start);
+  render_cycle(os, "rsp_end", s.rsp_end);
+  if (!s.target.empty()) {
+    os << ", \"target\": \"" << json_escape(s.target) << "\"";
+    render_cycle(os, "target_req", s.target_req);
+    render_cycle(os, "target_rsp", s.target_rsp);
+  }
+  if (s.complete()) {
+    os << ", \"total\": " << s.total() << ", \"queue_wait\": "
+       << s.queue_wait() << ", \"request\": " << s.request()
+       << ", \"service\": " << s.service() << ", \"response\": "
+       << s.response();
+  }
+  os << ", \"ok\": " << (s.ok ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+std::uint64_t TxnSpan::queue_wait() const {
+  return issue == kTxnNoCycle || grant == kTxnNoCycle ? 0 : grant - issue;
+}
+std::uint64_t TxnSpan::request() const {
+  return grant == kTxnNoCycle || req_end == kTxnNoCycle ? 0 : req_end - grant;
+}
+std::uint64_t TxnSpan::service() const {
+  return req_end == kTxnNoCycle || rsp_start == kTxnNoCycle
+             ? 0
+             : rsp_start - req_end;
+}
+std::uint64_t TxnSpan::response() const {
+  return rsp_start == kTxnNoCycle || rsp_end == kTxnNoCycle
+             ? 0
+             : rsp_end - rsp_start;
+}
+std::uint64_t TxnSpan::total() const {
+  return issue == kTxnNoCycle || rsp_end == kTxnNoCycle ? 0 : rsp_end - issue;
+}
+
+const char* txn_stage_at(const TxnSpan& s, std::uint64_t cycle) {
+  if (s.issue == kTxnNoCycle || cycle < s.issue) return "pre-issue";
+  if (s.grant == kTxnNoCycle || cycle < s.grant) return "queued";
+  if (s.req_end == kTxnNoCycle || cycle <= s.req_end) return "request";
+  if (s.rsp_start == kTxnNoCycle || cycle < s.rsp_start) return "service";
+  if (s.rsp_end == kTxnNoCycle || cycle <= s.rsp_end) return "response";
+  return "done";
+}
+
+bool txn_in_flight_at(const TxnSpan& s, std::uint64_t cycle) {
+  if (s.issue == kTxnNoCycle || cycle < s.issue) return false;
+  return s.rsp_end == kTxnNoCycle || cycle <= s.rsp_end;
+}
+
+std::uint64_t TxnTraceData::total_orphans() const {
+  std::uint64_t n = 0;
+  for (const auto& p : ports) n += p.orphan_responses;
+  return n;
+}
+
+std::uint64_t TxnTraceData::total_spans() const {
+  std::uint64_t n = 0;
+  for (const auto& p : ports) n += p.spans;
+  return n;
+}
+
+void TxnTraceData::merge(const TxnTraceData& other) {
+  runs += other.runs;
+  for (const auto& op : other.ports) {
+    auto it = std::find_if(ports.begin(), ports.end(), [&](const auto& p) {
+      return p.port == op.port;
+    });
+    if (it == ports.end()) {
+      ports.push_back(op);
+      it = ports.end() - 1;
+    } else {
+      it->spans += op.spans;
+      it->incomplete += op.incomplete;
+      it->orphan_responses += op.orphan_responses;
+      it->max_in_flight = std::max(it->max_in_flight, op.max_in_flight);
+      hist_merge(it->queue_wait, op.queue_wait);
+      hist_merge(it->request, op.request);
+      hist_merge(it->service, op.service);
+      hist_merge(it->response, op.response);
+      hist_merge(it->total, op.total);
+    }
+  }
+  // Window indices of different runs are not commensurable; every port of
+  // a merged aggregate drops the series (not just the ones `other` touched,
+  // or the result would depend on merge order).
+  for (auto& p : ports) {
+    p.windows.clear();
+    p.window_count = 0;
+  }
+  std::sort(ports.begin(), ports.end(),
+            [](const auto& a, const auto& b) { return a.port < b.port; });
+  slowest.insert(slowest.end(), other.slowest.begin(), other.slowest.end());
+  std::sort(slowest.begin(), slowest.end(), slower);
+  if (slowest.size() > kTxnTopK) slowest.resize(kTxnTopK);
+  spans.clear();  // per-run payload; a merged aggregate stays bounded
+}
+
+void TxnDeltaStats::merge(const TxnDeltaStats& other) {
+  matched += other.matched;
+  only_a += other.only_a;
+  only_b += other.only_b;
+  negative += other.negative;
+  zero += other.zero;
+  positive += other.positive;
+  hist_merge(abs_delta, other.abs_delta);
+  worst.insert(worst.end(), other.worst.begin(), other.worst.end());
+  std::sort(worst.begin(), worst.end(), worse_delta);
+  if (worst.size() > kTxnTopK) worst.resize(kTxnTopK);
+}
+
+TxnDeltaStats txn_delta(const TxnTraceData& a, const TxnTraceData& b,
+                        const std::string& label) {
+  TxnDeltaStats d;
+  // Both span lists are (port, src, tid, seq)-sorted, so the join is one
+  // linear merge. Incomplete spans never match (their total is undefined).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  auto skip_incomplete = [](const std::vector<TxnSpan>& v, std::size_t& k) {
+    while (k < v.size() && !v[k].complete()) ++k;
+  };
+  std::vector<TxnDelta> all;
+  while (true) {
+    skip_incomplete(a.spans, i);
+    skip_incomplete(b.spans, j);
+    if (i >= a.spans.size() && j >= b.spans.size()) break;
+    if (j >= b.spans.size() ||
+        (i < a.spans.size() && key_less(a.spans[i], b.spans[j]))) {
+      ++d.only_a;
+      ++i;
+      continue;
+    }
+    if (i >= a.spans.size() || key_less(b.spans[j], a.spans[i])) {
+      ++d.only_b;
+      ++j;
+      continue;
+    }
+    const TxnSpan& sa = a.spans[i];
+    const TxnSpan& sb = b.spans[j];
+    TxnDelta td;
+    td.port = sa.port;
+    td.src = sa.src;
+    td.tid = sa.tid;
+    td.seq = sa.seq;
+    td.opc = sa.opc;
+    td.label = label;
+    td.total_a = sa.total();
+    td.total_b = sb.total();
+    ++d.matched;
+    if (td.delta() < 0) {
+      ++d.negative;
+    } else if (td.delta() == 0) {
+      ++d.zero;
+    } else {
+      ++d.positive;
+    }
+    hist_observe(d.abs_delta, td.abs_delta());
+    all.push_back(std::move(td));
+    ++i;
+    ++j;
+  }
+  std::sort(all.begin(), all.end(), worse_delta);
+  if (all.size() > kTxnTopK) all.resize(kTxnTopK);
+  d.worst = std::move(all);
+  return d;
+}
+
+TxnSpan* TxnTracer::oldest_open(const Key& k, bool need_req_done) {
+  const auto it = open_.find(k);
+  if (it == open_.end()) return nullptr;
+  for (TxnSpan& s : it->second) {
+    if (need_req_done) {
+      if (s.req_end != kTxnNoCycle) return &s;
+    } else if (s.grant == kTxnNoCycle) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void TxnTracer::bump_in_flight(const std::string& port, std::uint64_t cycle,
+                               std::int64_t delta) {
+  PortLive& pl = live_[port];
+  pl.in_flight = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(pl.in_flight) + delta);
+  pl.max_in_flight = std::max(pl.max_in_flight, pl.in_flight);
+  const std::uint64_t w = cycle / kTxnWindowCycles;
+  std::uint64_t& wm = pl.window_max[w];
+  wm = std::max(wm, pl.in_flight);
+}
+
+void TxnTracer::on_issue(const std::string& port, std::uint32_t src,
+                         std::uint32_t tid, std::uint64_t cycle,
+                         const std::string& opc, std::uint64_t add) {
+  const Key k{port, src, tid};
+  TxnSpan s;
+  s.port = port;
+  s.src = src;
+  s.tid = tid;
+  s.seq = next_seq_[k]++;
+  s.opc = opc;
+  s.add = add;
+  s.issue = cycle;
+  open_[k].push_back(std::move(s));
+  bump_in_flight(port, cycle, +1);
+}
+
+void TxnTracer::on_request(const std::string& port, std::uint32_t src,
+                           std::uint32_t tid, std::uint64_t start,
+                           std::uint64_t end) {
+  TxnSpan* s = oldest_open({port, src, tid}, /*need_req_done=*/false);
+  if (s == nullptr) return;  // no BFM hook installed for this port
+  s->grant = start;
+  s->req_end = end;
+}
+
+void TxnTracer::on_response(const std::string& port, std::uint32_t src,
+                            std::uint32_t tid, std::uint64_t start,
+                            std::uint64_t end, bool ok) {
+  const Key k{port, src, tid};
+  TxnSpan* s = oldest_open(k, /*need_req_done=*/true);
+  if (s == nullptr) {
+    // A response with no outstanding request: a DUT defect (or a tap on a
+    // port without the issue hook). Counted loudly, never dropped silently.
+    ++orphans_;
+    if (metrics_enabled()) counter("txn.orphan_response").inc();
+    return;
+  }
+  s->rsp_start = start;
+  s->rsp_end = end;
+  s->ok = s->ok && ok;
+  bump_in_flight(port, end, -1);
+  auto& q = open_[k];
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (&*it == s) {
+      done_.push_back(std::move(*it));
+      q.erase(it);
+      break;
+    }
+  }
+}
+
+void TxnTracer::on_target_request(const std::string& target, std::uint32_t src,
+                                  std::uint32_t tid, std::uint64_t add,
+                                  std::uint64_t end) {
+  // Initiator-port keys carry the port name, but src alone identifies the
+  // initiator, so scan the (few) open queues for that (src, tid). The
+  // oldest span without a target request whose address matches is the one
+  // arriving; address disambiguates pipelined same-key streams.
+  for (auto& [key, q] : open_) {
+    if (key.src != src || key.tid != tid) continue;
+    for (TxnSpan& s : q) {
+      if (s.target_req == kTxnNoCycle && s.add == add) {
+        s.target = target;
+        s.target_req = end;
+        return;
+      }
+    }
+  }
+}
+
+void TxnTracer::on_target_response(const std::string& target,
+                                   std::uint32_t src, std::uint32_t tid,
+                                   std::uint64_t start) {
+  for (auto& [key, q] : open_) {
+    if (key.src != src || key.tid != tid) continue;
+    for (TxnSpan& s : q) {
+      if (s.target == target && s.target_req != kTxnNoCycle &&
+          s.target_rsp == kTxnNoCycle) {
+        s.target_rsp = start;
+        return;
+      }
+    }
+  }
+}
+
+TxnTraceData TxnTracer::finish() {
+  TxnTraceData td;
+  td.runs = 1;
+  std::map<std::string, TxnPortStats> ports;
+  for (TxnSpan& s : done_) {
+    TxnPortStats& ps = ports[s.port];
+    ++ps.spans;
+    hist_observe(ps.queue_wait, s.queue_wait());
+    hist_observe(ps.request, s.request());
+    hist_observe(ps.service, s.service());
+    hist_observe(ps.response, s.response());
+    hist_observe(ps.total, s.total());
+    td.spans.push_back(std::move(s));
+  }
+  for (auto& [key, q] : open_) {
+    for (TxnSpan& s : q) {
+      ++ports[s.port].incomplete;
+      td.spans.push_back(std::move(s));
+    }
+  }
+  for (auto& [port, pl] : live_) {
+    TxnPortStats& ps = ports[port];
+    ps.max_in_flight = pl.max_in_flight;
+    ps.window_count = pl.window_max.size();
+    for (const auto& [w, m] : pl.window_max) {
+      if (ps.windows.size() >= kTxnMaxWindows) break;
+      ps.windows.push_back({w, m});
+    }
+  }
+  // Orphans land on no particular port queue; attribute them to a
+  // dedicated pseudo-port so the count survives the per-port merge.
+  if (orphans_ > 0) ports["(unmatched)"].orphan_responses = orphans_;
+  for (auto& [name, ps] : ports) {
+    ps.port = name;
+    td.ports.push_back(std::move(ps));
+  }
+  std::sort(td.spans.begin(), td.spans.end(), key_less);
+  std::vector<TxnSpan> ranked;
+  for (const TxnSpan& s : td.spans) {
+    if (s.complete()) ranked.push_back(s);
+  }
+  std::sort(ranked.begin(), ranked.end(), slower);
+  if (ranked.size() > kTxnTopK) ranked.resize(kTxnTopK);
+  td.slowest = std::move(ranked);
+  open_.clear();
+  done_.clear();
+  live_.clear();
+  return td;
+}
+
+std::string txn_json(const TxnTraceData& td, bool with_spans,
+                     const std::string& indent) {
+  std::ostringstream os;
+  const std::string in1 = indent + "  ";
+  const std::string in2 = in1 + "  ";
+  os << "{\n";
+  os << in1 << "\"runs\": " << td.runs << ",\n";
+  os << in1 << "\"spans\": " << td.total_spans() << ",\n";
+  os << in1 << "\"orphan_responses\": " << td.total_orphans() << ",\n";
+  os << in1 << "\"ports\": [";
+  for (std::size_t i = 0; i < td.ports.size(); ++i) {
+    const TxnPortStats& p = td.ports[i];
+    os << (i == 0 ? "\n" : ",\n") << in2 << "{\"port\": \""
+       << json_escape(p.port) << "\", \"spans\": " << p.spans
+       << ", \"incomplete\": " << p.incomplete << ", \"orphan_responses\": "
+       << p.orphan_responses << ", \"max_in_flight\": " << p.max_in_flight
+       << ",\n";
+    os << in2 << " \"queue_wait\": ";
+    render_hist(os, p.queue_wait);
+    os << ",\n" << in2 << " \"request\": ";
+    render_hist(os, p.request);
+    os << ",\n" << in2 << " \"service\": ";
+    render_hist(os, p.service);
+    os << ",\n" << in2 << " \"response\": ";
+    render_hist(os, p.response);
+    os << ",\n" << in2 << " \"total\": ";
+    render_hist(os, p.total);
+    if (!p.windows.empty()) {
+      os << ",\n" << in2 << " \"window_cycles\": " << kTxnWindowCycles
+         << ", \"window_count\": " << p.window_count
+         << ", \"in_flight_windows\": [";
+      for (std::size_t w = 0; w < p.windows.size(); ++w) {
+        os << (w == 0 ? "" : ", ") << "[" << p.windows[w].first << ", "
+           << p.windows[w].second << "]";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << (td.ports.empty() ? "]" : "\n" + in1 + "]") << ",\n";
+  os << in1 << "\"slowest\": [";
+  for (std::size_t i = 0; i < td.slowest.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << in2;
+    render_span(os, td.slowest[i]);
+  }
+  os << (td.slowest.empty() ? "]" : "\n" + in1 + "]");
+  if (with_spans) {
+    os << ",\n" << in1 << "\"span_list\": [";
+    for (std::size_t i = 0; i < td.spans.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << in2;
+      render_span(os, td.spans[i]);
+    }
+    os << (td.spans.empty() ? "]" : "\n" + in1 + "]");
+  }
+  os << "\n" << indent << "}";
+  return os.str();
+}
+
+std::string txn_delta_json(const TxnDeltaStats& d, const std::string& indent) {
+  std::ostringstream os;
+  const std::string in1 = indent + "  ";
+  const std::string in2 = in1 + "  ";
+  os << "{\n";
+  os << in1 << "\"matched\": " << d.matched << ",\n";
+  os << in1 << "\"only_a\": " << d.only_a << ",\n";
+  os << in1 << "\"only_b\": " << d.only_b << ",\n";
+  os << in1 << "\"negative\": " << d.negative << ",\n";
+  os << in1 << "\"zero\": " << d.zero << ",\n";
+  os << in1 << "\"positive\": " << d.positive << ",\n";
+  os << in1 << "\"abs_delta\": ";
+  render_hist(os, d.abs_delta);
+  os << ",\n" << in1 << "\"worst\": [";
+  for (std::size_t i = 0; i < d.worst.size(); ++i) {
+    const TxnDelta& w = d.worst[i];
+    os << (i == 0 ? "\n" : ",\n") << in2 << "{\"port\": \""
+       << json_escape(w.port) << "\", \"src\": " << w.src << ", \"tid\": "
+       << w.tid << ", \"seq\": " << w.seq << ", \"opc\": \""
+       << json_escape(w.opc) << "\"";
+    if (!w.label.empty()) {
+      os << ", \"label\": \"" << json_escape(w.label) << "\"";
+    }
+    os << ", \"total_a\": " << w.total_a << ", \"total_b\": " << w.total_b
+       << ", \"delta\": " << w.delta() << "}";
+  }
+  os << (d.worst.empty() ? "]" : "\n" + in1 + "]");
+  os << "\n" << indent << "}";
+  return os.str();
+}
+
+std::string txn_chrome_trace(const TxnTraceData& td) {
+  std::ostringstream os;
+  // Track ids: sorted initiator-port order, stable across runs.
+  std::vector<std::string> tracks;
+  for (const TxnSpan& s : td.spans) {
+    if (std::find(tracks.begin(), tracks.end(), s.port) == tracks.end()) {
+      tracks.push_back(s.port);
+    }
+  }
+  std::sort(tracks.begin(), tracks.end());
+  auto track_of = [&](const std::string& port) {
+    return static_cast<int>(std::find(tracks.begin(), tracks.end(), port) -
+                            tracks.begin());
+  };
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    os << (first ? "\n" : ",\n") << "  " << ev;
+    first = false;
+  };
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    emit("{\"ph\": \"M\", \"pid\": 0, \"tid\": " + std::to_string(i) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+         json_escape(tracks[i]) + "\"}}");
+  }
+  auto x_event = [&](const std::string& name, int tid, std::uint64_t ts,
+                     std::uint64_t dur, const std::string& args) {
+    emit("{\"ph\": \"X\", \"pid\": 0, \"tid\": " + std::to_string(tid) +
+         ", \"name\": \"" + json_escape(name) + "\", \"cat\": \"txn\", " +
+         "\"ts\": " + std::to_string(ts) + ", \"dur\": " +
+         std::to_string(dur == 0 ? 1 : dur) + args + "}");
+  };
+  for (const TxnSpan& s : td.spans) {
+    if (!s.complete()) continue;
+    const int tid = track_of(s.port);
+    const std::string name = s.opc + " src" + std::to_string(s.src) + " tid" +
+                             std::to_string(s.tid) + " #" +
+                             std::to_string(s.seq);
+    std::string args = ", \"args\": {\"queue_wait\": " +
+                       std::to_string(s.queue_wait()) + ", \"request\": " +
+                       std::to_string(s.request()) + ", \"service\": " +
+                       std::to_string(s.service()) + ", \"response\": " +
+                       std::to_string(s.response());
+    if (!s.target.empty()) {
+      args += ", \"target\": \"" + json_escape(s.target) + "\"";
+    }
+    args += ", \"ok\": " + std::string(s.ok ? "true" : "false") + "}";
+    x_event(name, tid, s.issue, s.total(), args);
+    // Hop sub-events nest under the transaction on the same track.
+    if (s.grant != kTxnNoCycle && s.grant > s.issue) {
+      x_event("queue", tid, s.issue, s.queue_wait(), "");
+    }
+    if (s.grant != kTxnNoCycle && s.req_end != kTxnNoCycle) {
+      x_event("request", tid, s.grant, s.request(), "");
+    }
+    if (s.req_end != kTxnNoCycle && s.rsp_start != kTxnNoCycle &&
+        s.rsp_start > s.req_end) {
+      x_event("service", tid, s.req_end, s.service(), "");
+    }
+    if (s.rsp_start != kTxnNoCycle) {
+      x_event("response", tid, s.rsp_start, s.response(), "");
+    }
+  }
+  os << (first ? "]" : "\n]") << ", \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+}  // namespace crve::obs

@@ -1,0 +1,244 @@
+// Transaction-lifecycle tracer (DESIGN.md §16).
+//
+// Stitches the events one transaction produces on its way through the
+// node — issue (BFM generated the request), grant (first request cell won
+// arbitration at the initiator port), request-complete (request eop),
+// target service (request arrival / response departure at the target
+// port), response return — into one span per transaction, keyed by
+// (port, src, tid, sequence number). The verification layer feeds a
+// TxnTracer from MonitorListener taps plus one BFM-side issue hook; this
+// header owns the span model, the per-port latency attribution, the
+// order-independent merge, the dual-view delta join and the JSON / Chrome
+// trace-event rendering. obs stays dependency-free: events arrive as plain
+// integers and pre-decoded mnemonic strings, never as stbus types.
+//
+// Determinism contract mirrors the metrics registry and the profiler:
+// every derived quantity is a pure function of the simulated traffic
+// (cycle counts, never wall clock), merge() sums per-port stats by name
+// and re-ranks the bounded top-K tables under a total order, so the
+// campaign-level aggregate is byte-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace crve::obs {
+
+// Sentinel for a lifecycle event that was never observed.
+inline constexpr std::uint64_t kTxnNoCycle = ~std::uint64_t{0};
+
+// One transaction's reconstructed lifecycle. `seq` counts issues per
+// (port, src, tid) key, so Type2 streams (every transaction shares tid 0)
+// still get unique keys; `label` is empty inside one run and carries
+// "<test>:s<seed>:<view>" once spans from different jobs meet in a
+// campaign-level table (the tie-breaker that keeps top-K ranking total).
+struct TxnSpan {
+  std::string port;       // initiator port, e.g. "init0"
+  std::uint32_t src = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;
+  std::string opc;        // opcode mnemonic at issue ("LD4", "ST8", ...)
+  std::uint64_t add = 0;  // request address
+  std::string label;
+
+  // Lifecycle cycles (kTxnNoCycle until the event is observed).
+  std::uint64_t issue = kTxnNoCycle;      // BFM generated the request
+  std::uint64_t grant = kTxnNoCycle;      // first request cell granted
+  std::uint64_t req_end = kTxnNoCycle;    // request eop granted
+  std::uint64_t rsp_start = kTxnNoCycle;  // first response cell back
+  std::uint64_t rsp_end = kTxnNoCycle;    // response eop (complete)
+  // Target-side enrichment, best-effort (absent for decode errors).
+  std::string target;                      // target port, e.g. "targ1"
+  std::uint64_t target_req = kTxnNoCycle;  // request eop at the target
+  std::uint64_t target_rsp = kTxnNoCycle;  // first response cell there
+  bool ok = true;  // false: any non-OK response cell
+
+  bool complete() const { return rsp_end != kTxnNoCycle; }
+  // Per-hop latencies, 0 when either endpoint is missing.
+  std::uint64_t queue_wait() const;  // issue -> grant (arbitration wait)
+  std::uint64_t request() const;     // grant -> req_end (request transfer)
+  std::uint64_t service() const;     // req_end -> rsp_start (target turn)
+  std::uint64_t response() const;    // rsp_start -> rsp_end (return)
+  std::uint64_t total() const;       // issue -> rsp_end
+};
+
+// Lifecycle stage of a span at a given cycle — the vocabulary triage uses
+// to say what a transaction was doing when the views diverged.
+// "queued" (issued, waiting for arbitration), "request" (cells on the
+// request channel), "service" (inside the target), "response" (cells on
+// the response channel), "done", or "pre-issue".
+const char* txn_stage_at(const TxnSpan& s, std::uint64_t cycle);
+
+// True when the span is in flight (issued, not yet complete) at `cycle`.
+bool txn_in_flight_at(const TxnSpan& s, std::uint64_t cycle);
+
+// Per-port stable aggregate. Histograms are log2-bucketed cycle counts in
+// the registry's kHistBuckets layout.
+struct TxnPortStats {
+  std::string port;
+  std::uint64_t spans = 0;             // completed transactions
+  std::uint64_t incomplete = 0;        // still open at end of run
+  std::uint64_t orphan_responses = 0;  // responses with no open span
+  std::uint64_t max_in_flight = 0;
+  HistogramValue queue_wait;
+  HistogramValue request;
+  HistogramValue service;
+  HistogramValue response;
+  HistogramValue total;
+  // Max in-flight per kTxnWindowCycles window: (window index, max) pairs,
+  // sorted, populated windows only, first kTxnMaxWindows of them with the
+  // exact total kept (per-run detail; merge() drops the series, window
+  // indices from different runs are not commensurable).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> windows;
+  std::uint64_t window_count = 0;
+};
+
+inline constexpr std::uint64_t kTxnWindowCycles = 1024;
+inline constexpr std::size_t kTxnMaxWindows = 256;
+// Bound on every top-K table (slowest spans, worst deltas).
+inline constexpr std::size_t kTxnTopK = 16;
+
+struct TxnTraceData {
+  std::uint64_t runs = 0;                // merged run count
+  std::vector<TxnPortStats> ports;       // sorted by port
+  std::vector<TxnSpan> slowest;          // top-K by total(), ties by key
+  // Full span list of one run, (port, src, tid, seq) order — the payload
+  // the dual-view delta join and the Chrome trace consume. Per-run detail:
+  // merge() drops it so campaign aggregates stay bounded.
+  std::vector<TxnSpan> spans;
+
+  bool empty() const { return runs == 0; }
+  std::uint64_t total_orphans() const;
+  std::uint64_t total_spans() const;
+
+  // Accumulates `other`: port stats summed by name (max for gauges),
+  // top-K re-ranked and truncated. Selection under a total order makes the
+  // result independent of merge order — the byte-identical-for-any-jobs
+  // property. Window series and full span lists do not survive the merge.
+  void merge(const TxnTraceData& other);
+};
+
+// One joined pair in the dual-view delta table.
+struct TxnDelta {
+  std::string port;
+  std::uint32_t src = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;
+  std::string opc;
+  std::string label;            // "<test>:s<seed>" at campaign level
+  std::uint64_t total_a = 0;    // view A (RTL) end-to-end latency
+  std::uint64_t total_b = 0;    // view B (BCA)
+  std::int64_t delta() const {
+    return static_cast<std::int64_t>(total_b) -
+           static_cast<std::int64_t>(total_a);
+  }
+  std::uint64_t abs_delta() const {
+    const std::int64_t d = delta();
+    return static_cast<std::uint64_t>(d < 0 ? -d : d);
+  }
+};
+
+// Dual-view latency differential: spans joined by (port, src, tid, seq).
+struct TxnDeltaStats {
+  std::uint64_t matched = 0;
+  std::uint64_t only_a = 0;  // completed on A, unmatched on B
+  std::uint64_t only_b = 0;
+  std::uint64_t negative = 0;  // B faster than A
+  std::uint64_t zero = 0;
+  std::uint64_t positive = 0;  // B slower than A
+  HistogramValue abs_delta;    // |delta| in cycles, log2 buckets
+  std::vector<TxnDelta> worst;  // top-K by |delta|, ties by key
+
+  bool empty() const { return matched + only_a + only_b == 0; }
+  void merge(const TxnDeltaStats& other);
+};
+
+// Joins the completed spans of two runs of the same (test, seed) — view A
+// is conventionally RTL, view B BCA. `label` tags the worst-delta rows.
+TxnDeltaStats txn_delta(const TxnTraceData& a, const TxnTraceData& b,
+                        const std::string& label = "");
+
+// Per-view transaction recorder. Single-threaded (one per testbench, like
+// the monitors that feed it); all matching is deterministic FIFO order per
+// (port, src, tid) key, which the STBus ordering rules make exact: a Type3
+// tid is unique while outstanding, Type2 responses are strictly ordered.
+class TxnTracer {
+ public:
+  // BFM-side hook: the request was generated (before arbitration).
+  void on_issue(const std::string& port, std::uint32_t src, std::uint32_t tid,
+                std::uint64_t cycle, const std::string& opc,
+                std::uint64_t add);
+  // Initiator-port monitor taps (packet completion callbacks).
+  void on_request(const std::string& port, std::uint32_t src,
+                  std::uint32_t tid, std::uint64_t start, std::uint64_t end);
+  void on_response(const std::string& port, std::uint32_t src,
+                   std::uint32_t tid, std::uint64_t start, std::uint64_t end,
+                   bool ok);
+  // Target-port monitor taps. `add` disambiguates pipelined same-key
+  // requests; decode errors never reach a target, so their spans simply
+  // keep no target events.
+  void on_target_request(const std::string& target, std::uint32_t src,
+                         std::uint32_t tid, std::uint64_t add,
+                         std::uint64_t end);
+  void on_target_response(const std::string& target, std::uint32_t src,
+                          std::uint32_t tid, std::uint64_t start);
+
+  std::uint64_t orphan_responses() const { return orphans_; }
+
+  // Seals the run: aggregates every span (open ones count as incomplete)
+  // into the stable data model. The tracer is spent afterwards.
+  TxnTraceData finish();
+
+ private:
+  struct Key {
+    std::string port;
+    std::uint32_t src;
+    std::uint32_t tid;
+    bool operator<(const Key& o) const {
+      if (port != o.port) return port < o.port;
+      if (src != o.src) return src < o.src;
+      return tid < o.tid;
+    }
+  };
+  struct PortLive {
+    std::uint64_t in_flight = 0;
+    std::uint64_t max_in_flight = 0;
+    std::map<std::uint64_t, std::uint64_t> window_max;
+  };
+  TxnSpan* oldest_open(const Key& k, bool need_req_done);
+  void bump_in_flight(const std::string& port, std::uint64_t cycle,
+                      std::int64_t delta);
+
+  std::map<Key, std::deque<TxnSpan>> open_;  // oldest first per key
+  std::map<Key, std::uint64_t> next_seq_;
+  std::map<std::string, PortLive> live_;
+  std::vector<TxnSpan> done_;  // completion order
+  std::uint64_t orphans_ = 0;
+};
+
+// Pretty JSON of the stable sections, inner lines prefixed with `indent`:
+//   {"runs": N, "ports": [...], "slowest": [...], "spans": [...]}
+// Histograms use the registry's sparse [[lo, count], ...] form. The full
+// span list is included only when with_spans is set (per-job artifacts);
+// campaign summaries leave it out.
+std::string txn_json(const TxnTraceData& td, bool with_spans = false,
+                     const std::string& indent = "");
+
+// Delta-join JSON ({"matched": ..., "abs_delta": {...}, "worst": [...]}).
+std::string txn_delta_json(const TxnDeltaStats& d,
+                           const std::string& indent = "");
+
+// Chrome trace-event document for one run: one track (tid) per initiator
+// port, a "X" complete event per transaction spanning issue -> complete,
+// plus one child event per lifecycle hop. The timebase is simulation
+// cycles mapped onto microseconds, not wall clock, so the document is
+// deterministic; it deliberately does not share a timebase with the PR 3
+// phase-span trace (wall-clock ns) — load them separately.
+std::string txn_chrome_trace(const TxnTraceData& td);
+
+}  // namespace crve::obs

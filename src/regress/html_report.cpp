@@ -242,7 +242,8 @@ void render_config(std::string& out, const RegressionResult& r,
       out += ok ? " pass" : " FAIL";
       if (!ok && opts.flight_links) {
         const char* view = o->model == verif::ModelKind::kRtl ? "rtl" : "bca";
-        out += " <a href=\"" + cfg_dir + "flight_" + html_escape(o->test) +
+        out += " <a href=\"" + cfg_dir +
+               "flight_" + html_escape(sanitize_artifact_name(o->test)) +
                "_s" + std::to_string(o->seed) + "_" + view +
                ".log\">flight</a>";
       }
@@ -308,7 +309,8 @@ void render_config(std::string& out, const RegressionResult& r,
       if (!pa->note.empty()) title += " [" + html_escape(pa->note) + "]";
       out += " title=\"" + title + "\">";
       if (breach && opts.triage_links) {
-        out += "<a href=\"" + cfg_dir + "triage_" + html_escape(a.test) +
+        out += "<a href=\"" + cfg_dir +
+               "triage_" + html_escape(sanitize_artifact_name(a.test)) +
                "_s" + std::to_string(a.seed) + ".json\">" + bool_icon(false) +
                " " + pct(rate) + "</a>";
       } else if (breach) {
@@ -409,6 +411,157 @@ void render_hotspots(std::string& out, const obs::ProfileData& pd) {
   out += "</section>\n";
 }
 
+// Upper bound of the smallest log2 bucket holding quantile q of the
+// histogram's mass, as a printable cycle count ("<= bound"). Exact enough
+// for a dashboard: the JSON artifacts carry the full buckets.
+std::string hist_quantile_bound(const obs::HistogramValue& h, double q) {
+  if (h.count == 0) return "&mdash;";
+  const std::uint64_t want = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.count)));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < obs::kHistBuckets; ++b) {
+    cum += h.buckets[b];
+    if (cum >= want) {
+      if (b == 0) return "0";
+      if (b >= 64) return "2^64";
+      return std::to_string(std::uint64_t{1} << b);
+    }
+  }
+  return "2^64";
+}
+
+// Splits a campaign-level span label "<config>:<test>:s<seed>:<view>" back
+// into its parts; returns false for per-run (unlabelled) spans.
+bool split_span_label(const std::string& label, std::string& config,
+                      std::string& test, std::string& seed) {
+  const std::size_t c1 = label.find(':');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c3 = label.rfind(':');
+  const std::size_t c2 = label.rfind(':', c3 - 1);
+  if (c2 == std::string::npos || c2 <= c1 || c3 <= c2) return false;
+  config = label.substr(0, c1);
+  test = label.substr(c1 + 1, c2 - c1 - 1);
+  if (c2 + 2 > c3 || label[c2 + 1] != 's') return false;
+  seed = label.substr(c2 + 2, c3 - c2 - 2);
+  return true;
+}
+
+// Transaction latency panel (DESIGN.md §16): rendered only when the
+// campaign ran with --txn-trace-out, so an untraced dashboard stays
+// byte-identical to previous releases.
+void render_txn(std::string& out, const obs::TxnTraceData& td,
+                const obs::TxnDeltaStats& delta, const HtmlOptions& opts) {
+  out += "<section class=\"card\">\n<h2>Transaction latency</h2>\n";
+  out += "<p>";
+  out += "<span class=\"chip\">" + std::to_string(td.total_spans()) +
+         " transactions across " + std::to_string(td.runs) + " runs</span>";
+  const std::uint64_t orphans = td.total_orphans();
+  if (orphans > 0) {
+    chip(out, false, std::to_string(orphans) + " orphan responses");
+  }
+  std::uint64_t incomplete = 0;
+  for (const auto& p : td.ports) incomplete += p.incomplete;
+  if (incomplete > 0) {
+    chip(out, false, std::to_string(incomplete) + " incomplete spans");
+  }
+  out += "</p>\n";
+
+  // Per-port end-to-end percentiles (log2 bucket upper bounds) plus the
+  // per-hop means. The per-hop histograms live in the JSON artifacts.
+  out += "<h3>Per-port latency (cycles)</h3>\n<table>\n"
+         "<tr><th>port</th><th class=\"num\">spans</th>"
+         "<th class=\"num\">p50 &le;</th><th class=\"num\">p90 &le;</th>"
+         "<th class=\"num\">p99 &le;</th><th class=\"num\">mean queue</th>"
+         "<th class=\"num\">mean service</th>"
+         "<th class=\"num\">max in flight</th><th>total</th></tr>\n";
+  auto mean = [](const obs::HistogramValue& h) {
+    return h.count == 0
+               ? std::string("&mdash;")
+               : json::number(static_cast<double>(h.sum) /
+                              static_cast<double>(h.count));
+  };
+  for (const auto& p : td.ports) {
+    if (p.spans == 0 && p.orphan_responses > 0) continue;  // pseudo-port
+    out += "<tr><td>" + html_escape(p.port) + "</td><td class=\"num\">" +
+           std::to_string(p.spans) + "</td><td class=\"num\">" +
+           hist_quantile_bound(p.total, 0.50) + "</td><td class=\"num\">" +
+           hist_quantile_bound(p.total, 0.90) + "</td><td class=\"num\">" +
+           hist_quantile_bound(p.total, 0.99) + "</td><td class=\"num\">" +
+           mean(p.queue_wait) + "</td><td class=\"num\">" + mean(p.service) +
+           "</td><td class=\"num\">" + std::to_string(p.max_in_flight) +
+           "</td><td>";
+    histogram_svg(out, p.total);
+    out += "</td></tr>\n";
+  }
+  out += "</table>\n";
+
+  // Dual-view latency differential: |BCA - RTL| per joined transaction.
+  if (!delta.empty()) {
+    out += "<h3>Dual-view latency delta (RTL vs BCA)</h3>\n";
+    out += "<p class=\"muted\">" + std::to_string(delta.matched) +
+           " joined transactions: " + std::to_string(delta.zero) +
+           " identical, " + std::to_string(delta.positive) +
+           " slower on BCA, " + std::to_string(delta.negative) +
+           " faster on BCA";
+    if (delta.only_a + delta.only_b > 0) {
+      out += " (" + std::to_string(delta.only_a) + " RTL-only, " +
+             std::to_string(delta.only_b) + " BCA-only)";
+    }
+    out += "</p>\n<p>|delta| distribution: ";
+    histogram_svg(out, delta.abs_delta);
+    out += "</p>\n";
+    if (!delta.worst.empty()) {
+      out += "<h3>Worst deltas</h3>\n<table>\n<tr><th>pair</th><th>port</th>"
+             "<th>opc</th><th class=\"num\">src/tid/#</th>"
+             "<th class=\"num\">RTL</th><th class=\"num\">BCA</th>"
+             "<th class=\"num\">delta</th></tr>\n";
+      for (const auto& w : delta.worst) {
+        std::string cfg, test, seed;
+        out += "<tr><td>";
+        if (opts.triage_links && split_span_label(w.label, cfg, test, seed)) {
+          out += "<a href=\"" + html_escape(cfg) + "/triage_" +
+                 html_escape(sanitize_artifact_name(test)) + "_s" +
+                 html_escape(seed) + ".json\">" + html_escape(w.label) +
+                 "</a>";
+        } else {
+          out += html_escape(w.label);
+        }
+        out += "</td><td>" + html_escape(w.port) + "</td><td>" +
+               html_escape(w.opc) + "</td><td class=\"num\">" +
+               std::to_string(w.src) + "/" + std::to_string(w.tid) + "/" +
+               std::to_string(w.seq) + "</td><td class=\"num\">" +
+               std::to_string(w.total_a) + "</td><td class=\"num\">" +
+               std::to_string(w.total_b) + "</td><td class=\"num\">" +
+               std::to_string(w.delta()) + "</td></tr>\n";
+      }
+      out += "</table>\n";
+    }
+  }
+
+  // Slowest transactions with their lifecycle timelines.
+  if (!td.slowest.empty()) {
+    out += "<h3>Slowest transactions</h3>\n<table>\n<tr><th>run</th>"
+           "<th>port</th><th>opc</th><th class=\"num\">src/tid/#</th>"
+           "<th class=\"num\">queue</th><th class=\"num\">request</th>"
+           "<th class=\"num\">service</th><th class=\"num\">response</th>"
+           "<th class=\"num\">total</th></tr>\n";
+    for (const auto& s : td.slowest) {
+      out += "<tr><td>" + html_escape(s.label) + "</td><td>" +
+             html_escape(s.port) + "</td><td>" + html_escape(s.opc) +
+             "</td><td class=\"num\">" + std::to_string(s.src) + "/" +
+             std::to_string(s.tid) + "/" + std::to_string(s.seq) +
+             "</td><td class=\"num\">" + std::to_string(s.queue_wait()) +
+             "</td><td class=\"num\">" + std::to_string(s.request()) +
+             "</td><td class=\"num\">" + std::to_string(s.service()) +
+             "</td><td class=\"num\">" + std::to_string(s.response()) +
+             "</td><td class=\"num\">" + std::to_string(s.total()) +
+             "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+  out += "</section>\n";
+}
+
 // Campaign timeline from the progress stream: one bar per finished job,
 // completion order top to bottom, x = campaign-relative wall clock.
 void render_timeline(std::string& out, const std::vector<JobRecord>& recs) {
@@ -495,6 +648,7 @@ std::string html_report(const MatrixResult& mres,
   }
 
   if (!mres.profile.empty()) render_hotspots(out, mres.profile);
+  if (!mres.txn.empty()) render_txn(out, mres.txn, mres.txn_delta, opts);
   if (opts.timeline) render_timeline(out, *opts.timeline);
 
   if (stable_metrics) {

@@ -79,6 +79,16 @@
 //                      artifacts under --out. Profiling never perturbs the
 //                      campaign cache key, so a profiled rerun still
 //                      replays its cache hits.
+//   --txn-trace-out FILE
+//                      enable transaction-lifecycle tracing on every job;
+//                      write the merged campaign latency report (per-hop
+//                      histograms, top-K slowest spans, dual-view delta
+//                      join) to FILE, plus per-job txn_<test>_s<seed>_
+//                      <view>.json span artifacts and .trace.json Chrome
+//                      trace-event files under --out. Like --profile-out,
+//                      the knob never perturbs the campaign cache key, so
+//                      a traced rerun still replays its cache hits
+//                      (replayed pairs contribute no spans).
 //   --progress-out FILE
 //                      stream NDJSON campaign telemetry to FILE: job
 //                      lifecycle with verdicts and cache hits, heartbeats
@@ -91,9 +101,9 @@
 // 2 on usage errors or error-severity lint findings; 3 when the campaign
 // passed but the drift gate failed. Every output-file flag fails fast: an
 // unwritable path (--json, --diff, --cache-stats, --metrics-out,
-// --trace-out, --profile-out, --progress-out) is a usage error, reported
-// with exit 2 before the campaign starts — never after it spent its wall
-// clock. The file's parent directory is created if missing (so an output
+// --trace-out, --profile-out, --txn-trace-out, --progress-out) is a usage
+// error, reported with exit 2 before the campaign starts — never after it
+// spent its wall clock. The file's parent directory is created if missing (so an output
 // file inside the --out directory works before the runner makes it); only
 // a path that cannot be created fails.
 #include <cstdio>
@@ -140,8 +150,8 @@ int usage() {
                "                    [--metrics-out FILE] [--trace-out FILE]\n"
                "                    [--flight-recorder N]\n"
                "                    [--profile-out FILE] "
-               "[--progress-out FILE]\n"
-               "                    [--progress]\n"
+               "[--txn-trace-out FILE]\n"
+               "                    [--progress-out FILE] [--progress]\n"
                "       crve_regress --worker FILE [--results FILE]\n"
                "                    [--out DIR] [--jobs N] [--cache-dir DIR]\n"
                "       crve_regress --ingest FILE --cache-dir DIR\n"
@@ -217,7 +227,7 @@ bool check_writable(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string config_dir, out_dir, sample_dir, json_path;
-  std::string metrics_path, trace_path, profile_path, progress_path;
+  std::string metrics_path, trace_path, profile_path, txn_path, progress_path;
   bool progress_tty = false;
   std::string baseline_path, diff_path;
   std::string cache_dir, cache_stats_path;
@@ -364,6 +374,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       profile_path = v;
+    } else if (arg == "--txn-trace-out") {
+      const char* v = next();
+      if (!v) return usage();
+      txn_path = v;
     } else if (arg == "--progress-out") {
       const char* v = next();
       if (!v) return usage();
@@ -542,6 +556,7 @@ int main(int argc, char** argv) {
   base.cache_dir = cache_dir;
   base.cache_max_mb = cache_max_mb;
   base.profile_out = profile_path;
+  base.txn_trace_out = txn_path;
 
   if (!diff_path.empty() && baseline_path.empty()) {
     std::fprintf(stderr, "--diff requires --baseline\n");
@@ -606,7 +621,7 @@ int main(int argc, char** argv) {
   // Fail-fast: reject unwritable output paths before any simulation runs.
   for (const std::string* p : {&json_path, &diff_path, &cache_stats_path,
                                &metrics_path, &trace_path, &profile_path,
-                               &progress_path}) {
+                               &txn_path, &progress_path}) {
     if (!check_writable(*p)) return usage();
   }
 

@@ -151,6 +151,17 @@ void write_result(std::ostream& os, const RegressionResult& r,
     os << ",\n" << in1 << "\"metrics\": ";
     write_embedded_json(os, r.metrics_json, in1);
   }
+  // Optional transaction-latency section (RunPlan::txn_trace_out): the
+  // stable merged span aggregate plus the dual-view delta join. Present
+  // exactly when the campaign traced transactions, so untraced reports
+  // stay byte-identical to previous versions.
+  if (!r.txn.empty()) {
+    os << ",\n" << in1 << "\"txn_latency\": {\n";
+    os << in2 << "\"txn\": " << obs::txn_json(r.txn, false, in2) << ",\n";
+    os << in2 << "\"delta\": " << obs::txn_delta_json(r.txn_delta, in2)
+       << "\n";
+    os << in1 << "}";
+  }
   os << "\n" << in << "}";
 }
 
@@ -183,6 +194,12 @@ std::string MatrixResult::json(bool with_timing) const {
   if (!metrics_json.empty()) {
     os << ",\n  \"metrics\": ";
     write_embedded_json(os, metrics_json, "  ");
+  }
+  if (!txn.empty()) {
+    os << ",\n  \"txn_latency\": {\n";
+    os << "    \"txn\": " << obs::txn_json(txn, false, "    ") << ",\n";
+    os << "    \"delta\": " << obs::txn_delta_json(txn_delta, "    ") << "\n";
+    os << "  }";
   }
   os << "\n}\n";
   return os.str();

@@ -30,6 +30,17 @@ using verif::Testbench;
 using verif::TestbenchOptions;
 using verif::TestSpec;
 
+std::string sanitize_artifact_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -144,6 +155,8 @@ struct Campaign {
     const bool to_disk = !plan.out_dir.empty();
     const ModelKind model = m == 0 ? ModelKind::kRtl : ModelKind::kBca;
     const std::string view = m == 0 ? "rtl" : "bca";
+    const std::string stem =
+        sanitize_artifact_name(spec.name) + "_s" + std::to_string(seed);
 
     obs::SpanGuard job_span("job");
     if (obs::tracing_enabled()) {
@@ -157,13 +170,12 @@ struct Campaign {
     opts.seed = seed;
     opts.max_cycles = plan.max_cycles;
     opts.profile = !plan.profile_out.empty();
+    opts.txn_trace = !plan.txn_trace_out.empty();
     if (model != ModelKind::kRtl) opts.faults = plan.faults;
     std::ostringstream wave;
     if (plan.run_alignment || to_disk) {
       if (to_disk) {
-        wave_paths[unit] = plan.out_dir + "/" + spec.name + "_s" +
-                           std::to_string(seed) + "_" +
-                           (m == 0 ? "rtl" : "bca") + ".vcd";
+        wave_paths[unit] = plan.out_dir + "/" + stem + "_" + view + ".vcd";
         opts.vcd_path = wave_paths[unit];
       } else {
         opts.vcd_stream = &wave;
@@ -220,13 +232,18 @@ struct Campaign {
     {
       CRVE_SPAN("artifacts");
       if (to_disk) {
-        write_text(plan.out_dir + "/report_" + spec.name + "_s" +
-                       std::to_string(seed) + "_" + view + ".txt",
+        write_text(plan.out_dir + "/report_" + stem + "_" + view + ".txt",
                    run_report(out));
         if (opts.profile) {
-          write_text(plan.out_dir + "/profile_" + spec.name + "_s" +
-                         std::to_string(seed) + "_" + view + ".json",
+          write_text(plan.out_dir + "/profile_" + stem + "_" + view + ".json",
                      obs::profile_json(r.profile));
+        }
+        if (opts.txn_trace) {
+          write_text(plan.out_dir + "/txn_" + stem + "_" + view + ".json",
+                     obs::txn_json(r.txn, /*with_spans=*/true));
+          write_text(
+              plan.out_dir + "/txn_" + stem + "_" + view + ".trace.json",
+              obs::txn_chrome_trace(r.txn));
         }
       } else if (plan.run_alignment) {
         waves[unit] = wave.str();
@@ -251,8 +268,8 @@ struct Campaign {
     const std::string dump = fr->dump();
     if (dump.empty()) return;
     if (!plan.out_dir.empty()) {
-      write_text(plan.out_dir + "/flight_" + test + "_s" +
-                     std::to_string(seed) + "_" + view + ".log",
+      write_text(plan.out_dir + "/flight_" + sanitize_artifact_name(test) +
+                     "_s" + std::to_string(seed) + "_" + view + ".log",
                  dump);
     } else {
       log_error() << "flight recorder (last " << fr->capacity()
@@ -296,11 +313,16 @@ struct Campaign {
       }
       rep = stba::Analyzer::compare(ta, tb, ports);
       if (to_disk) {
-        write_text(plan.out_dir + "/alignment_" + spec.name + "_s" +
+        write_text(plan.out_dir + "/alignment_" +
+                       sanitize_artifact_name(spec.name) + "_s" +
                        std::to_string(seed) + ".txt",
                    rep.summary());
         if (plan.run_triage && !rep.signed_off(plan.alignment_threshold)) {
-          run_triage(spec.name, seed, ta, tb, ports);
+          // The alignment pool runs strictly after the unit pool, so both
+          // views' outcome slots (and their txn span data) are final here.
+          run_triage(spec.name, seed, ta, tb, ports,
+                     outcomes[2 * pair].result.txn,
+                     outcomes[2 * pair + 1].result.txn);
         }
       }
     } catch (...) {
@@ -332,11 +354,14 @@ struct Campaign {
   // divergence, all next to the pair's other artifacts (DESIGN.md section 11).
   void run_triage(const std::string& test, std::uint64_t seed,
                   const vcd::Trace& ta, const vcd::Trace& tb,
-                  const std::vector<std::string>& ports) const {
+                  const std::vector<std::string>& ports,
+                  const obs::TxnTraceData& txn_a,
+                  const obs::TxnTraceData& txn_b) const {
     CRVE_SPAN("triage");
     if (obs::metrics_enabled()) obs::counter("regress.triages").inc();
     const stba::TriageReport tri = stba::Triage::analyze(ta, tb, ports);
-    const std::string stem = test + "_s" + std::to_string(seed);
+    const std::string stem =
+        sanitize_artifact_name(test) + "_s" + std::to_string(seed);
     std::vector<std::pair<std::string, std::string>> context = {
         {"config", plan.cfg.name},
         {"test", test},
@@ -356,7 +381,15 @@ struct Campaign {
       context.push_back({"excerpt_a", "excerpt_" + stem + "_rtl.vcd"});
       context.push_back({"excerpt_b", "excerpt_" + stem + "_bca.vcd"});
     }
-    write_text(plan.out_dir + "/triage_" + stem + ".json", tri.json(context));
+    // With the txn tracer on, correlate each divergence window with the
+    // transactions in flight on each view and their lifecycle stage.
+    std::vector<std::pair<std::string, std::string>> sections;
+    if (!txn_a.empty() || !txn_b.empty()) {
+      sections.push_back(
+          {"txn_in_flight", stba::txn_flight_json(tri, txn_a, txn_b)});
+    }
+    write_text(plan.out_dir + "/triage_" + stem + ".json",
+               tri.json(context, sections));
   }
 
   // Serial, order-deterministic aggregation over the filled slots.
@@ -390,6 +423,26 @@ struct Campaign {
       // exactly the freshly simulated work.
       for (const auto& o : outcomes) res.profile.merge(o.result.profile);
     }
+    if (!plan.txn_trace_out.empty()) {
+      // Slot order makes the merge deterministic; labels carry the full
+      // provenance so campaign-level top-K ties rank under a total order
+      // even across configs. Replayed pairs carry empty txn data (the trace
+      // knob never perturbs the cache key) and merge as no-ops.
+      for (std::size_t p = 0; p < n_pairs; ++p) {
+        const std::string pair_label = plan.cfg.name + ":" + spec_of(p).name +
+                                       ":s" + std::to_string(seed_of(p));
+        for (int v = 0; v < 2; ++v) {
+          obs::TxnTraceData td = outcomes[2 * p + v].result.txn;
+          for (auto& s : td.slowest) {
+            s.label = pair_label + (v == 0 ? ":rtl" : ":bca");
+          }
+          res.txn.merge(td);
+        }
+        res.txn_delta.merge(obs::txn_delta(outcomes[2 * p].result.txn,
+                                           outcomes[2 * p + 1].result.txn,
+                                           pair_label));
+      }
+    }
     res.outcomes = std::move(outcomes);
     res.alignments = std::move(aligns);
     res.mean_coverage_rtl = cov_n > 0 ? cov_sum / cov_n : 0.0;
@@ -404,10 +457,14 @@ struct Campaign {
 // Names the artifacts one pair job may have written to its out_dir. The
 // full waves are deliberately absent: they are bulk intermediates the
 // alignment already consumed, not results worth a cache's budget (the
-// windowed excerpts around a divergence are what triage reads).
+// windowed excerpts around a divergence are what triage reads). The
+// profile_* and txn_* artifacts are absent too: their knobs are excluded
+// from the JobSpec hash, so caching them would leak instrumentation files
+// into later uninstrumented replays of the same key.
 std::vector<std::string> pair_artifact_names(const std::string& test,
                                              std::uint64_t seed) {
-  const std::string stem = test + "_s" + std::to_string(seed);
+  const std::string stem =
+      sanitize_artifact_name(test) + "_s" + std::to_string(seed);
   return {
       "report_" + stem + "_rtl.txt",  "report_" + stem + "_bca.txt",
       "alignment_" + stem + ".txt",   "triage_" + stem + ".json",
@@ -574,6 +631,18 @@ void write_profile_report(const std::string& path,
   write_text(path, doc);
 }
 
+// Campaign-level transaction-latency report (RunPlan::txn_trace_out): the
+// merged stable aggregate plus the dual-view delta join, stamped with
+// build provenance like every other artifact.
+void write_txn_report(const std::string& path, const obs::TxnTraceData& td,
+                      const obs::TxnDeltaStats& delta) {
+  std::string doc = "{\n";
+  doc += "  \"build\": " + build_info_json("  ") + ",\n";
+  doc += "  \"txn\": " + obs::txn_json(td, /*with_spans=*/false, "  ") + ",\n";
+  doc += "  \"delta\": " + obs::txn_delta_json(delta, "  ") + "\n}\n";
+  write_text(path, doc);
+}
+
 // Telemetry job accounting: every (test, seed) pair is two view units plus
 // one alignment comparison when enabled.
 std::size_t campaign_total_jobs(const Campaign& camp) {
@@ -662,6 +731,9 @@ RegressionResult Regression::run(const RunPlan& plan) {
   if (!plan.profile_out.empty()) {
     write_profile_report(plan.profile_out, res.profile);
   }
+  if (!plan.txn_trace_out.empty()) {
+    write_txn_report(plan.txn_trace_out, res.txn, res.txn_delta);
+  }
   if (plan.progress) plan.progress->campaign_end(res.signed_off);
   return res;
 }
@@ -669,6 +741,9 @@ RegressionResult Regression::run(const RunPlan& plan) {
 MatrixResult Regression::run_matrix(
     const std::vector<stbus::NodeConfig>& configs, const RunPlan& base) {
   const auto t0 = Clock::now();
+  // Intentionally the same span name as Regression::run's campaign guard:
+  // both cover one whole campaign entry point, whichever was called, so
+  // traces stay comparable across the two. crve-lint: allow(CRVE062)
   CRVE_SPAN("campaign", "matrix");
   MatrixResult mres;
   mres.jobs = resolve_jobs(base.jobs);
@@ -741,6 +816,10 @@ MatrixResult Regression::run_matrix(
       write_campaign_artifacts(camp.plan, res);
       mres.all_signed_off = mres.all_signed_off && res.signed_off;
       if (!base.profile_out.empty()) mres.profile.merge(res.profile);
+      if (!base.txn_trace_out.empty()) {
+        mres.txn.merge(res.txn);
+        mres.txn_delta.merge(res.txn_delta);
+      }
       mres.results.push_back(std::move(res));
     }
   }
@@ -752,6 +831,9 @@ MatrixResult Regression::run_matrix(
   mres.wall_ms = ms_since(t0);
   if (!base.profile_out.empty()) {
     write_profile_report(base.profile_out, mres.profile);
+  }
+  if (!base.txn_trace_out.empty()) {
+    write_txn_report(base.txn_trace_out, mres.txn, mres.txn_delta);
   }
   if (!base.out_dir.empty()) {
     write_text(base.out_dir + "/report.json", mres.json());

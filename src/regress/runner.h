@@ -32,12 +32,20 @@
 #include <vector>
 
 #include "bca/faults.h"
+#include "obs/txn_trace.h"
 #include "stba/analyzer.h"
 #include "stbus/config.h"
 #include "verif/testbench.h"
 #include "verif/tests.h"
 
 namespace crve::regress {
+
+// Artifact-name component sanitizer: any byte outside [A-Za-z0-9._-]
+// becomes '_', so test names containing '/' or spaces cannot escape the
+// artifact directory or produce unopenable paths. Applied to every
+// `<kind>_<test>_s<seed>...` artifact the runner writes (reports, flight
+// dumps, triage, profiles, txn traces). Identity for the CATG suite names.
+std::string sanitize_artifact_name(const std::string& name);
 
 class ProgressTracker;  // regress/progress.h
 
@@ -76,6 +84,14 @@ struct RunPlan {
   // JobSpec: profiling never perturbs the cache key, so a profiled rerun
   // still replays its hits (replayed pairs simply contribute no samples).
   std::string profile_out;
+  // Transaction-lifecycle tracing (DESIGN.md §16). Non-empty: every job runs
+  // with the txn tracer enabled, per-job `txn_<test>_s<seed>_<view>.json`
+  // span artifacts plus `.trace.json` Chrome trace-event files land in
+  // out_dir, and the campaign-level merged latency report (histograms,
+  // top-K slowest table, dual-view delta join) is written to this path.
+  // Like profile_out, deliberately absent from JobSpec: tracing never
+  // perturbs the cache key (replayed pairs contribute no spans).
+  std::string txn_trace_out;
   // Streaming campaign telemetry (--progress-out / --progress); not owned.
   // The runner emits job lifecycle events through it; null = no telemetry.
   ProgressTracker* progress = nullptr;
@@ -134,6 +150,11 @@ struct RegressionResult {
   // json() — the profiler writes its own artifact — so report.json stays
   // byte-identical whether or not the campaign was profiled.
   obs::ProfileData profile;
+  // Merged transaction-latency aggregate and the per-pair dual-view delta
+  // join across the campaign (RunPlan::txn_trace_out); empty when tracing
+  // was off, which also omits the optional "txn_latency" report section.
+  obs::TxnTraceData txn;
+  obs::TxnDeltaStats txn_delta;
 
   std::string summary() const;
   // Machine-readable report (schema in DESIGN.md). with_timing=false omits
@@ -157,6 +178,10 @@ struct MatrixResult {
   // Batch-level merge of every config's profile (RunPlan::profile_out);
   // empty when profiling was off.
   obs::ProfileData profile;
+  // Batch-level merge of every config's transaction-latency aggregate and
+  // delta join (RunPlan::txn_trace_out); empty when tracing was off.
+  obs::TxnTraceData txn;
+  obs::TxnDeltaStats txn_delta;
 
   std::string summary() const;
   std::string json(bool with_timing = true) const;

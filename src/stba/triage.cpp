@@ -5,6 +5,7 @@
 #include "common/build_info.h"
 #include "common/json.h"
 #include "obs/metrics.h"
+#include "obs/txn_trace.h"
 #include "stbus/opcode.h"
 
 namespace crve::stba {
@@ -217,7 +218,9 @@ TriageReport Triage::analyze(const vcd::Trace& a, const vcd::Trace& b,
 }
 
 std::string TriageReport::json(
-    const std::vector<std::pair<std::string, std::string>>& context) const {
+    const std::vector<std::pair<std::string, std::string>>& context,
+    const std::vector<std::pair<std::string, std::string>>& raw_sections)
+    const {
   using crve::json::escape;
   using crve::json::number;
   std::string out;
@@ -286,8 +289,74 @@ std::string TriageReport::json(
     out += p.signals.empty() ? "]\n" : "\n      ]\n";
     out += "    }";
   }
-  out += ports.empty() ? "]\n" : "\n  ]\n";
-  out += "}\n";
+  out += ports.empty() ? "]" : "\n  ]";
+  for (const auto& [key, value] : raw_sections) {
+    out += ",\n  \"" + escape(key) + "\": " + value;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string txn_flight_json(const TriageReport& report,
+                            const obs::TxnTraceData& a,
+                            const obs::TxnTraceData& b) {
+  using crve::json::escape;
+  // Artifact bounds, same philosophy as kMaxWindows: listed entries are
+  // capped, the window loop order (report port order, then window order) is
+  // deterministic, and every listed span is a pure function of the traced
+  // traffic.
+  constexpr std::size_t kMaxJoinWindows = 8;
+  constexpr std::size_t kMaxSpansPerView = 8;
+
+  auto render_view = [&](std::string& out, const char* key,
+                         const obs::TxnTraceData& td, std::uint64_t cycle) {
+    std::vector<const obs::TxnSpan*> live;
+    for (const obs::TxnSpan& s : td.spans) {
+      if (obs::txn_in_flight_at(s, cycle)) live.push_back(&s);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const obs::TxnSpan* x, const obs::TxnSpan* y) {
+                if (x->issue != y->issue) return x->issue < y->issue;
+                if (x->port != y->port) return x->port < y->port;
+                if (x->src != y->src) return x->src < y->src;
+                if (x->tid != y->tid) return x->tid < y->tid;
+                return x->seq < y->seq;
+              });
+    out += std::string("\"") + key + "_in_flight\": " +
+           std::to_string(live.size()) + ", \"" + key + "\": [";
+    const std::size_t n = std::min(live.size(), kMaxSpansPerView);
+    for (std::size_t i = 0; i < n; ++i) {
+      const obs::TxnSpan& s = *live[i];
+      if (i != 0) out += ",";
+      out += "\n           {\"port\": \"" + escape(s.port) + "\", \"src\": " +
+             std::to_string(s.src) + ", \"tid\": " + std::to_string(s.tid) +
+             ", \"seq\": " + std::to_string(s.seq) + ", \"opc\": \"" +
+             escape(s.opc) + "\", \"issue\": " + std::to_string(s.issue) +
+             ", \"stage\": \"" + obs::txn_stage_at(s, cycle) + "\"}";
+    }
+    out += n == 0 ? "]" : "]";
+  };
+
+  std::string out = "{\n";
+  out += "    \"windows\": [";
+  std::size_t listed = 0;
+  bool first = true;
+  for (const PortTriage& p : report.ports) {
+    for (const DivergenceWindow& w : p.windows) {
+      if (listed >= kMaxJoinWindows) break;
+      ++listed;
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      {\"port\": \"" + escape(p.port) + "\", \"begin\": " +
+             std::to_string(w.begin) + ",\n       ";
+      render_view(out, "a", a, w.begin);
+      out += ",\n       ";
+      render_view(out, "b", b, w.begin);
+      out += "}";
+    }
+  }
+  out += first ? "]" : "\n    ]";
+  out += "\n  }";
   return out;
 }
 

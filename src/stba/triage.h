@@ -22,6 +22,10 @@
 #include "stba/analyzer.h"
 #include "vcd/parser.h"
 
+namespace crve::obs {
+struct TxnTraceData;
+}
+
 namespace crve::stba {
 
 // Half-open cycle interval [begin, end) on which one signal diverges.
@@ -92,11 +96,26 @@ struct TriageReport {
   // Pretty JSON document. `context` pairs (e.g. test/seed/artifact paths)
   // are emitted verbatim as leading string members after the build stamp, so
   // the artifact is self-describing without Triage knowing about campaigns.
-  // Byte-deterministic for fixed inputs.
+  // `raw_sections` are pre-rendered JSON values appended as trailing members
+  // (key, value) — the value's lines after the first must already carry a
+  // two-space embedding indent. Byte-deterministic for fixed inputs; with
+  // both empty the output is unchanged.
   std::string json(
-      const std::vector<std::pair<std::string, std::string>>& context = {})
-      const;
+      const std::vector<std::pair<std::string, std::string>>& context = {},
+      const std::vector<std::pair<std::string, std::string>>& raw_sections =
+          {}) const;
 };
+
+// Transaction-lifecycle correlation (DESIGN.md §16): for each divergence
+// window, the transactions in flight on each view at the window's first
+// cycle, with their lifecycle stage (queued / request / service / response)
+// from the txn tracer's span data. Returns a pre-rendered JSON value
+// suitable for TriageReport::json raw_sections (conventionally under the
+// key "txn_in_flight"); windows and per-view span lists are bounded, exact
+// counts kept. View A is conventionally RTL, view B BCA.
+std::string txn_flight_json(const TriageReport& report,
+                            const obs::TxnTraceData& a,
+                            const obs::TxnTraceData& b);
 
 class Triage {
  public:

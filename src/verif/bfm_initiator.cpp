@@ -266,6 +266,7 @@ void InitiatorBfm::generate_next() {
   }
   ++outstanding_;
   ++issued_;
+  if (issue_hook_) issue_hook_(req, ctx_.cycle());
 }
 
 }  // namespace crve::verif

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -78,6 +79,15 @@ class InitiatorBfm {
                const stbus::NodeConfig& map, InitiatorProfile profile,
                Rng rng, std::vector<stbus::Request> directed);
 
+  // Observability tap: called once per generated request, at the cycle the
+  // BFM first attempts to drive it (before arbitration). The monitor only
+  // sees pins after the grant, so transaction-lifecycle tracing needs this
+  // issue event from the BFM itself. Empty by default — zero cost unset.
+  void set_issue_hook(
+      std::function<void(const stbus::Request&, std::uint64_t gen_cycle)> h) {
+    issue_hook_ = std::move(h);
+  }
+
   bool done() const;
   int issued() const { return issued_; }
   int completed() const { return completed_; }
@@ -132,6 +142,8 @@ class InitiatorBfm {
   // Type2: window of the in-flight stream (-1 = error window,
   // -2 = unconstrained).
   int pipeline_window_ = -2;
+
+  std::function<void(const stbus::Request&, std::uint64_t)> issue_hook_;
 
   int issued_ = 0;
   int completed_ = 0;

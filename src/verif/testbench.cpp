@@ -39,6 +39,52 @@ class CoverageTap : public MonitorListener {
   int initiator_;
 };
 
+// Transaction-tracer taps (DESIGN.md §16). The initiator-side tap converts
+// observed packets into grant/response lifecycle events; the target-side
+// tap enriches open spans with service timing. Both forward plain integers
+// and mnemonics so obs stays free of stbus types.
+class TxnInitTap : public MonitorListener {
+ public:
+  TxnInitTap(obs::TxnTracer& tr, std::string port)
+      : tracer_(tr), port_(std::move(port)) {}
+  void on_request_packet(const ObservedRequest& pkt) override {
+    const stbus::RequestCell& c = pkt.cells.front();
+    tracer_.on_request(port_, c.src, c.tid, pkt.start_cycle(),
+                       pkt.end_cycle());
+  }
+  void on_response_packet(const ObservedResponse& pkt) override {
+    const stbus::ResponseCell& c = pkt.cells.front();
+    bool ok = true;
+    for (const auto& cell : pkt.cells) {
+      ok = ok && cell.opc == stbus::RspOpcode::kOk;
+    }
+    tracer_.on_response(port_, c.src, c.tid, pkt.start_cycle(),
+                        pkt.end_cycle(), ok);
+  }
+
+ private:
+  obs::TxnTracer& tracer_;
+  std::string port_;
+};
+
+class TxnTargTap : public MonitorListener {
+ public:
+  TxnTargTap(obs::TxnTracer& tr, std::string target)
+      : tracer_(tr), target_(std::move(target)) {}
+  void on_request_packet(const ObservedRequest& pkt) override {
+    const stbus::RequestCell& c = pkt.cells.front();
+    tracer_.on_target_request(target_, c.src, c.tid, c.add, pkt.end_cycle());
+  }
+  void on_response_packet(const ObservedResponse& pkt) override {
+    const stbus::ResponseCell& c = pkt.cells.front();
+    tracer_.on_target_response(target_, c.src, c.tid, pkt.start_cycle());
+  }
+
+ private:
+  obs::TxnTracer& tracer_;
+  std::string target_;
+};
+
 TargetProfile default_target_profile(const stbus::NodeConfig&, int t) {
   TargetProfile p;
   // Staggered speeds: the mix of fast and slow targets the paper's
@@ -238,6 +284,29 @@ Testbench::Testbench(stbus::NodeConfig cfg, const TestSpec& spec,
       imons_[static_cast<std::size_t>(i)]->subscribe(cov_taps_.back().get());
     }
   }
+  if (opts_.txn_trace) {
+    if (!opts_.enable_monitors) {
+      throw std::invalid_argument(
+          "TestbenchOptions: txn_trace requires monitors");
+    }
+    txn_tracer_ = std::make_unique<obs::TxnTracer>();
+    obs::TxnTracer* tr = txn_tracer_.get();
+    for (int i = 0; i < cfg_.n_initiators; ++i) {
+      const std::string port = "init" + std::to_string(i);
+      bfms_[static_cast<std::size_t>(i)]->set_issue_hook(
+          [tr, port](const stbus::Request& r, std::uint64_t cycle) {
+            tr->on_issue(port, r.src, r.tid, cycle, stbus::to_string(r.opc),
+                         r.add);
+          });
+      txn_taps_.push_back(std::make_unique<TxnInitTap>(*txn_tracer_, port));
+      imons_[static_cast<std::size_t>(i)]->subscribe(txn_taps_.back().get());
+    }
+    for (int t = 0; t < cfg_.n_targets; ++t) {
+      txn_taps_.push_back(std::make_unique<TxnTargTap>(
+          *txn_tracer_, "targ" + std::to_string(t)));
+      tmons_[static_cast<std::size_t>(t)]->subscribe(txn_taps_.back().get());
+    }
+  }
   if (opts_.enable_toggle_coverage) {
     toggle_ = std::make_unique<ToggleCoverage>();
     ctx_.attach_tracer(toggle_.get());
@@ -316,6 +385,23 @@ RunResult Testbench::run() {
   for (const auto& m : imons_) add_util(*m);
   for (const auto& m : tmons_) add_util(*m);
   if (opts_.profile) res.profile = ctx_.profile();
+  if (txn_tracer_) {
+    res.txn = txn_tracer_->finish();
+    if (obs::metrics_enabled()) {
+      obs::counter("txn.spans").add(res.txn.total_spans());
+      for (const auto& p : res.txn.ports) {
+        obs::counter("txn.incomplete").add(p.incomplete);
+        obs::gauge("txn.max_in_flight").observe_max(p.max_in_flight);
+      }
+      // Exact per-span values (the port histograms are already binned).
+      for (const auto& s : res.txn.spans) {
+        if (s.complete()) {
+          obs::histogram("txn.total_cycles").observe(s.total());
+          obs::histogram("txn.queue_wait_cycles").observe(s.queue_wait());
+        }
+      }
+    }
+  }
   ctx_.publish_metrics();
   if (obs::metrics_enabled()) {
     obs::counter("verif.runs").inc();

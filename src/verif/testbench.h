@@ -18,6 +18,7 @@
 #include "bca/faults.h"
 #include "bca/node.h"
 #include "obs/profiler.h"
+#include "obs/txn_trace.h"
 #include "rtl/node.h"
 #include "sim/context.h"
 #include "stbus/config.h"
@@ -91,6 +92,11 @@ struct TestbenchOptions {
   // carries the per-run snapshot. Off by default — the disabled path is one
   // branch per evaluation site, inside the obs <2% overhead budget.
   bool profile = false;
+  // Transaction-lifecycle tracer (DESIGN.md §16): stitch BFM issue events
+  // and monitor packet taps into per-transaction spans; RunResult::txn
+  // carries the per-run data. Requires monitors. Off by default — when off,
+  // no tracer, no taps and no BFM hooks exist at all.
+  bool txn_trace = false;
 };
 
 struct RunResult {
@@ -116,6 +122,8 @@ struct RunResult {
   std::vector<ReferenceError> ref_errors;    // first ~100
   // Per-process hotspot profile (empty unless TestbenchOptions::profile).
   obs::ProfileData profile;
+  // Transaction spans (empty unless TestbenchOptions::txn_trace).
+  obs::TxnTraceData txn;
 
   bool passed() const {
     return completed && checker_violations == 0 && scoreboard_errors == 0 &&
@@ -188,6 +196,8 @@ class Testbench {
   std::unique_ptr<StbusCoverage> coverage_;
   std::unique_ptr<ToggleCoverage> toggle_;
   std::vector<std::unique_ptr<MonitorListener>> cov_taps_;
+  std::unique_ptr<obs::TxnTracer> txn_tracer_;
+  std::vector<std::unique_ptr<MonitorListener>> txn_taps_;
   std::unique_ptr<vcd::Writer> vcd_;
 };
 

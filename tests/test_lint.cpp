@@ -413,6 +413,34 @@ TEST(LintSource, DuplicateObservabilityNameLiterals) {
       has_rule(lint_source_text(clean, "src/verif/x.cpp"), "CRVE062"));
 }
 
+TEST(LintSource, SpanGuardDeclarationFormCountsAsObservabilitySite) {
+  // The named-guard declaration SpanGuard var("name") registers the same
+  // span namespace as CRVE_SPAN("name"); both spellings feed one CRVE062
+  // accounting.
+  const char* dup =
+      "void f() {\n"
+      "  obs::SpanGuard job_span(\"job\");\n"
+      "  CRVE_SPAN(\"job\");\n"
+      "}\n";
+  const Report r = lint_source_text(dup, "src/verif/x.cpp");
+  ASSERT_TRUE(has_rule(r, "CRVE062"));
+  EXPECT_NE(r.findings.front().message.find("\"job\""), std::string::npos);
+  EXPECT_NE(r.findings.front().message.find("SpanGuard()"),
+            std::string::npos);
+
+  // Constructor definitions, non-literal arguments and glued identifiers
+  // (SpanGuard_helper) are not registration sites.
+  const char* clean =
+      "SpanGuard::SpanGuard(const char* name) : name_(name) {}\n"
+      "void SpanGuard_helper(const char* n);\n"
+      "void f(const char* n) {\n"
+      "  obs::SpanGuard span(n);\n"
+      "  obs::SpanGuard named(\"campaign\");\n"
+      "}\n";
+  EXPECT_FALSE(
+      has_rule(lint_source_text(clean, "src/verif/x.cpp"), "CRVE062"));
+}
+
 TEST(LintSource, DuplicateObservabilityNameAcrossFiles) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "crve_lint_obs_tree";

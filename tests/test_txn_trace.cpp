@@ -1,0 +1,565 @@
+// Transaction-lifecycle tracing (DESIGN.md §16).
+//
+// The tracer's contract: matching is deterministic FIFO per
+// (port, src, tid) key (exact under STBus ordering), orphan responses are
+// counted loudly instead of dropped silently, the merge is
+// order-independent, the stable JSON sections are byte-identical for any
+// worker count, and enabling tracing never perturbs anything else — not
+// the untraced report, not the cache key. The dual-view delta join feeds
+// triage with named in-flight transactions and lifecycle stages.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/txn_trace.h"
+#include "regress/job_spec.h"
+#include "regress/runner.h"
+#include "verif/testbench.h"
+#include "verif/tests.h"
+
+namespace crve {
+namespace {
+
+namespace fs = std::filesystem;
+
+const obs::TxnPortStats* find_port(const obs::TxnTraceData& td,
+                                   const std::string& name) {
+  for (const auto& p : td.ports) {
+    if (p.port == name) return &p;
+  }
+  return nullptr;
+}
+
+// Feeds one complete transaction through every lifecycle event.
+obs::TxnTracer traced_single() {
+  obs::TxnTracer tr;
+  tr.on_issue("init0", 2, 3, 10, "LD8", 0x40);
+  tr.on_request("init0", 2, 3, 12, 13);       // granted 12, eop 13
+  tr.on_target_request("targ1", 2, 3, 0x40, 14);
+  tr.on_target_response("targ1", 2, 3, 17);
+  tr.on_response("init0", 2, 3, 18, 20, true);
+  return tr;
+}
+
+TEST(TxnTracer, SingleTransactionLifecycle) {
+  obs::TxnTracer tr = traced_single();
+  EXPECT_EQ(tr.orphan_responses(), 0u);
+  const obs::TxnTraceData td = tr.finish();
+
+  EXPECT_EQ(td.runs, 1u);
+  EXPECT_EQ(td.total_spans(), 1u);
+  EXPECT_EQ(td.total_orphans(), 0u);
+  ASSERT_EQ(td.spans.size(), 1u);
+  const obs::TxnSpan& s = td.spans[0];
+  EXPECT_EQ(s.port, "init0");
+  EXPECT_EQ(s.src, 2u);
+  EXPECT_EQ(s.tid, 3u);
+  EXPECT_EQ(s.seq, 0u);
+  EXPECT_EQ(s.opc, "LD8");
+  EXPECT_EQ(s.add, 0x40u);
+  EXPECT_EQ(s.issue, 10u);
+  EXPECT_EQ(s.grant, 12u);
+  EXPECT_EQ(s.req_end, 13u);
+  EXPECT_EQ(s.rsp_start, 18u);
+  EXPECT_EQ(s.rsp_end, 20u);
+  EXPECT_EQ(s.target, "targ1");
+  EXPECT_EQ(s.target_req, 14u);
+  EXPECT_EQ(s.target_rsp, 17u);
+  EXPECT_TRUE(s.ok);
+  ASSERT_TRUE(s.complete());
+  EXPECT_EQ(s.queue_wait(), 2u);
+  EXPECT_EQ(s.request(), 1u);
+  EXPECT_EQ(s.service(), 5u);
+  EXPECT_EQ(s.response(), 2u);
+  EXPECT_EQ(s.total(), 10u);
+
+  const obs::TxnPortStats* p = find_port(td, "init0");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->spans, 1u);
+  EXPECT_EQ(p->incomplete, 0u);
+  EXPECT_EQ(p->max_in_flight, 1u);
+  EXPECT_EQ(p->total.count, 1u);
+  EXPECT_EQ(p->total.sum, 10u);
+  ASSERT_EQ(td.slowest.size(), 1u);
+  EXPECT_EQ(td.slowest[0].total(), 10u);
+}
+
+TEST(TxnTracer, StageVocabularyAtEveryCycle) {
+  const obs::TxnTraceData td = traced_single().finish();
+  const obs::TxnSpan& s = td.spans[0];
+  EXPECT_STREQ(obs::txn_stage_at(s, 9), "pre-issue");
+  EXPECT_STREQ(obs::txn_stage_at(s, 10), "queued");
+  EXPECT_STREQ(obs::txn_stage_at(s, 11), "queued");
+  EXPECT_STREQ(obs::txn_stage_at(s, 12), "request");
+  EXPECT_STREQ(obs::txn_stage_at(s, 13), "request");
+  EXPECT_STREQ(obs::txn_stage_at(s, 14), "service");
+  EXPECT_STREQ(obs::txn_stage_at(s, 17), "service");
+  EXPECT_STREQ(obs::txn_stage_at(s, 18), "response");
+  EXPECT_STREQ(obs::txn_stage_at(s, 20), "response");
+  EXPECT_STREQ(obs::txn_stage_at(s, 21), "done");
+
+  EXPECT_FALSE(obs::txn_in_flight_at(s, 9));
+  EXPECT_TRUE(obs::txn_in_flight_at(s, 10));
+  EXPECT_TRUE(obs::txn_in_flight_at(s, 20));
+  EXPECT_FALSE(obs::txn_in_flight_at(s, 21));
+}
+
+// Type2 streams share tid 0; the per-key sequence number keeps the spans
+// distinct and FIFO matching pairs responses with the oldest request —
+// exact, because Type2 responses are strictly ordered.
+TEST(TxnTracer, SharedTidFifoMatchingAndSeq) {
+  obs::TxnTracer tr;
+  tr.on_issue("init0", 1, 0, 5, "LD4", 0x10);
+  tr.on_issue("init0", 1, 0, 6, "ST4", 0x20);
+  tr.on_request("init0", 1, 0, 7, 7);
+  tr.on_request("init0", 1, 0, 8, 8);
+  tr.on_response("init0", 1, 0, 11, 11, true);
+  tr.on_response("init0", 1, 0, 14, 14, true);
+  const obs::TxnTraceData td = tr.finish();
+
+  ASSERT_EQ(td.spans.size(), 2u);
+  EXPECT_EQ(td.spans[0].seq, 0u);
+  EXPECT_EQ(td.spans[0].opc, "LD4");
+  EXPECT_EQ(td.spans[0].grant, 7u);
+  EXPECT_EQ(td.spans[0].rsp_end, 11u);
+  EXPECT_EQ(td.spans[1].seq, 1u);
+  EXPECT_EQ(td.spans[1].opc, "ST4");
+  EXPECT_EQ(td.spans[1].grant, 8u);
+  EXPECT_EQ(td.spans[1].rsp_end, 14u);
+  const obs::TxnPortStats* p = find_port(td, "init0");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->max_in_flight, 2u);
+}
+
+// Monitor edge cases: back-to-back grants on consecutive cycles, a
+// single-cell transaction whose request and response complete on the same
+// cycle, and tid reuse after completion (legal: a Type3 tid is only unique
+// while outstanding).
+TEST(TxnTracer, BackToBackGrantsSameCycleCompletionTidReuse) {
+  obs::TxnTracer tr;
+  // Back-to-back: grants on consecutive cycles, single-cell requests.
+  tr.on_issue("init0", 0, 1, 3, "LD4", 0x0);
+  tr.on_issue("init0", 0, 2, 3, "LD4", 0x4);
+  tr.on_request("init0", 0, 1, 4, 4);
+  tr.on_request("init0", 0, 2, 5, 5);
+  // Same-cycle completion: response start == end == request end cycle.
+  tr.on_response("init0", 0, 1, 4, 4, true);
+  tr.on_response("init0", 0, 2, 6, 6, true);
+  // Tid reuse after completion opens a fresh span with the next seq.
+  tr.on_issue("init0", 0, 1, 8, "ST4", 0x8);
+  tr.on_request("init0", 0, 1, 9, 9);
+  tr.on_response("init0", 0, 1, 10, 10, true);
+  const obs::TxnTraceData td = tr.finish();
+
+  EXPECT_EQ(td.total_spans(), 3u);
+  EXPECT_EQ(td.total_orphans(), 0u);
+  // Key order: (src 0, tid 1) seq 0, seq 1, then (src 0, tid 2).
+  ASSERT_EQ(td.spans.size(), 3u);
+  EXPECT_EQ(td.spans[0].tid, 1u);
+  EXPECT_EQ(td.spans[0].seq, 0u);
+  EXPECT_EQ(td.spans[0].total(), 1u);  // issue 3 -> rsp_end 4
+  EXPECT_EQ(td.spans[0].service(), 0u);
+  EXPECT_EQ(td.spans[1].tid, 1u);
+  EXPECT_EQ(td.spans[1].seq, 1u);
+  EXPECT_EQ(td.spans[1].opc, "ST4");
+  EXPECT_EQ(td.spans[2].tid, 2u);
+  EXPECT_EQ(td.spans[2].seq, 0u);
+}
+
+TEST(TxnTracer, OrphanResponseCountedNotDropped) {
+  obs::TxnTracer tr;
+  tr.on_issue("init0", 0, 0, 1, "LD4", 0x0);
+  // No request yet: a response cannot match a span without req_end.
+  tr.on_response("init0", 0, 0, 2, 2, true);
+  // No span at all on this key.
+  tr.on_response("init0", 7, 7, 3, 3, true);
+  EXPECT_EQ(tr.orphan_responses(), 2u);
+  const obs::TxnTraceData td = tr.finish();
+  EXPECT_EQ(td.total_orphans(), 2u);
+  // The issued-but-never-finished span counts as incomplete.
+  const obs::TxnPortStats* p = find_port(td, "init0");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->spans, 0u);
+  EXPECT_EQ(p->incomplete, 1u);
+  // The orphan count survives txn_json and a merge (pseudo-port row).
+  obs::TxnTraceData merged;
+  merged.merge(td);
+  EXPECT_EQ(merged.total_orphans(), 2u);
+  EXPECT_NE(obs::txn_json(td).find("\"orphan_responses\": 2"),
+            std::string::npos);
+}
+
+TEST(TxnTracer, TargetEventsSkipDecodeErrorSpans) {
+  obs::TxnTracer tr;
+  // A decode error: the request never reaches a target. The next request
+  // with the same key does; address matching keeps the attribution right.
+  tr.on_issue("init0", 0, 5, 1, "LD4", 0xdead);
+  tr.on_issue("init0", 0, 5, 2, "LD4", 0x40);
+  tr.on_request("init0", 0, 5, 3, 3);
+  tr.on_request("init0", 0, 5, 4, 4);
+  tr.on_target_request("targ0", 0, 5, 0x40, 4);
+  tr.on_target_response("targ0", 0, 5, 6);
+  tr.on_response("init0", 0, 5, 5, 5, false);  // decode error response
+  tr.on_response("init0", 0, 5, 7, 7, true);
+  const obs::TxnTraceData td = tr.finish();
+  ASSERT_EQ(td.spans.size(), 2u);
+  EXPECT_TRUE(td.spans[0].target.empty());
+  EXPECT_FALSE(td.spans[0].ok);
+  EXPECT_EQ(td.spans[1].target, "targ0");
+  EXPECT_EQ(td.spans[1].target_req, 4u);
+  EXPECT_EQ(td.spans[1].target_rsp, 6u);
+  EXPECT_TRUE(td.spans[1].ok);
+}
+
+TEST(TxnTracer, MergeIsOrderIndependent) {
+  obs::TxnTraceData a = traced_single().finish();
+  obs::TxnTracer tr2;
+  tr2.on_issue("init1", 4, 0, 100, "ST8", 0x80);
+  tr2.on_request("init1", 4, 0, 101, 102);
+  tr2.on_response("init1", 4, 0, 110, 111, true);
+  obs::TxnTraceData b = tr2.finish();
+
+  obs::TxnTraceData ab = a;
+  ab.merge(b);
+  obs::TxnTraceData ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.runs, 2u);
+  EXPECT_EQ(ab.total_spans(), 2u);
+  EXPECT_EQ(obs::txn_json(ab), obs::txn_json(ba));
+  // Per-run detail (span lists, window series) does not survive the merge;
+  // the bounded top-K table does.
+  EXPECT_TRUE(ab.spans.empty());
+  EXPECT_EQ(ab.slowest.size(), 2u);
+}
+
+TEST(TxnTracer, JsonShapeAndChromeTrace) {
+  const obs::TxnTraceData td = traced_single().finish();
+  const auto doc = json::parse(obs::txn_json(td, /*with_spans=*/true));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.number_or("runs", -1), 1);
+  EXPECT_EQ(doc.number_or("spans", -1), 1);
+  EXPECT_EQ(doc.number_or("orphan_responses", -1), 0);
+  ASSERT_NE(doc.find("ports"), nullptr);
+  ASSERT_EQ(doc.find("ports")->items.size(), 1u);
+  const json::Value& port = doc.find("ports")->items[0];
+  EXPECT_EQ(port.string_or("port", ""), "init0");
+  ASSERT_NE(port.find("total"), nullptr);
+  EXPECT_EQ(port.find("total")->number_or("count", -1), 1);
+  EXPECT_EQ(port.find("total")->number_or("sum", -1), 10);
+  ASSERT_NE(doc.find("span_list"), nullptr);
+  ASSERT_EQ(doc.find("span_list")->items.size(), 1u);
+  EXPECT_EQ(doc.find("span_list")->items[0].string_or("opc", ""), "LD8");
+  // The campaign summary form leaves the span list out.
+  EXPECT_EQ(obs::txn_json(td).find("span_list"), std::string::npos);
+
+  const auto trace = json::parse(obs::txn_chrome_trace(td));
+  ASSERT_TRUE(trace.is_object());
+  const json::Value* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_meta = false, saw_complete = false;
+  for (const auto& e : events->items) {
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "M") {
+      saw_meta = true;
+      EXPECT_EQ(e.string_or("name", ""), "thread_name");
+    }
+    if (ph == "X") {
+      saw_complete = true;
+      EXPECT_GE(e.number_or("dur", 0), 1);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_complete);
+}
+
+// --- dual-view delta join --------------------------------------------------
+
+obs::TxnTraceData one_span_run(std::uint64_t total, std::uint32_t tid = 0) {
+  obs::TxnTracer tr;
+  tr.on_issue("init0", 0, tid, 0, "LD4", 0x0);
+  tr.on_request("init0", 0, tid, 1, 1);
+  tr.on_response("init0", 0, tid, total, total, true);
+  return tr.finish();
+}
+
+TEST(TxnDelta, JoinMatchesByKeyAndSignsDeltas) {
+  const obs::TxnTraceData a = one_span_run(10);
+  const obs::TxnTraceData b = one_span_run(14);
+  const obs::TxnDeltaStats d = obs::txn_delta(a, b, "t02:s1");
+  EXPECT_EQ(d.matched, 1u);
+  EXPECT_EQ(d.only_a, 0u);
+  EXPECT_EQ(d.only_b, 0u);
+  EXPECT_EQ(d.positive, 1u);  // B (BCA) slower
+  EXPECT_EQ(d.negative, 0u);
+  EXPECT_EQ(d.zero, 0u);
+  ASSERT_EQ(d.worst.size(), 1u);
+  EXPECT_EQ(d.worst[0].delta(), 4);
+  EXPECT_EQ(d.worst[0].abs_delta(), 4u);
+  EXPECT_EQ(d.worst[0].label, "t02:s1");
+  EXPECT_EQ(d.abs_delta.count, 1u);
+  EXPECT_EQ(d.abs_delta.sum, 4u);
+
+  // Identical runs: delta zero, still matched.
+  const obs::TxnDeltaStats same = obs::txn_delta(a, one_span_run(10));
+  EXPECT_EQ(same.matched, 1u);
+  EXPECT_EQ(same.zero, 1u);
+
+  // A key present on one side only is counted, never silently dropped.
+  const obs::TxnDeltaStats lop = obs::txn_delta(a, one_span_run(10, 9));
+  EXPECT_EQ(lop.matched, 0u);
+  EXPECT_EQ(lop.only_a, 1u);
+  EXPECT_EQ(lop.only_b, 1u);
+
+  const auto doc = json::parse(obs::txn_delta_json(d));
+  EXPECT_EQ(doc.number_or("matched", -1), 1);
+  ASSERT_NE(doc.find("worst"), nullptr);
+  EXPECT_EQ(doc.find("worst")->items[0].number_or("delta", -1), 4);
+}
+
+// --- artifact-name sanitizing ----------------------------------------------
+
+TEST(Runner, SanitizeArtifactName) {
+  EXPECT_EQ(regress::sanitize_artifact_name("t02_random_all_opcodes"),
+            "t02_random_all_opcodes");
+  EXPECT_EQ(regress::sanitize_artifact_name("dir/escape attempt"),
+            "dir_escape_attempt");
+  EXPECT_EQ(regress::sanitize_artifact_name("a:b*c?d"), "a_b_c_d");
+  EXPECT_EQ(regress::sanitize_artifact_name(""), "");
+}
+
+// --- campaign-level invariants ---------------------------------------------
+
+regress::RunPlan tiny_plan() {
+  stbus::NodeConfig cfg;
+  cfg.name = "node_x";
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  cfg.arch = stbus::Architecture::kFullCrossbar;
+  cfg.arb = stbus::ArbPolicy::kLru;
+
+  regress::RunPlan plan;
+  plan.cfg = cfg;
+  plan.tests = {verif::t02_random_all_opcodes()};
+  plan.seeds = {1, 2};
+  plan.n_transactions = 20;
+  return plan;
+}
+
+TEST(TxnCampaign, StableSectionsByteIdenticalAcrossWorkerCounts) {
+  const fs::path dir = fs::temp_directory_path() / "crve_txn_jobs";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.out_dir = (dir / "o1").string();
+  plan.txn_trace_out = (dir / "txn1.json").string();
+  plan.jobs = 1;
+  const auto serial = regress::Regression::run(plan);
+  plan.out_dir = (dir / "o4").string();
+  plan.txn_trace_out = (dir / "txn4.json").string();
+  plan.jobs = 4;
+  const auto parallel = regress::Regression::run(plan);
+
+  ASSERT_FALSE(serial.txn.empty());
+  ASSERT_FALSE(parallel.txn.empty());
+  // 2 pairs x 2 views merged in slot vs completion order: identical bytes,
+  // for the aggregate, the delta join and the whole report.
+  EXPECT_EQ(serial.txn.runs, 4u);
+  EXPECT_GT(serial.txn.total_spans(), 0u);
+  EXPECT_EQ(serial.txn.total_orphans(), 0u);
+  EXPECT_EQ(obs::txn_json(serial.txn), obs::txn_json(parallel.txn));
+  EXPECT_EQ(obs::txn_delta_json(serial.txn_delta),
+            obs::txn_delta_json(parallel.txn_delta));
+  EXPECT_EQ(serial.json(/*with_timing=*/false),
+            parallel.json(/*with_timing=*/false));
+  // Fault-free pair: both views see the same traffic, so every span matches
+  // with delta zero.
+  EXPECT_GT(serial.txn_delta.matched, 0u);
+  EXPECT_EQ(serial.txn_delta.only_a, 0u);
+  EXPECT_EQ(serial.txn_delta.only_b, 0u);
+  EXPECT_EQ(serial.txn_delta.matched, serial.txn_delta.zero);
+  // Campaign labels carry full provenance for the top-K tie-break.
+  ASSERT_FALSE(serial.txn.slowest.empty());
+  EXPECT_NE(serial.txn.slowest[0].label.find("node_x:t02"),
+            std::string::npos);
+
+  // The merged campaign artifact and the per-job span/Chrome artifacts.
+  std::ifstream is(dir / "txn4.json");
+  std::ostringstream os;
+  os << is.rdbuf();
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_NE(doc.find("build"), nullptr);
+  ASSERT_NE(doc.find("txn"), nullptr);
+  EXPECT_GT(doc.find("txn")->find("ports")->items.size(), 0u);
+  EXPECT_NE(doc.find("delta"), nullptr);
+  const std::string stem = "txn_t02_random_all_opcodes_s1_rtl";
+  EXPECT_TRUE(fs::exists(dir / "o4" / (stem + ".json")));
+  EXPECT_TRUE(fs::exists(dir / "o4" / (stem + ".trace.json")));
+  std::ifstream cis(dir / "o4" / (stem + ".trace.json"));
+  std::ostringstream cos;
+  cos << cis.rdbuf();
+  EXPECT_NE(json::parse(cos.str()).find("traceEvents"), nullptr);
+
+  fs::remove_all(dir);
+}
+
+TEST(TxnCampaign, UntracedRunsCarryNoTxnSectionOrArtifacts) {
+  const fs::path dir = fs::temp_directory_path() / "crve_txn_off";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.out_dir = dir.string();
+  plan.jobs = 1;
+  const auto serial = regress::Regression::run(plan);
+  plan.jobs = 4;
+  const auto parallel = regress::Regression::run(plan);
+
+  // No tracer: no aggregate, no report section, no txn_* artifact files —
+  // and the report stays byte-identical for any worker count.
+  EXPECT_TRUE(serial.txn.empty());
+  EXPECT_TRUE(serial.txn_delta.empty());
+  const std::string report = serial.json(/*with_timing=*/false);
+  EXPECT_EQ(report.find("txn_latency"), std::string::npos);
+  EXPECT_EQ(report, parallel.json(/*with_timing=*/false));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().filename().string().rfind("txn_", 0), 0u)
+        << entry.path();
+  }
+
+  fs::remove_all(dir);
+}
+
+TEST(TxnCampaign, JobSpecHashIgnoresTraceKnob) {
+  regress::RunPlan plan = tiny_plan();
+  const auto spec_plain = regress::job_spec_for(plan, plan.tests[0], 7);
+  plan.txn_trace_out = "/tmp/anywhere.json";
+  const auto spec_traced = regress::job_spec_for(plan, plan.tests[0], 7);
+  // Tracing never perturbs the cache key: a traced rerun of a cached
+  // campaign must still replay its hits.
+  EXPECT_EQ(spec_plain.canonical_json(), spec_traced.canonical_json());
+  EXPECT_EQ(spec_plain.hash(), spec_traced.hash());
+}
+
+// A known-divergent faulted pair: triage must name at least one in-flight
+// transaction with its lifecycle stage in the divergence windows.
+TEST(TxnCampaign, FaultedPairTriageNamesInFlightTransactions) {
+  const fs::path dir = fs::temp_directory_path() / "crve_txn_triage";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.tests = {verif::t05_chunked_traffic()};
+  plan.seeds = {7};
+  plan.n_transactions = 40;
+  plan.out_dir = dir.string();
+  plan.txn_trace_out = (dir / "txn.json").string();
+  plan.faults.grant_during_lock = true;
+  const auto res = regress::Regression::run(plan);
+  EXPECT_FALSE(res.signed_off);
+
+  const fs::path triage = dir / "triage_t05_chunked_traffic_s7.json";
+  ASSERT_TRUE(fs::exists(triage)) << "faulted pair produced no triage";
+  std::ifstream is(triage);
+  std::ostringstream os;
+  os << is.rdbuf();
+  const auto doc = json::parse(os.str());
+  const json::Value* flight = doc.find("txn_in_flight");
+  ASSERT_NE(flight, nullptr);
+  const json::Value* windows = flight->find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_FALSE(windows->items.empty());
+  bool named = false;
+  for (const auto& w : windows->items) {
+    for (const char* side : {"a", "b"}) {
+      const json::Value* spans = w.find(side);
+      if (spans == nullptr) continue;
+      for (const auto& s : spans->items) {
+        if (!s.string_or("opc", "").empty() &&
+            !s.string_or("stage", "").empty()) {
+          named = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(named) << "no in-flight transaction named with a stage";
+  // The divergent pair also shows up in the delta join accounting.
+  EXPECT_FALSE(res.txn_delta.empty());
+
+  fs::remove_all(dir);
+}
+
+// Ad-hoc test names with path separators cannot escape the artifact
+// directory: every artifact lands under out_dir with a sanitized stem.
+TEST(TxnCampaign, HostileTestNameIsSanitizedInArtifacts) {
+  const fs::path dir = fs::temp_directory_path() / "crve_txn_hostile";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  regress::RunPlan plan = tiny_plan();
+  plan.seeds = {1};
+  plan.tests[0].name = "evil/name with spaces";
+  plan.out_dir = dir.string();
+  plan.txn_trace_out = (dir / "txn.json").string();
+  plan.run_alignment = false;  // ad-hoc names are not CATG suite members
+  const auto res = regress::Regression::run(plan);
+  EXPECT_FALSE(res.outcomes.empty());
+
+  EXPECT_TRUE(
+      fs::exists(dir / "txn_evil_name_with_spaces_s1_rtl.json"));
+  EXPECT_TRUE(fs::exists(dir / "report_evil_name_with_spaces_s1_rtl.txt"));
+  // Nothing escaped into a subdirectory.
+  EXPECT_FALSE(fs::exists(dir / "evil"));
+
+  fs::remove_all(dir);
+}
+
+// Testbench-level integration: the tracer option demands monitors and
+// produces spans for every initiator with the registry untouched when
+// metrics are off.
+TEST(TxnTestbench, TracerRequiresMonitorsAndProducesSpans) {
+  stbus::NodeConfig cfg;
+  cfg.n_initiators = 2;
+  cfg.n_targets = 2;
+  cfg.bus_bytes = 4;
+  verif::TestSpec spec = verif::t02_random_all_opcodes();
+  spec.n_transactions = 15;
+
+  verif::TestbenchOptions opts;
+  opts.txn_trace = true;
+  opts.enable_monitors = false;
+  EXPECT_THROW(verif::Testbench(cfg, spec, opts), std::invalid_argument);
+
+  opts.enable_monitors = true;
+  verif::Testbench tb(cfg, spec, opts);
+  const verif::RunResult r = tb.run();
+  ASSERT_TRUE(r.passed());
+  ASSERT_FALSE(r.txn.empty());
+  EXPECT_GT(r.txn.total_spans(), 0u);
+  EXPECT_EQ(r.txn.total_orphans(), 0u);
+  EXPECT_NE(find_port(r.txn, "init0"), nullptr);
+  EXPECT_NE(find_port(r.txn, "init1"), nullptr);
+  // Every span the BFMs issued either completed or is counted incomplete;
+  // completed ones carry target attribution except decode errors.
+  for (const auto& s : r.txn.spans) {
+    EXPECT_NE(s.issue, obs::kTxnNoCycle);
+    if (s.complete()) {
+      EXPECT_GE(s.grant, s.issue);
+      EXPECT_GE(s.req_end, s.grant);
+      EXPECT_GE(s.rsp_end, s.rsp_start);
+    }
+    if (!s.target.empty()) {
+      EXPECT_NE(s.target_req, obs::kTxnNoCycle);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crve
