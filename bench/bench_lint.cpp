@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/design_lint.h"
 #include "lint/lint.h"
 #include "regress/config_file.h"
 
@@ -62,6 +63,29 @@ void BM_LintConfigs40(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_LintConfigs40)->Unit(benchmark::kMillisecond);
+
+// The design-lint preflight gate (DESIGN.md §17): elaborate each shipped
+// configuration's testbench on both views — the dominant cost — export the
+// design graphs and run CRVE100..110. crve_regress pays this before every
+// campaign, so the budget is <50 ms per configuration; the per_config
+// counter is what the CI budget guard reads.
+void BM_DesignLint(benchmark::State& state) {
+  const std::string dir = CRVE_SOURCE_DIR "/configs";
+  std::size_t n_configs = 1;
+  for (auto _ : state) {
+    const auto res = lint::lint_design_dir(dir);
+    n_configs = res.summaries.size() / 2;  // RTL + BCA per config
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["configs"] = static_cast<double>(n_configs);
+  // Inverted iteration-invariant rate: elapsed / (iterations * value).
+  // value = configs/1e3 makes the counter read milliseconds per config.
+  state.counters["ms_per_config"] = benchmark::Counter(
+      static_cast<double>(n_configs) / 1e3,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_DesignLint)->Unit(benchmark::kMillisecond);
 
 // The CI determinism scan: every .h/.cpp under src/.
 void BM_LintSourceTree(benchmark::State& state) {

@@ -20,11 +20,25 @@ Bridge::Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
       up_type_(up_type),
       dn_type_(dn_type),
       faults_(faults) {
-  ctx.add_clocked(name_ + ".tick", [this] { tick(); });
+  // Design-lint declaration: each payload slice is sampled only in the
+  // matching phase; all pin writes happen in drive().
+  sim::ClockedOpts tick_decl;
+  tick_decl.reads = up_.request_signals();
+  tick_decl.reads.push_back(&up_.gnt);
+  tick_decl.reads.push_back(&up_.r_req);
+  tick_decl.reads.push_back(&up_.r_gnt);
+  for (const auto* s : dn_.response_signals()) tick_decl.reads.push_back(s);
+  tick_decl.reads.push_back(&dn_.req);
+  tick_decl.reads.push_back(&dn_.gnt);
+  tick_decl.reads.push_back(&dn_.r_gnt);
+  ctx.add_clocked(name_ + ".tick", [this] { tick(); }, std::move(tick_decl));
   // drive() reads no signals, only tick-owned members: the StateTag is its
-  // whole sensitivity list under the compiled schedule.
+  // whole sensitivity list under the compiled schedule. The replay payloads
+  // are driven only in their FSM phase — declared for the design linter.
   sim::CombOpts opts;
   opts.state = &tag_;
+  opts.writes = dn_.request_signals();
+  for (const auto* s : up_.response_signals()) opts.writes.push_back(s);
   ctx.add_comb(name_ + ".drive", [this] { drive(); }, std::move(opts));
 }
 

@@ -155,7 +155,26 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
   rsp_next_.assign(static_cast<std::size_t>(cfg_.n_initiators), 0);
   err_pending_.resize(static_cast<std::size_t>(cfg_.n_initiators));
 
-  ctx.add_clocked(cfg_.name + ".tick", [this] { tick(); });
+  // Design-lint declaration for the tick process: payload pins are sampled
+  // only for ports with traffic in flight; all pin writes go through
+  // drive_pins().
+  sim::ClockedOpts tick_decl;
+  for (const PortPins* p : iports_) {
+    for (const auto* s : p->request_signals()) tick_decl.reads.push_back(s);
+    tick_decl.reads.push_back(&p->r_gnt);
+  }
+  for (const PortPins* p : tports_) {
+    for (const auto* s : p->response_signals()) tick_decl.reads.push_back(s);
+    tick_decl.reads.push_back(&p->gnt);
+  }
+  if (prog_ != nullptr) {
+    tick_decl.reads.push_back(&prog_->req);
+    tick_decl.reads.push_back(&prog_->opc);
+    tick_decl.reads.push_back(&prog_->add);
+    tick_decl.reads.push_back(&prog_->data);
+  }
+  ctx.add_clocked(cfg_.name + ".tick", [this] { tick(); },
+                  std::move(tick_decl));
   // Declared read-set for the compiled schedule: the exact pin superset
   // evaluate()/drive_pins() may read. Discovery alone would miss the
   // data-dependent reads (route(add) behind req, slot checks behind queue
@@ -171,6 +190,18 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
     drive_opts.reads.push_back(&p->gnt);
     drive_opts.reads.push_back(&p->r_req);
     drive_opts.reads.push_back(&p->r_src);
+  }
+  // Payload slices are driven only while cells are queued — declared for
+  // the design-lint view.
+  for (const PortPins* p : iports_) {
+    for (const auto* s : p->response_signals()) {
+      drive_opts.writes.push_back(s);
+    }
+  }
+  for (const PortPins* p : tports_) {
+    for (const auto* s : p->request_signals()) {
+      drive_opts.writes.push_back(s);
+    }
   }
   ctx.add_comb(cfg_.name + ".drive", [this] { drive_pins(); },
                std::move(drive_opts));

@@ -68,6 +68,30 @@ const std::vector<Rule>& rule_catalogue() {
       {"CRVE062", Severity::kWarn,
        "duplicate literal observability name in counter/gauge/histogram/"
        "CRVE_SPAN/SpanGuard"},
+      {"CRVE100", Severity::kWarn,
+       "signal is read but never written (constant after elaboration)"},
+      {"CRVE101", Severity::kWarn,
+       "signal is written by a process but read by none (dead logic)"},
+      {"CRVE102", Severity::kError,
+       "multiple combinational processes drive the same signal"},
+      {"CRVE103", Severity::kWarn,
+       "combinational process writes signals but has no visible inputs "
+       "(no reads, StateTag or after edges): never re-evaluated"},
+      {"CRVE104", Severity::kWarn,
+       "data-dependent read observed post-settle but missing from "
+       "CombOpts::reads (under-declaration)"},
+      {"CRVE105", Severity::kNote,
+       "declared CombOpts read never observed in either elaboration "
+       "evaluation (possible over-declaration)"},
+      {"CRVE106", Severity::kNote,
+       "dynamic fixpoint opt-out whose recorded graph is static across "
+       "both elaboration evaluations"},
+      {"CRVE107", Severity::kNote,
+       "schedule depth or signal fanout exceeds the report threshold"},
+      {"CRVE108", Severity::kWarn,
+       "unreachable process: no reads, writes, state or ordering edges"},
+      {"CRVE110", Severity::kError,
+       "environment signal present in one view but missing from the other"},
   };
   return kRules;
 }

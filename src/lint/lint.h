@@ -9,7 +9,7 @@
 // catches semantically broken configs and non-deterministic code paths
 // *before* a multi-hour campaign runs.
 //
-// Two rule families (full catalogue in DESIGN.md §12):
+// Three rule families (full catalogue in DESIGN.md §12 and §17):
 //   * config/campaign rules — paper port/width limits, arbitration and
 //     architecture coupling (latency ⇒ deadlines, bandwidth ⇒ quotas,
 //     prog ⇒ programming port, partial ⇒ xbar groups), unknown/duplicate
@@ -20,9 +20,17 @@
 //     output, no rand()/std::random_device/time(nullptr) outside
 //     common/rng.h, no raw std::cout/std::cerr outside main.cpp files.
 //     Findings are suppressed inline with `// crve-lint: allow(CRVE0xx)`.
+//   * design rules (CRVE100..110, design_rules.cpp) — whole-design
+//     structural analysis over the elaborated sim::DesignGraph: undriven /
+//     dead signals, multiple combinational drivers, stale-read hazards,
+//     read-set declaration drift, dynamic opt-outs that look static,
+//     unreachable processes, schedule-depth/fanout hotspots and the
+//     cross-view environment-signal comparison. The per-config driver that
+//     elaborates testbenches lives one layer up in design_lint.h.
 //
 // Exit-code contract (crve_lint CLI and Report::exit_code): 0 = clean or
-// notes only, 1 = warnings, 2 = errors; --werror promotes warnings.
+// notes only, 1 = warnings, 2 = errors; --werror promotes warnings (and
+// only warnings — notes never escalate, in any renderer).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +38,10 @@
 #include <vector>
 
 #include "stbus/config.h"
+
+namespace crve::sim {
+struct DesignGraph;
+}
 
 namespace crve::lint {
 
@@ -157,13 +169,41 @@ Report lint_source_file(const std::string& path);
 // file's scan are checked for collisions across the whole tree.
 Report lint_source_tree(const std::string& dir);
 
+// --- Design rules (design_rules.cpp) --------------------------------------
+
+// Report thresholds for the schedule-shape rule (CRVE107). The full numbers
+// always land in the design summary artifact; the rule only *flags* shapes
+// beyond these bounds.
+struct DesignRuleOptions {
+  // Flag when the rank schedule is deeper than this many levels.
+  std::size_t max_rank_depth = 16;
+  // Flag a signal whose static combinational fanout exceeds this.
+  std::size_t max_fanout = 64;
+};
+
+// CRVE100..108 over one elaborated view. `origin` tags every finding (the
+// .cfg path or a pseudo-origin); `view` names the elaborated model ("RTL",
+// "BCA") inside messages.
+Report lint_design_graph(const sim::DesignGraph& g, const std::string& origin,
+                         const std::string& view,
+                         const DesignRuleOptions& opts = {});
+
+// CRVE110: environment-side (tb.*) signals present in one view's graph but
+// absent from the other, in both directions. DUT-internal names legitimately
+// differ across views; the shared environment may not.
+Report lint_design_views(const sim::DesignGraph& a, const std::string& view_a,
+                         const sim::DesignGraph& b, const std::string& view_b,
+                         const std::string& origin);
+
 // --- Renderers (render.cpp) -----------------------------------------------
 
 // One line per finding plus a summary line.
 std::string render_text(const Report& report);
 
-// {"build": ..., "summary": ..., "findings": [...]}
-std::string render_json(const Report& report);
+// {"build": ..., "summary": ..., "findings": [...]}. `werror` must match the
+// flag passed to Report::exit_code so the embedded "exit_code" field agrees
+// with the process exit status.
+std::string render_json(const Report& report, bool werror = false);
 
 // SARIF 2.1.0 with the full rule catalogue as tool.driver.rules, suitable
 // for GitHub code scanning upload.

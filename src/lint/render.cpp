@@ -40,7 +40,7 @@ std::string render_text(const Report& report) {
   return out;
 }
 
-std::string render_json(const Report& report) {
+std::string render_json(const Report& report, bool werror) {
   std::string out = "{\n";
   out += "  \"build\": " + build_info_json("  ") + ",\n";
   out += "  \"summary\": {\n";
@@ -59,7 +59,9 @@ std::string render_json(const Report& report) {
     out += "\"message\": \"" + json::escape(f.message) + "\"}";
   }
   out += report.findings.empty() ? "],\n" : "\n  ],\n";
-  out += "  \"exit_code\": " + std::to_string(report.exit_code()) + "\n";
+  // Same promotion rule as the process exit status: --werror escalates
+  // warnings only; notes stay notes in every renderer.
+  out += "  \"exit_code\": " + std::to_string(report.exit_code(werror)) + "\n";
   out += "}\n";
   return out;
 }

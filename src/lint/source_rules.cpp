@@ -86,13 +86,32 @@ std::vector<ScannedLine> scan_lines(const std::string& text) {
                             text[i - 2] == '8' || text[i - 2] == 'u' ||
                             text[i - 2] == 'U' || text[i - 2] == 'L');
           if (raw) {
+            // The d-char-sequence may not contain parentheses, backslash,
+            // quotes or whitespace and is at most 16 chars ([lex.string]).
+            // Scanning past the first invalid d-char used to run away
+            // hunting for '(' — `R")"` would swallow the rest of the file —
+            // so stop at the first invalid char and fall back to ordinary
+            // string lexing, which is how such ill-formed input reads.
             raw_delim.clear();
             std::size_t j = i + 1;
+            bool delim_ok = true;
             while (j < text.size() && text[j] != '(') {
+              const char d = text[j];
+              if (d == ')' || d == '\\' || d == '"' ||
+                  std::isspace(static_cast<unsigned char>(d)) != 0 ||
+                  raw_delim.size() >= 16) {
+                delim_ok = false;
+                break;
+              }
               raw_delim += text[j++];
             }
-            i = j;  // consume up to and including '('
-            state = State::kRawString;
+            if (j >= text.size()) delim_ok = false;
+            if (delim_ok) {
+              i = j;  // consume up to and including '('
+              state = State::kRawString;
+            } else {
+              state = State::kString;
+            }
           } else {
             state = State::kString;
           }

@@ -411,6 +411,37 @@ void render_hotspots(std::string& out, const obs::ProfileData& pd) {
   out += "</section>\n";
 }
 
+// Design health panel (DESIGN.md §17): the elaboration-time shape of each
+// (config, view) pair from the crve_regress design-lint preflight. Rendered
+// only when the campaign ran with the gate enabled, so a dashboard from a
+// --no-design-lint run stays byte-identical to previous releases.
+void render_design_health(std::string& out,
+                          const std::vector<DesignHealth>& rows) {
+  out += "<section class=\"card\">\n<h2>Design health</h2>\n";
+  out += "<p class=\"muted\">elaboration-time structure per view "
+         "(crve_lint --design; CRVE100&ndash;CRVE110)</p>\n";
+  out += "<table>\n<tr><th>config</th><th>view</th>"
+         "<th class=\"num\">signals</th><th class=\"num\">comb</th>"
+         "<th class=\"num\">clocked</th><th class=\"num\">ranks</th>"
+         "<th class=\"num\">max fanout</th><th>widest signal</th>"
+         "<th class=\"num\">E</th><th class=\"num\">W</th>"
+         "<th class=\"num\">N</th></tr>\n";
+  for (const DesignHealth& h : rows) {
+    out += "<tr><td>" + html_escape(h.config) + "</td><td>" +
+           html_escape(h.view) + "</td><td class=\"num\">" +
+           std::to_string(h.signals) + "</td><td class=\"num\">" +
+           std::to_string(h.comb_processes) + "</td><td class=\"num\">" +
+           std::to_string(h.clocked_processes) + "</td><td class=\"num\">" +
+           std::to_string(h.ranks) + "</td><td class=\"num\">" +
+           std::to_string(h.max_fanout) + "</td><td>" +
+           html_escape(h.max_fanout_signal) + "</td><td class=\"num\">" +
+           std::to_string(h.errors) + "</td><td class=\"num\">" +
+           std::to_string(h.warnings) + "</td><td class=\"num\">" +
+           std::to_string(h.notes) + "</td></tr>\n";
+  }
+  out += "</table>\n</section>\n";
+}
+
 // Upper bound of the smallest log2 bucket holding quantile q of the
 // histogram's mass, as a printable cycle count ("<= bound"). Exact enough
 // for a dashboard: the JSON artifacts carry the full buckets.
@@ -647,6 +678,9 @@ std::string html_report(const MatrixResult& mres,
     render_config(out, r, opts);
   }
 
+  if (!mres.design_health.empty()) {
+    render_design_health(out, mres.design_health);
+  }
   if (!mres.profile.empty()) render_hotspots(out, mres.profile);
   if (!mres.txn.empty()) render_txn(out, mres.txn, mres.txn_delta, opts);
   if (opts.timeline) render_timeline(out, *opts.timeline);

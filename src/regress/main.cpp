@@ -29,6 +29,13 @@
 //                      divergence (default: 50)
 //   --no-lint          skip the pre-flight crve_lint pass over the config
 //                      directory and the campaign plan (DESIGN.md §12)
+//   --no-design-lint   skip the pre-flight design lint (DESIGN.md §17):
+//                      elaborate every configuration's testbench on both
+//                      views (no simulation) and run the CRVE1xx structural
+//                      rules; error findings stop the campaign with exit 2
+//   --design-selftest  run the deliberately defective design-lint selftest
+//                      and exit with its code (2) — the CI negative check
+//                      that the gate actually fails on a broken design
 //
 // Campaign cache and the planner/worker protocol (DESIGN.md §13):
 //   --cache-dir DIR    content-addressed result cache: pair jobs whose
@@ -106,6 +113,7 @@
 // spent its wall clock. The file's parent directory is created if missing (so an output
 // file inside the --out directory works before the runner makes it); only
 // a path that cannot be created fails.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -119,6 +127,7 @@
 #include "common/build_info.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "lint/design_lint.h"
 #include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -141,7 +150,7 @@ int usage() {
                "                    [--jobs N] [--json FILE]\n"
                "                    [--sim-kernel compiled|interp]\n"
                "                    [--no-triage] [--triage-window N]\n"
-               "                    [--no-lint]\n"
+               "                    [--no-lint] [--no-design-lint]\n"
                "                    [--cache-dir DIR] [--cache-max-mb N]\n"
                "                    [--cache-stats FILE] [--emit-specs FILE]\n"
                "                    [--baseline FILE] [--diff FILE]\n"
@@ -155,7 +164,8 @@ int usage() {
                "       crve_regress --worker FILE [--results FILE]\n"
                "                    [--out DIR] [--jobs N] [--cache-dir DIR]\n"
                "       crve_regress --ingest FILE --cache-dir DIR\n"
-               "       crve_regress --sample-configs DIR\n");
+               "       crve_regress --sample-configs DIR\n"
+               "       crve_regress --design-selftest\n");
   return 2;
 }
 
@@ -243,6 +253,8 @@ int main(int argc, char** argv) {
   bool alignment = true;
   bool triage = true;
   bool lint = true;
+  bool design_lint = true;
+  bool design_selftest = false;
   std::uint64_t triage_window = 50;
   unsigned jobs = 0;  // 0 = one worker per hardware thread
   sim::KernelKind kernel = sim::KernelKind::kCompiled;
@@ -314,6 +326,10 @@ int main(int argc, char** argv) {
       triage = false;
     } else if (arg == "--no-lint") {
       lint = false;
+    } else if (arg == "--no-design-lint") {
+      design_lint = false;
+    } else if (arg == "--design-selftest") {
+      design_selftest = true;
     } else if (arg == "--cache-dir") {
       const char* v = next();
       if (!v) return usage();
@@ -401,6 +417,16 @@ int main(int argc, char** argv) {
   if (!sample_dir.empty()) {
     write_sample_configs(sample_dir);
     return 0;
+  }
+
+  // Negative check for the design-lint gate: lint a deliberately defective
+  // elaboration and exit with its code. CI asserts this is 2 — proof the
+  // preflight actually refuses broken designs, not just that shipped
+  // configs happen to be clean.
+  if (design_selftest) {
+    const auto dres = crve::lint::lint_design_selftest();
+    std::fprintf(stderr, "%s", crve::lint::render_text(dres.report).c_str());
+    return dres.report.exit_code();
   }
 
   // Worker mode: execute a spec file. Standalone — the configurations
@@ -523,6 +549,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Design-lint preflight (DESIGN.md §17): elaborate every configuration's
+  // testbench on both views — initialize() only, no cycles simulated — and
+  // run the CRVE1xx structural rules over the exported design graphs. A
+  // contested signal or an undriven read should fail here in milliseconds,
+  // not as an alignment mystery hours into the campaign. Error findings
+  // stop the run; warnings and notes are printed and the campaign proceeds.
+  // The per-(config, view) summaries feed the design_<config>.json
+  // artifacts and the dashboard's "Design health" panel.
+  std::vector<crve::lint::DesignSummary> design_summaries;
+  if (design_lint) {
+    const auto dres = crve::lint::lint_design_dir(config_dir);
+    if (!dres.report.findings.empty()) {
+      std::fprintf(stderr, "%s",
+                   crve::lint::render_text(dres.report).c_str());
+    }
+    if (dres.report.exit_code() >= 2) {
+      std::fprintf(stderr,
+                   "design-lint: refusing to run a campaign over "
+                   "structurally broken designs in %s "
+                   "(--no-design-lint to bypass)\n",
+                   config_dir.c_str());
+      return 2;
+    }
+    design_summaries = dres.summaries;
+  }
+
   std::vector<verif::TestSpec> tests;
   for (const auto& spec : verif::catg_test_suite()) {
     if (test_filter.empty()) {
@@ -557,6 +609,21 @@ int main(int argc, char** argv) {
   base.cache_max_mb = cache_max_mb;
   base.profile_out = profile_path;
   base.txn_trace_out = txn_path;
+  for (const auto& s : design_summaries) {
+    regress::DesignHealth h;
+    h.config = s.config;
+    h.view = s.view;
+    h.signals = s.signals;
+    h.comb_processes = s.comb_processes;
+    h.clocked_processes = s.clocked_processes;
+    h.ranks = s.ranks;
+    h.max_fanout = s.max_fanout;
+    h.max_fanout_signal = s.max_fanout_signal;
+    h.errors = s.errors;
+    h.warnings = s.warnings;
+    h.notes = s.notes;
+    base.design_health.push_back(h);
+  }
 
   if (!diff_path.empty() && baseline_path.empty()) {
     std::fprintf(stderr, "--diff requires --baseline\n");
@@ -623,6 +690,36 @@ int main(int argc, char** argv) {
                                &metrics_path, &trace_path, &profile_path,
                                &txn_path, &progress_path}) {
     if (!check_writable(*p)) return usage();
+  }
+
+  // Per-config design-summary artifacts, next to where report.json will
+  // land. Written before the campaign: the summaries are elaboration facts,
+  // valid whether or not the batch subsequently signs off.
+  if (!design_summaries.empty() && !out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    std::vector<std::string> config_order;
+    for (const auto& s : design_summaries) {
+      if (std::find(config_order.begin(), config_order.end(), s.config) ==
+          config_order.end()) {
+        config_order.push_back(s.config);
+      }
+    }
+    for (const auto& name : config_order) {
+      std::vector<crve::lint::DesignSummary> subset;
+      for (const auto& s : design_summaries) {
+        if (s.config == name) subset.push_back(s);
+      }
+      const std::string path = out_dir + "/design_" +
+                               regress::sanitize_artifact_name(name) +
+                               ".json";
+      std::ofstream os(path);
+      os << crve::lint::design_summary_json(subset);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 2;
+      }
+    }
   }
 
   // Observability setup (all off by default; see DESIGN.md §10, §15).

@@ -747,6 +747,7 @@ MatrixResult Regression::run_matrix(
   CRVE_SPAN("campaign", "matrix");
   MatrixResult mres;
   mres.jobs = resolve_jobs(base.jobs);
+  mres.design_health = base.design_health;
 
   std::vector<Campaign> camps(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {

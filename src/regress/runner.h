@@ -49,6 +49,26 @@ std::string sanitize_artifact_name(const std::string& name);
 
 class ProgressTracker;  // regress/progress.h
 
+// Elaboration-time design-health row for the dashboard, one per
+// (config, view). Plain data deliberately mirroring lint::DesignSummary
+// without depending on it: the design-lint preflight lives in the CLI (the
+// crve_design_lint library sits above this one), which fills
+// RunPlan::design_health after the gate passes; run_matrix just threads the
+// rows through to MatrixResult for html_report.
+struct DesignHealth {
+  std::string config;
+  std::string view;  // "RTL" / "BCA"
+  std::size_t signals = 0;
+  std::size_t comb_processes = 0;
+  std::size_t clocked_processes = 0;
+  std::size_t ranks = 0;
+  std::size_t max_fanout = 0;
+  std::string max_fanout_signal;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+};
+
 struct RunPlan {
   stbus::NodeConfig cfg;
   std::vector<verif::TestSpec> tests;  // empty = full CATG suite
@@ -95,6 +115,9 @@ struct RunPlan {
   // Streaming campaign telemetry (--progress-out / --progress); not owned.
   // The runner emits job lifecycle events through it; null = no telemetry.
   ProgressTracker* progress = nullptr;
+  // Design-lint summaries from the CLI preflight (empty when the gate was
+  // skipped); rendered by the dashboard as the "Design health" panel.
+  std::vector<DesignHealth> design_health;
 };
 
 struct TestOutcome {
@@ -182,6 +205,9 @@ struct MatrixResult {
   // delta join (RunPlan::txn_trace_out); empty when tracing was off.
   obs::TxnTraceData txn;
   obs::TxnDeltaStats txn_delta;
+  // Copied from RunPlan::design_health; empty = no "Design health" panel in
+  // the dashboard (keeps pre-existing dashboards byte-identical).
+  std::vector<DesignHealth> design_health;
 
   std::string summary() const;
   std::string json(bool with_timing = true) const;

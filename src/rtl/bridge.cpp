@@ -21,11 +21,25 @@ Bridge::Bridge(sim::Context& ctx, std::string name, stbus::PortPins& upstream,
       dn_(downstream),
       up_type_(up_type),
       dn_type_(dn_type) {
-  ctx.add_clocked(name_ + ".edge", [this] { edge(); });
+  // Design-lint declaration: the FSM samples each payload slice only in the
+  // matching phase; all pin writes happen in comb().
+  sim::ClockedOpts edge_decl;
+  edge_decl.reads = up_.request_signals();
+  edge_decl.reads.push_back(&up_.gnt);
+  edge_decl.reads.push_back(&up_.r_req);
+  edge_decl.reads.push_back(&up_.r_gnt);
+  for (const auto* s : dn_.response_signals()) edge_decl.reads.push_back(s);
+  edge_decl.reads.push_back(&dn_.req);
+  edge_decl.reads.push_back(&dn_.gnt);
+  edge_decl.reads.push_back(&dn_.r_gnt);
+  ctx.add_clocked(name_ + ".edge", [this] { edge(); }, std::move(edge_decl));
   // comb() reads no signals, only edge-owned members: the StateTag is its
-  // whole sensitivity list under the compiled schedule.
+  // whole sensitivity list under the compiled schedule. The replay payloads
+  // are driven only in their FSM phase — declared for the design linter.
   sim::CombOpts opts;
   opts.state = &tag_;
+  opts.writes = dn_.request_signals();
+  for (const auto* s : up_.response_signals()) opts.writes.push_back(s);
   ctx.add_comb(name_ + ".comb", [this] { comb(); }, std::move(opts));
 }
 

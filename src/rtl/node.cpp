@@ -40,7 +40,26 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
   errq_.resize(static_cast<std::size_t>(cfg_.n_initiators));
   stats_.grants.assign(static_cast<std::size_t>(cfg_.n_initiators), 0);
 
-  ctx.add_clocked(cfg_.name + ".edge", [this] { edge(); });
+  // Design-lint declaration for the edge process: payloads are sampled only
+  // for the winning/completing port, so recording sees a fraction of these.
+  // All outputs go through the combinational blocks — the edge writes none.
+  sim::ClockedOpts edge_decl;
+  for (const PortPins* p : iports_) {
+    for (const auto* s : p->request_signals()) edge_decl.reads.push_back(s);
+    edge_decl.reads.push_back(&p->r_gnt);
+  }
+  for (const PortPins* p : tports_) {
+    for (const auto* s : p->response_signals()) edge_decl.reads.push_back(s);
+    edge_decl.reads.push_back(&p->gnt);
+  }
+  if (prog_ != nullptr) {
+    edge_decl.reads.push_back(&prog_->req);
+    edge_decl.reads.push_back(&prog_->opc);
+    edge_decl.reads.push_back(&prog_->add);
+    edge_decl.reads.push_back(&prog_->data);
+  }
+  ctx.add_clocked(cfg_.name + ".edge", [this] { edge(); },
+                  std::move(edge_decl));
   // One combinational process per synthesizable block, arbitration first so
   // the per-port blocks read settled decision wires within the same delta.
   //
@@ -70,12 +89,20 @@ Node::Node(sim::Context& ctx, stbus::NodeConfig cfg,
   for (int i = 0; i < cfg_.n_initiators; ++i) {
     ctx.add_comb(cfg_.name + ".ignt" + std::to_string(i),
                  [this, i] { comb_initiator_gnt(i); }, after_arb);
+    // Response payload is driven only while a cell is registered; declare
+    // the conditional writes for the design-lint view.
+    sim::CombOpts irsp_opts = tagged;
+    irsp_opts.writes =
+        iports_[static_cast<std::size_t>(i)]->response_signals();
     ctx.add_comb(cfg_.name + ".irsp" + std::to_string(i),
-                 [this, i] { comb_initiator_rsp(i); }, tagged);
+                 [this, i] { comb_initiator_rsp(i); }, std::move(irsp_opts));
   }
   for (int t = 0; t < cfg_.n_targets; ++t) {
+    sim::CombOpts treq_opts = tagged;
+    treq_opts.writes =
+        tports_[static_cast<std::size_t>(t)]->request_signals();
     ctx.add_comb(cfg_.name + ".treq" + std::to_string(t),
-                 [this, t] { comb_target_req(t); }, tagged);
+                 [this, t] { comb_target_req(t); }, std::move(treq_opts));
     sim::CombOpts rgnt_opts = after_arb;
     rgnt_opts.reads.push_back(&tports_[static_cast<std::size_t>(t)]->r_req);
     rgnt_opts.reads.push_back(&tports_[static_cast<std::size_t>(t)]->r_src);

@@ -21,11 +21,21 @@ RegisterDecoder::RegisterDecoder(sim::Context& ctx, std::string name,
       base_(base_address),
       regs_(static_cast<std::size_t>(n_regs), 0) {
   if (n_regs < 1) throw std::invalid_argument("RegisterDecoder: n_regs");
-  ctx.add_clocked(name_ + ".edge", [this] { edge(); });
+  // Design-lint declaration: the request payload is sampled only while a
+  // request fires; all pin writes happen in comb().
+  sim::ClockedOpts edge_decl;
+  edge_decl.reads = port_.request_signals();
+  edge_decl.reads.push_back(&port_.gnt);
+  edge_decl.reads.push_back(&port_.r_req);
+  edge_decl.reads.push_back(&port_.r_gnt);
+  ctx.add_clocked(name_ + ".edge", [this] { edge(); }, std::move(edge_decl));
   // comb() reads no signals, only the edge-owned response queue: the
-  // StateTag is its whole sensitivity list under the compiled schedule.
+  // StateTag is its whole sensitivity list under the compiled schedule. The
+  // response payload is driven only while the queue holds cells — declared
+  // for the design linter.
   sim::CombOpts opts;
   opts.state = &tag_;
+  opts.writes = port_.response_signals();
   ctx.add_comb(name_ + ".comb", [this] { comb(); }, std::move(opts));
 }
 

@@ -25,8 +25,13 @@ void Context::check_unique_name(const std::string& name) {
 }
 
 void Context::add_clocked(std::string name, std::function<void()> fn) {
+  add_clocked(std::move(name), std::move(fn), ClockedOpts{});
+}
+
+void Context::add_clocked(std::string name, std::function<void()> fn,
+                          ClockedOpts opts) {
   check_unique_name(name);
-  clocked_.push_back({std::move(name), std::move(fn), {}});
+  clocked_.push_back({std::move(name), std::move(fn), {}, std::move(opts)});
 }
 
 void Context::add_comb(std::string name, std::function<void()> fn) {
@@ -179,6 +184,9 @@ void Context::build_compiled_schedule() {
     node.reads = arena_.reads;
     node.writes = arena_.writes;
     arena_.end_recording();
+    // Recorded-only sets, retained for export_design_graph() before the
+    // declared reads are folded in below.
+    discovery_.push_back(node);
     // The effective read-set is recorded ∪ declared: discovery only sees
     // the branches taken on the initial all-idle evaluation.
     for (const int s : node.reads) seen[static_cast<std::size_t>(s)] = 1;
@@ -400,6 +408,10 @@ void Context::initialize() {
     prof_sig_commits_.assign(signals_.size(), 0);
     prof_sig_marks_.assign(signals_.size(), 0);
   }
+  // Construction-phase writes, captured for the design graph before the
+  // commit clears the dirty list (export_design_graph's "driven at
+  // construction" distinction).
+  construction_writes_ = arena_.dirty;
   commit_dirty();  // writes made during construction
   if (kernel_ == KernelKind::kInterp) {
     settle();
@@ -416,6 +428,12 @@ void Context::initialize() {
 }
 
 void Context::step(int n) {
+  if (design_exported_) {
+    throw SimError(
+        "step() after export_design_graph(): the export re-evaluated "
+        "processes under instrumentation (analysis-only); elaborate a fresh "
+        "Context to simulate");
+  }
   initialize();
   if (kernel_ == KernelKind::kInterp) {
     for (int i = 0; i < n; ++i) {

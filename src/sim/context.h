@@ -38,6 +38,8 @@ struct ProfileData;
 namespace crve::sim {
 
 struct CompiledSchedule;
+struct DesignGraph;
+struct ProcNode;
 
 // Observer sampling settled signal values once per cycle (e.g. VCD writer).
 //
@@ -84,6 +86,24 @@ struct CombOpts {
   // dependency graph (it cannot form an elaboration-time cycle) and runs in
   // a fixpoint tail after the static ranks, every cycle.
   bool dynamic = false;
+  // Design-analysis declaration only (DESIGN.md §17) — the kernel ignores
+  // it. Signals the process writes only on data-dependent branches (e.g. a
+  // response payload driven while a packet is pending): elaboration-time
+  // recording sees the idle branch, so without the declaration the design
+  // linter would report the signal as never written.
+  std::vector<const SignalBase*> writes;
+};
+
+// Design-analysis declarations for a clocked process (DESIGN.md §17). The
+// kernel itself ignores these — every clocked process runs every cycle
+// regardless — but the elaboration-time design linter records only the
+// branches a single evaluation takes, and a clocked process's pin accesses
+// are usually data-dependent (a BFM reads response pins only while a
+// response is in flight). Declaring the full superset here keeps the
+// read/write view of the exported DesignGraph truthful.
+struct ClockedOpts {
+  std::vector<const SignalBase*> reads;
+  std::vector<const SignalBase*> writes;
 };
 
 class Context {
@@ -97,6 +117,8 @@ class Context {
   // Process names must be unique (kernel diagnostics and `after` edges
   // address processes by name); duplicates throw SimError.
   void add_clocked(std::string name, std::function<void()> fn);
+  void add_clocked(std::string name, std::function<void()> fn,
+                   ClockedOpts opts);
   void add_comb(std::string name, std::function<void()> fn);
   void add_comb(std::string name, std::function<void()> fn, CombOpts opts);
 
@@ -165,6 +187,15 @@ class Context {
   // so far (runs = 1). Signals that never committed a change are omitted.
   obs::ProfileData profile() const;
 
+  // --- design graph export (design_graph.h, DESIGN.md §17) ----------------
+  // Elaborates (initialize()) under the compiled kernel and freezes the
+  // discovered structure — signals, read/write sets, declarations, ranks —
+  // into an immutable DesignGraph, re-evaluating every process once more
+  // under instrumentation for the post-settle recheck sets. Terminal:
+  // the re-evaluations perturb module state, so step() afterwards throws
+  // SimError. Throws SimError under the interpreter kernel.
+  DesignGraph export_design_graph();
+
  private:
   friend class SignalBase;
   void register_signal(SignalBase* s) {
@@ -199,7 +230,8 @@ class Context {
   struct Process {
     std::string name;
     std::function<void()> fn;
-    CombOpts opts;  // comb processes only
+    CombOpts opts;        // comb processes only
+    ClockedOpts decl;     // clocked processes only (design-lint declarations)
   };
 
   SignalArena arena_;
@@ -212,6 +244,14 @@ class Context {
 
   KernelKind kernel_ = KernelKind::kCompiled;
   std::unique_ptr<CompiledSchedule> sched_;
+  // Discovery-pass nodes with *recorded-only* read/write sets (before the
+  // declared-read union build_compiled_schedule feeds the scheduler), kept
+  // for export_design_graph(); tiny next to the simulation state.
+  std::vector<ProcNode> discovery_;
+  // Signal indices with a pending write when initialize() ran its first
+  // commit — values strapped during construction (export_design_graph).
+  std::vector<int> construction_writes_;
+  bool design_exported_ = false;
   std::vector<std::uint8_t> proc_dirty_;   // per comb process
   std::size_t n_dirty_ = 0;
   // StateTag checks grouped by unique tag: many processes share one model's

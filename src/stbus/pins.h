@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/bits.h"
 #include "sim/context.h"
@@ -118,6 +119,22 @@ struct PortPins {
     c.src = static_cast<std::uint8_t>(r_src.read());
     c.tid = static_cast<std::uint8_t>(r_tid.read());
     return c;
+  }
+
+  // --- helpers for design-lint declarations (ClockedOpts/CombOpts) --------
+  // Pin accesses through the sampler/driver helpers above are data-dependent
+  // (payload only when the channel fires), so single-evaluation recording
+  // under-approximates; components declare the full bundle slices instead.
+  std::vector<const sim::SignalBase*> request_signals() const {
+    return {&req, &opc, &add, &data, &be, &eop, &lck, &src, &tid};
+  }
+  std::vector<const sim::SignalBase*> response_signals() const {
+    return {&r_req, &r_opc, &r_data, &r_eop, &r_src, &r_tid};
+  }
+  std::vector<const sim::SignalBase*> all_signals() const {
+    return {&req,   &gnt,    &opc,   &add,   &data, &be,    &eop,   &lck,
+            &src,   &tid,    &r_req, &r_gnt, &r_opc, &r_data, &r_eop,
+            &r_src, &r_tid};
   }
 };
 

@@ -54,7 +54,17 @@ InitiatorBfm::InitiatorBfm(sim::Context& ctx, std::string name,
   if (prof_.max_outstanding < 1 || prof_.max_outstanding > 16) {
     throw std::invalid_argument("InitiatorProfile: max_outstanding in 1..16");
   }
-  ctx.add_clocked("bfm." + name_, [this] { step(); });
+  // Design-lint declarations: the response payload is sampled only while a
+  // response fires and the request payload is driven only while a packet is
+  // outstanding, so a single recorded evaluation sees neither slice.
+  sim::ClockedOpts decl;
+  decl.reads = pins.response_signals();
+  decl.reads.push_back(&pins.req);
+  decl.reads.push_back(&pins.gnt);
+  decl.reads.push_back(&pins.r_gnt);
+  decl.writes = pins.request_signals();
+  decl.writes.push_back(&pins.r_gnt);
+  ctx.add_clocked("bfm." + name_, [this] { step(); }, std::move(decl));
 }
 
 bool InitiatorBfm::done() const {

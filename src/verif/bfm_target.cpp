@@ -16,7 +16,16 @@ TargetBfm::TargetBfm(sim::Context& ctx, std::string name,
       type_(type),
       prof_(profile),
       rng_(rng) {
-  ctx.add_clocked("tgt." + name_, [this] { step(); });
+  // Design-lint declarations: request payload is sampled only while a
+  // request fires, the response payload driven only while one is pending.
+  sim::ClockedOpts decl;
+  decl.reads = pins.request_signals();
+  decl.reads.push_back(&pins.gnt);
+  decl.reads.push_back(&pins.r_req);
+  decl.reads.push_back(&pins.r_gnt);
+  decl.writes = pins.response_signals();
+  decl.writes.push_back(&pins.gnt);
+  ctx.add_clocked("tgt." + name_, [this] { step(); }, std::move(decl));
 }
 
 std::uint8_t TargetBfm::peek(std::uint32_t addr) const {

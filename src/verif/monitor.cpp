@@ -6,8 +6,12 @@ Monitor::Monitor(sim::Context& ctx, std::string name,
                  const stbus::PortPins& pins)
     : name_(std::move(name)), ctx_(ctx), pins_(pins) {
   // Clocked processes observe the settled values of the cycle that is
-  // ending, which is exactly the sampling point a monitor needs.
-  ctx.add_clocked("mon." + name_, [this] { sample(); });
+  // ending, which is exactly the sampling point a monitor needs. Payload
+  // pins are sampled only when a channel fires, so the full bundle is
+  // declared for the design-lint view.
+  sim::ClockedOpts decl;
+  decl.reads = pins.all_signals();
+  ctx.add_clocked("mon." + name_, [this] { sample(); }, std::move(decl));
 }
 
 void Monitor::sample() {

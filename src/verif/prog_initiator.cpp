@@ -11,7 +11,14 @@ ProgInitiator::ProgInitiator(sim::Context& ctx, std::string name,
       ctx_(ctx),
       pins_(pins),
       schedule_(std::move(schedule)) {
-  ctx.add_clocked("prog." + name_, [this] { step(); });
+  // Design-lint declaration: the request payload is driven only while an
+  // operation is scheduled, and the ack path reads gnt/r_data/r_opc only
+  // while busy — both invisible to a single recorded evaluation.
+  sim::ClockedOpts decl;
+  decl.reads = {&pins.gnt, &pins.r_data, &pins.r_opc};
+  decl.writes = pins.request_signals();
+  decl.writes.push_back(&pins.r_gnt);
+  ctx.add_clocked("prog." + name_, [this] { step(); }, std::move(decl));
 }
 
 void ProgInitiator::step() {

@@ -23,7 +23,11 @@ ProtocolChecker::ProtocolChecker(sim::Context& ctx, std::string name,
       role_(role),
       expected_src_(expected_src),
       map_(map) {
-  ctx.add_clocked("chk." + name_, [this] { sample(); });
+  // Design-lint declaration: payload pins are sampled only around active
+  // handshakes, so the recorded read set misses them on an idle bus.
+  sim::ClockedOpts decl;
+  decl.reads = pins.all_signals();
+  ctx.add_clocked("chk." + name_, [this] { sample(); }, std::move(decl));
 }
 
 void ProtocolChecker::report(std::uint64_t cycle, const std::string& rule,

@@ -7,7 +7,17 @@ using stbus::RspOpcode;
 Type1Checker::Type1Checker(sim::Context& ctx, std::string name,
                            const stbus::PortPins& pins)
     : name_(std::move(name)), ctx_(ctx), pins_(pins) {
-  ctx.add_clocked("t1chk." + name_, [this] { sample(); });
+  // Design-lint declaration: the request payload is sampled only while a
+  // request is up; the Type1 ack convention reuses gnt/r_data/r_opc.
+  sim::ClockedOpts decl;
+  decl.reads = pins.request_signals();
+  decl.reads.push_back(&pins.gnt);
+  decl.reads.push_back(&pins.r_data);
+  decl.reads.push_back(&pins.r_opc);
+  decl.reads.push_back(&pins.r_req);
+  decl.reads.push_back(&pins.r_eop);
+  decl.reads.push_back(&pins.r_gnt);
+  ctx.add_clocked("t1chk." + name_, [this] { sample(); }, std::move(decl));
 }
 
 void Type1Checker::report(std::uint64_t cycle, const std::string& rule,
@@ -56,6 +66,17 @@ void Type1Checker::sample() {
     const auto opc = static_cast<RspOpcode>(pins_.r_opc.read());
     if (opc != RspOpcode::kOk && opc != RspOpcode::kError) {
       report(cycle, "T1_OPC", "illegal r_opc during ack");
+    }
+    // Both DUT views mirror the Type1 ack onto the response-channel
+    // handshake (r_req/r_eop track gnt; a Type1 response is always a single
+    // cell). Check the mirror so a view that drops it diverges loudly.
+    if (!pins_.r_req.read() || !pins_.r_eop.read()) {
+      report(cycle, "T1_RSP_MIRROR",
+             "response handshake not mirrored during ack");
+    }
+    if (!pins_.r_gnt.read()) {
+      report(cycle, "T1_RSP_MIRROR",
+             "programming master must hold r_gnt during ack");
     }
   }
 

@@ -121,6 +121,58 @@ TEST(Dashboard, MetricsSectionOnlyWhenSnapshotGiven) {
   EXPECT_NE(html.find("class=\"hist\""), std::string::npos);
 }
 
+TEST(Dashboard, DesignHealthPanelOnlyWhenPreflightRan) {
+  // Without preflight rows the panel is absent, keeping dashboards from
+  // --no-design-lint runs byte-identical to previous releases.
+  const auto plain =
+      regress::Regression::run_matrix({small_cfg("node_a")}, small_plan());
+  EXPECT_EQ(regress::html_report(plain).find("Design health"),
+            std::string::npos);
+
+  regress::RunPlan base = small_plan();
+  regress::DesignHealth rtl;
+  rtl.config = "node_a";
+  rtl.view = "RTL";
+  rtl.signals = 42;
+  rtl.comb_processes = 7;
+  rtl.clocked_processes = 9;
+  rtl.ranks = 2;
+  rtl.max_fanout = 3;
+  rtl.max_fanout_signal = "tb.init0.req";
+  rtl.notes = 5;
+  regress::DesignHealth bca = rtl;
+  bca.view = "BCA";
+  bca.comb_processes = 1;
+  bca.ranks = 1;
+  base.design_health = {rtl, bca};
+  const auto mres =
+      regress::Regression::run_matrix({small_cfg("node_a")}, base);
+  const std::string html = regress::html_report(mres);
+  EXPECT_NE(html.find("Design health"), std::string::npos);
+  EXPECT_NE(html.find("<td>RTL</td>"), std::string::npos);
+  EXPECT_NE(html.find("<td>BCA</td>"), std::string::npos);
+  EXPECT_NE(html.find("tb.init0.req"), std::string::npos);
+  EXPECT_NE(html.find("CRVE100&ndash;CRVE110"), std::string::npos);
+}
+
+TEST(Dashboard, DesignHealthPanelByteIdenticalAcrossWorkerCounts) {
+  regress::RunPlan base = small_plan();
+  regress::DesignHealth row;
+  row.config = "node_a";
+  row.view = "RTL";
+  row.signals = 10;
+  row.ranks = 1;
+  base.design_health = {row};
+  const std::vector<stbus::NodeConfig> configs = {small_cfg("node_a")};
+  base.jobs = 1;
+  const auto serial = regress::Regression::run_matrix(configs, base);
+  base.jobs = 4;
+  const auto parallel = regress::Regression::run_matrix(configs, base);
+  const std::string a = regress::html_report(serial);
+  EXPECT_EQ(a, regress::html_report(parallel));
+  EXPECT_NE(a.find("Design health"), std::string::npos);
+}
+
 TEST(Dashboard, EscapesMarkupInNames) {
   regress::RunPlan base = small_plan();
   const auto mres = regress::Regression::run_matrix(

@@ -317,6 +317,39 @@ TEST(LintSource, CommentsAndStringsDoNotTrigger) {
   for (const auto& f : r.findings) ADD_FAILURE() << f.text();
 }
 
+TEST(LintSource, RawStringInvalidDelimiterDoesNotSwallowFile) {
+  // `R")"` is not a raw string: ')' cannot appear in a d-char-seq. The
+  // scanner must fall back to an ordinary string literal ending at the next
+  // quote instead of hunting for a `)...\"` closer across the rest of the
+  // file — the runaway that used to hide every finding below such a line.
+  const char* fixture =
+      "const char* s = R\")\";\n"
+      "int r = rand();\n";
+  const Report rep = lint_source_text(fixture, "src/verif/x.cpp");
+  EXPECT_TRUE(has_rule(rep, "CRVE051")) << render_text(rep);
+
+  // Same runaway shape with a backslash and a space in the would-be
+  // delimiter; both are invalid d-chars and must trigger the fallback.
+  const char* slash =
+      "const char* s = R\"a\\b\";\n"
+      "std::random_device rd;\n";
+  EXPECT_TRUE(has_rule(lint_source_text(slash, "src/verif/x.cpp"),
+                       "CRVE051"));
+}
+
+TEST(LintSource, RawStringCloseParenBeforeOpenParenInContent) {
+  // A valid raw string whose content begins with ')' and contains a fake
+  // closer for a different delimiter: only `)x"` ends it. rand() inside
+  // the literal is data; rand() after it is code.
+  const char* fixture =
+      "const char* s = R\"x()y\" rand() )x\";\n"
+      "int tail = rand();\n";
+  const Report rep = lint_source_text(fixture, "src/verif/x.cpp");
+  int hits = 0;
+  for (const auto& f : rep.findings) hits += f.rule_id == "CRVE051";
+  EXPECT_EQ(hits, 1) << render_text(rep);
+}
+
 TEST(LintSource, InlineSuppressionAndUnusedSuppression) {
   const char* suppressed =
       "void f() {\n"
@@ -581,6 +614,36 @@ TEST(LintRender, ExitCodesAndWerror) {
   Report err;
   err.add("CRVE013", "c.cfg", 1, "broken");
   EXPECT_EQ(err.exit_code(), 2);
+}
+
+// The regression that motivated the render_json werror parameter: the JSON
+// document embeds an "exit_code" field, and it must agree with the process
+// exit status under --werror in every renderer — a CI consumer reading the
+// JSON and a shell reading $? must never disagree about pass/fail.
+TEST(LintRender, JsonExitCodeAgreesWithWerror) {
+  Report warn;
+  warn.add("CRVE003", "c.cfg", 1, "dup");
+  EXPECT_EQ(json::parse(render_json(warn)).number_or("exit_code", -1), 1);
+  EXPECT_EQ(json::parse(render_json(warn, /*werror=*/true))
+                .number_or("exit_code", -1),
+            2);
+  EXPECT_EQ(json::parse(render_json(warn, true)).number_or("exit_code", -1),
+            warn.exit_code(true));
+
+  // Werror promotes warnings and only warnings: a notes-only report stays
+  // exit 0 in both the Report contract and the rendered document.
+  Report note;
+  note.add("CRVE020", "c.cfg", 1, "informational");
+  EXPECT_EQ(note.exit_code(/*werror=*/true), 0);
+  EXPECT_EQ(json::parse(render_json(note, /*werror=*/true))
+                .number_or("exit_code", -1),
+            0);
+
+  // Severities themselves are not rewritten — promotion is an exit-code
+  // concern, so the findings array still says "warning".
+  const auto doc = json::parse(render_json(warn, /*werror=*/true));
+  EXPECT_EQ(doc.find("findings")->items[0].string_or("severity", ""),
+            "warning");
 }
 
 }  // namespace

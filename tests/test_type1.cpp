@@ -40,12 +40,17 @@ struct T1Rig {
 
 TEST(Type1Checker, CleanHandshake) {
   T1Rig rig;
+  rig.pins.r_gnt.write(true);      // master holds r_gnt (always ready)
   rig.drive(Opcode::kLd4, 0x10);
   rig.ctx.step(2);                 // held, waiting
-  rig.pins.gnt.write(true);        // slave pulses ack
+  rig.pins.gnt.write(true);        // slave pulses ack...
+  rig.pins.r_req.write(true);      // ...mirrored onto the response channel
+  rig.pins.r_eop.write(true);
   rig.pins.r_opc.write(0);
   rig.ctx.step();
   rig.pins.gnt.write(false);
+  rig.pins.r_req.write(false);
+  rig.pins.r_eop.write(false);
   rig.pins.idle_request();
   rig.ctx.step(2);
   EXPECT_TRUE(rig.chk.clean())
